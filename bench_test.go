@@ -1,0 +1,196 @@
+package numamig_test
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each benchmark regenerates (a scaled version of) the corresponding
+// artifact on the simulated platform and reports the paper's metric
+// (MB/s for the migration microbenchmarks, simulated seconds for the
+// applications) via b.ReportMetric. The full-scale sweeps live in
+// cmd/numabench.
+
+import (
+	"fmt"
+	"testing"
+
+	"numamig/internal/kern"
+	"numamig/internal/workload"
+)
+
+// BenchmarkFigure4 regenerates the synchronous migration / memcpy
+// throughput comparison (Fig. 4).
+func BenchmarkFigure4(b *testing.B) {
+	methods := []workload.MigMethod{
+		workload.Memcpy,
+		workload.MigratePages,
+		workload.MovePagesPatched,
+		workload.MovePagesUnpatched,
+	}
+	for _, m := range methods {
+		for _, pages := range []int{256, 4096} {
+			b.Run(fmt.Sprintf("%s/%dpages", m, pages), func(b *testing.B) {
+				var mbps float64
+				for i := 0; i < b.N; i++ {
+					v, err := workload.SyncMigration(pages, m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					mbps = v
+				}
+				b.ReportMetric(mbps, "simMB/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the next-touch throughput comparison
+// (Fig. 5).
+func BenchmarkFigure5(b *testing.B) {
+	variants := []workload.NTVariant{
+		workload.UserNTUnpatched, workload.UserNTPatched, workload.KernelNT,
+	}
+	for _, v := range variants {
+		for _, pages := range []int{16, 1024} {
+			b.Run(fmt.Sprintf("%s/%dpages", v, pages), func(b *testing.B) {
+				var mbps float64
+				for i := 0; i < b.N; i++ {
+					r, _, err := workload.NextTouch(pages, v)
+					if err != nil {
+						b.Fatal(err)
+					}
+					mbps = r
+				}
+				b.ReportMetric(mbps, "simMB/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6a regenerates the user-space next-touch cost breakdown
+// (Fig. 6a), reporting the move_pages control share.
+func BenchmarkFigure6a(b *testing.B) {
+	for _, pages := range []int{16, 1024} {
+		b.Run(fmt.Sprintf("%dpages", pages), func(b *testing.B) {
+			var ctl, cp float64
+			for i := 0; i < b.N; i++ {
+				_, acct, err := workload.NextTouch(pages, workload.UserNTPatched)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctl = acct.Percent(kern.CatMovePagesCtl)
+				cp = acct.Percent(kern.CatMovePagesCopy)
+			}
+			b.ReportMetric(ctl, "ctl%")
+			b.ReportMetric(cp, "copy%")
+		})
+	}
+}
+
+// BenchmarkFigure6b regenerates the kernel next-touch cost breakdown
+// (Fig. 6b).
+func BenchmarkFigure6b(b *testing.B) {
+	for _, pages := range []int{16, 1024} {
+		b.Run(fmt.Sprintf("%dpages", pages), func(b *testing.B) {
+			var ctl, cp float64
+			for i := 0; i < b.N; i++ {
+				_, acct, err := workload.NextTouch(pages, workload.KernelNT)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctl = acct.Percent(kern.CatNTCtl)
+				cp = acct.Percent(kern.CatNTCopy)
+			}
+			b.ReportMetric(ctl, "ctl%")
+			b.ReportMetric(cp, "copy%")
+		})
+	}
+}
+
+// BenchmarkFigure7 regenerates the threaded migration scaling study
+// (Fig. 7).
+func BenchmarkFigure7(b *testing.B) {
+	for _, lazy := range []bool{false, true} {
+		name := "Sync"
+		if lazy {
+			name = "Lazy"
+		}
+		for _, threads := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/%dthreads", name, threads), func(b *testing.B) {
+				var mbps float64
+				for i := 0; i < b.N; i++ {
+					v, err := workload.ThreadedMigration(16384, threads, lazy)
+					if err != nil {
+						b.Fatal(err)
+					}
+					mbps = v
+				}
+				b.ReportMetric(mbps, "simMB/s")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the LU factorization study (Table 1) at
+// benchmark-friendly scale; full-scale rows run via `numabench -exp
+// table1`.
+func BenchmarkTable1(b *testing.B) {
+	rows := []struct{ n, blk int }{
+		{2048, 64}, {2048, 256}, {4096, 512},
+	}
+	for _, row := range rows {
+		for _, pol := range []workload.LUPolicy{workload.LUStatic, workload.LUNextTouch} {
+			b.Run(fmt.Sprintf("%dx%d/b%d/%s", row.n, row.n, row.blk, pol), func(b *testing.B) {
+				var secs float64
+				for i := 0; i < b.N; i++ {
+					r, err := workload.RunLU(workload.LUConfig{N: row.n, B: row.blk, Policy: pol})
+					if err != nil {
+						b.Fatal(err)
+					}
+					secs = r.Duration.Seconds()
+				}
+				b.ReportMetric(secs, "simSec")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the 16-concurrent-BLAS3 study (Fig. 8).
+func BenchmarkFigure8(b *testing.B) {
+	policies := []workload.BLAS3Policy{
+		workload.B3Static, workload.B3KernelNT, workload.B3UserNT,
+	}
+	for _, pol := range policies {
+		for _, n := range []int{256, 512} {
+			b.Run(fmt.Sprintf("%s/N%d", pol, n), func(b *testing.B) {
+				var secs float64
+				for i := 0; i < b.N; i++ {
+					d, err := workload.RunBLAS3(workload.BLAS3Config{N: n, Policy: pol})
+					if err != nil {
+						b.Fatal(err)
+					}
+					secs = d.Seconds()
+				}
+				b.ReportMetric(secs, "simSec")
+			})
+		}
+	}
+}
+
+// BenchmarkBLAS1 regenerates the §4.5 BLAS1 non-result.
+func BenchmarkBLAS1(b *testing.B) {
+	for _, nt := range []bool{false, true} {
+		name := "static"
+		if nt {
+			name = "next-touch"
+		}
+		b.Run(name, func(b *testing.B) {
+			var secs float64
+			for i := 0; i < b.N; i++ {
+				d, err := workload.RunBLAS1(workload.BLAS1Config{N: 1 << 20, NextTouch: nt})
+				if err != nil {
+					b.Fatal(err)
+				}
+				secs = d.Seconds()
+			}
+			b.ReportMetric(secs, "simSec")
+		})
+	}
+}

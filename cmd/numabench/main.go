@@ -1,0 +1,48 @@
+// Command numabench regenerates the paper's tables and figures on the
+// simulated platform.
+//
+// Usage:
+//
+//	numabench -exp fig4            # one experiment, full scale
+//	numabench -exp table1 -quick   # reduced sweep
+//	numabench -all -quick          # everything
+//
+// Experiments: fig4 fig5 fig6a fig6b fig7 table1 fig8 blas1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"numamig/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id ("+strings.Join(bench.Experiments(), ", ")+")")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "reduced parameter sweeps (seconds instead of minutes)")
+	flag.Parse()
+
+	o := bench.Options{Quick: *quick}
+	var ids []string
+	switch {
+	case *all:
+		ids = bench.Experiments()
+	case *exp != "":
+		ids = strings.Split(*exp, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "numabench: need -exp <id> or -all; ids:", strings.Join(bench.Experiments(), ", "))
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := bench.Run(strings.TrimSpace(id), o, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "numabench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# (%s regenerated in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,89 @@
+package numamig_test
+
+import (
+	"fmt"
+
+	"numamig"
+)
+
+// ExampleSystem_Run demonstrates kernel next-touch: pages follow the
+// thread that touches them after a migrate-on-next-touch mark.
+func ExampleSystem_Run() {
+	sys := numamig.New(numamig.Config{})
+	err := sys.Run(func(t *numamig.Task) {
+		buf := numamig.MustAlloc(t, 1<<20, numamig.Bind(0))
+		if err := buf.Prefault(t); err != nil {
+			panic(err)
+		}
+		nt := sys.NewKernelNT()
+		if _, err := nt.Mark(t, buf.Region()); err != nil {
+			panic(err)
+		}
+		t.MigrateTo(12) // node 3
+		if err := buf.Access(t, numamig.Stream, false); err != nil {
+			panic(err)
+		}
+		hist, _ := buf.NodeHistogram(t)
+		fmt.Println(hist)
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: [0 0 0 256]
+}
+
+// ExampleManager shows the joint thread+data migration model of §3.4:
+// the scheduler moves a thread and its workset follows lazily, with
+// untouched pages never migrating.
+func ExampleManager() {
+	sys := numamig.New(numamig.Config{})
+	mgr := sys.NewManager(numamig.LazyKernel, true)
+	err := sys.Run(func(t *numamig.Task) {
+		ws := numamig.MustAlloc(t, 64*numamig.PageSize, numamig.Bind(0))
+		if err := ws.Prefault(t); err != nil {
+			panic(err)
+		}
+		mgr.Attach(t, ws.Region())
+		if err := mgr.MoveThread(t, 4); err != nil { // node 1
+			panic(err)
+		}
+		// Touch only the first half.
+		if err := t.AccessRange(ws.Base, ws.Size/2, numamig.Stream, false); err != nil {
+			panic(err)
+		}
+		hist, _ := ws.NodeHistogram(t)
+		fmt.Println(hist)
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: [32 32 0 0]
+}
+
+// ExampleUserNT shows the user-space implementation: one touch anywhere
+// in a marked region migrates the whole region (the library knows the
+// workset structure).
+func ExampleUserNT() {
+	sys := numamig.New(numamig.Config{})
+	u := sys.NewUserNT(true) // patched move_pages
+	err := sys.Run(func(t *numamig.Task) {
+		buf := numamig.MustAlloc(t, 32*numamig.PageSize, numamig.Bind(0))
+		if err := buf.Prefault(t); err != nil {
+			panic(err)
+		}
+		if err := u.Mark(t, buf.Region()); err != nil {
+			panic(err)
+		}
+		t.MigrateTo(9) // node 2
+		if err := t.Touch(buf.Base+17*numamig.PageSize, false); err != nil {
+			panic(err)
+		}
+		hist, _ := buf.NodeHistogram(t)
+		node, _ := u.Placement(buf.Base)
+		fmt.Println(hist, node)
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: [0 0 32 0] 2
+}

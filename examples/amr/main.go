@@ -1,0 +1,160 @@
+// amr models the paper's motivating application class: adaptive mesh
+// refinement. A 2D domain of patches is computed in phases; after each
+// phase some patches refine (more work) and others coarsen, so the
+// load balancer reassigns patches to threads. With a static placement
+// the reassigned patches keep being accessed remotely; with the
+// next-touch manager each rebalanced thread's workset follows it
+// automatically — no affinity bookkeeping anywhere.
+//
+//	go run ./examples/amr
+package main
+
+import (
+	"fmt"
+
+	"numamig"
+)
+
+const (
+	patchesX   = 8
+	patchesY   = 8
+	patchBytes = 1 << 20 // 1 MB per patch
+	phases     = 6
+)
+
+type patch struct {
+	buf  *numamig.Buffer
+	work float64 // relative compute weight, changes as the mesh refines
+}
+
+func main() {
+	for _, lazy := range []bool{false, true} {
+		d, migrated := run(lazy)
+		name := "static placement"
+		if lazy {
+			name = "next-touch rebalancing"
+		}
+		fmt.Printf("%-24s total %8.2f ms  (pages migrated: %d)\n",
+			name, d.Millis(), migrated)
+	}
+}
+
+func run(lazy bool) (numamig.Time, uint64) {
+	sys := numamig.New(numamig.Config{})
+	team := sys.TeamAll()
+	var nt *numamig.KernelNT
+	if lazy {
+		nt = sys.NewKernelNT()
+	}
+	var dur numamig.Time
+
+	err := sys.Run(func(master *numamig.Task) {
+		rng := sys.Eng.Rand
+		// Build the mesh: patches first-touched by their initial owner
+		// thread (ideal initial distribution).
+		patches := make([]*patch, patchesX*patchesY)
+		owners := make([]int, len(patches))
+		for i := range patches {
+			owners[i] = i % team.Size()
+			patches[i] = &patch{work: 1}
+		}
+		team.Parallel(master, func(t *numamig.Task, tid int) {
+			for i := range patches {
+				if owners[i] != tid {
+					continue
+				}
+				b := numamig.MustAlloc(t, patchBytes, numamig.FirstTouch())
+				if err := b.Prefault(t); err != nil {
+					panic(err)
+				}
+				patches[i].buf = b
+			}
+		})
+
+		start := master.P.Now()
+		for phase := 0; phase < phases; phase++ {
+			// Compute phase: each thread sweeps its patches; cost =
+			// work * traffic + flops.
+			team.Parallel(master, func(t *numamig.Task, tid int) {
+				for i, p := range patches {
+					if owners[i] != tid {
+						continue
+					}
+					sweeps := int(p.work)
+					if sweeps < 1 {
+						sweeps = 1
+					}
+					for s := 0; s < sweeps; s++ {
+						if err := p.buf.Access(t, numamig.Blocked, true); err != nil {
+							panic(err)
+						}
+						t.P.Sleep(numamig.FromSeconds(p.work * 2e-4))
+					}
+				}
+			})
+			// Refinement: work changes, so rebalance greedily.
+			for _, p := range patches {
+				switch rng.Intn(3) {
+				case 0:
+					p.work *= 2
+				case 1:
+					p.work /= 2
+					if p.work < 1 {
+						p.work = 1
+					}
+				}
+			}
+			rebalance(patches, owners, team.Size())
+			// With the lazy policy, mark everything; only pages whose
+			// new owner sits on another node actually migrate, on touch.
+			if lazy {
+				team.Parallel(master, func(t *numamig.Task, tid int) {
+					for i, p := range patches {
+						if owners[i] != tid {
+							continue
+						}
+						if _, err := nt.Mark(t, p.buf.Region()); err != nil {
+							panic(err)
+						}
+					}
+				})
+			}
+		}
+		dur = master.P.Now() - start
+	})
+	if err != nil {
+		panic(err)
+	}
+	return dur, sys.Stats().NTMigrations
+}
+
+// rebalance assigns patches to threads by descending work (longest
+// processing time first).
+func rebalance(patches []*patch, owners []int, threads int) {
+	type item struct {
+		idx  int
+		work float64
+	}
+	items := make([]item, len(patches))
+	for i, p := range patches {
+		items[i] = item{i, p.work}
+	}
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			if items[j].work > items[i].work {
+				items[i], items[j] = items[j], items[i]
+			}
+		}
+	}
+	loads := make([]float64, threads)
+	for _, it := range items {
+		best := 0
+		for t := 1; t < threads; t++ {
+			if loads[t] < loads[best] {
+				best = t
+			}
+		}
+		owners[it.idx] = best
+		loads[best] += it.work
+	}
+}

@@ -1,0 +1,111 @@
+// nexttouch compares the paper's three migration strategies on the same
+// task: a worker thread on a remote node starts reading a buffer that
+// lives on node 0.
+//
+//   - sync: move_pages before computing (must know what to move)
+//   - user next-touch: mprotect+SIGSEGV library migrates the whole
+//     buffer at first touch
+//   - kernel next-touch: madvise mark, fault-time page migration
+//
+// It prints throughput and the cost breakdown behind Figures 6(a)/6(b).
+//
+//	go run ./examples/nexttouch
+package main
+
+import (
+	"fmt"
+
+	"numamig"
+)
+
+const pages = 2048
+
+func main() {
+	fmt.Printf("migrating a %d-page (%d MB) buffer node0 -> node1\n\n",
+		pages, pages*numamig.PageSize>>20)
+	runSync()
+	runUserNT(true)
+	runUserNT(false)
+	runKernelNT()
+}
+
+func setup(sys *numamig.System, t *numamig.Task) *numamig.Buffer {
+	buf := numamig.MustAlloc(t, pages*numamig.PageSize, numamig.Bind(0))
+	if err := buf.Prefault(t); err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+func report(name string, sys *numamig.System, d numamig.Time, acct *numamig.Acct) {
+	fmt.Printf("%-28s %7.1f MB/s", name, float64(pages*numamig.PageSize)/d.Seconds()/1e6)
+	if acct != nil {
+		fmt.Print("   breakdown:")
+		for _, cat := range acct.Categories() {
+			if p := acct.Percent(cat); p >= 0.5 {
+				fmt.Printf(" %s %.0f%%", cat, p)
+			}
+		}
+	}
+	fmt.Println()
+}
+
+func runSync() {
+	sys := numamig.New(numamig.Config{})
+	var d numamig.Time
+	must(sys.RunOn(4, func(t *numamig.Task) { // node 1
+		buf := setup(sys, t)
+		start := t.P.Now()
+		must(buf.MoveTo(t, 1, true))
+		d = t.P.Now() - start
+	}))
+	report("synchronous move_pages", sys, d, nil)
+}
+
+func runUserNT(patched bool) {
+	sys := numamig.New(numamig.Config{})
+	u := sys.NewUserNT(patched)
+	acct := numamig.NewAcct()
+	var d numamig.Time
+	must(sys.RunOn(4, func(t *numamig.Task) {
+		buf := setup(sys, t)
+		t.P.SetAcct(acct)
+		start := t.P.Now()
+		must(u.Mark(t, buf.Region()))
+		if _, err := t.FaultIn(buf.Base, buf.Size, false); err != nil {
+			panic(err)
+		}
+		d = t.P.Now() - start
+	}))
+	name := "user next-touch"
+	if !patched {
+		name += " (no patch)"
+	}
+	report(name, sys, d, acct)
+}
+
+func runKernelNT() {
+	sys := numamig.New(numamig.Config{})
+	nt := sys.NewKernelNT()
+	acct := numamig.NewAcct()
+	var d numamig.Time
+	must(sys.RunOn(4, func(t *numamig.Task) {
+		buf := setup(sys, t)
+		t.P.SetAcct(acct)
+		start := t.P.Now()
+		if _, err := nt.Mark(t, buf.Region()); err != nil {
+			panic(err)
+		}
+		if _, err := t.FaultIn(buf.Base, buf.Size, false); err != nil {
+			panic(err)
+		}
+		d = t.P.Now() - start
+	}))
+	report("kernel next-touch", sys, d, acct)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

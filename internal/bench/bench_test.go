@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny options keep the smoke tests fast while exercising every
+// experiment end to end.
+func tiny() Options { return Options{Quick: true} }
+
+func TestExperimentsRegistryComplete(t *testing.T) {
+	want := []string{"blas1", "exthuge", "extreplica", "fig4", "fig5", "fig6a", "fig6b", "fig7", "fig8", "policies", "table1"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("experiments = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("experiments = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run("nope", tiny(), &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFigure4Smoke(t *testing.T) {
+	fig, err := Figure4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	out := fig.String()
+	for _, name := range []string{"memcpy", "migrate_pages", "move_pages", "no patch"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestFigure5And6Smoke(t *testing.T) {
+	fig, err := Figure5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	t6a, err := Figure6a(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6a.Rows) == 0 {
+		t.Fatal("empty 6a")
+	}
+	t6b, err := Figure6b(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6b.Rows) == 0 {
+		t.Fatal("empty 6b")
+	}
+}
+
+func TestFigure7Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	fig, err := Figure7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 8 { // sync/lazy x 1..4 threads
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	tbl, err := Table1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(tiny().table1Rows()) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "Improvement") || !strings.Contains(out, "%") {
+		t.Fatalf("table shape wrong:\n%s", out)
+	}
+}
+
+func TestFigure8AndBLAS1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	fig, err := Figure8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	tbl, err := BLAS1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestExtensionExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	th, err := ExtHuge(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th.Rows) != 2 {
+		t.Fatalf("exthuge rows = %d", len(th.Rows))
+	}
+	tr, err := ExtReplica(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Rows) != 2 {
+		t.Fatalf("extreplica rows = %d", len(tr.Rows))
+	}
+	tp, err := Policies(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Rows) != 4 {
+		t.Fatalf("policies rows = %d", len(tp.Rows))
+	}
+}
+
+func TestRunAllIDsViaRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	for _, id := range []string{"fig4", "fig5", "fig6a", "fig6b"} {
+		var buf bytes.Buffer
+		if err := Run(id, tiny(), &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHitAfterInstall(t *testing.T) {
+	c := New(1000)
+	if c.Access(1, 400) {
+		t.Fatal("first access should miss")
+	}
+	if !c.Access(1, 400) {
+		t.Fatal("second access should hit")
+	}
+	if c.Used() != 400 {
+		t.Fatalf("used = %d", c.Used())
+	}
+	if c.Stats.HitBytes != 400 || c.Stats.MissBytes != 400 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(1000)
+	c.Access(1, 400)
+	c.Access(2, 400)
+	c.Access(1, 400) // refresh 1; LRU is now 2
+	c.Access(3, 400) // evicts 2
+	if !c.Contains(1) || c.Contains(2) || !c.Contains(3) {
+		t.Fatalf("LRU eviction wrong: 1=%v 2=%v 3=%v", c.Contains(1), c.Contains(2), c.Contains(3))
+	}
+}
+
+func TestOversizedBypasses(t *testing.T) {
+	c := New(1000)
+	c.Access(1, 400)
+	if c.Access(9, 5000) {
+		t.Fatal("oversized set hit")
+	}
+	if !c.Contains(1) {
+		t.Fatal("oversized set evicted resident data")
+	}
+	if c.Used() != 400 {
+		t.Fatalf("used = %d", c.Used())
+	}
+}
+
+func TestSizeChangeReplaces(t *testing.T) {
+	c := New(1000)
+	c.Access(1, 400)
+	if c.Access(1, 600) {
+		t.Fatal("resize should miss")
+	}
+	if c.Used() != 600 {
+		t.Fatalf("used = %d", c.Used())
+	}
+	if !c.Access(1, 600) {
+		t.Fatal("after resize install, should hit")
+	}
+}
+
+func TestInvalidateAndFlush(t *testing.T) {
+	c := New(1000)
+	c.Access(1, 300)
+	c.Access(2, 300)
+	c.Invalidate(1)
+	if c.Contains(1) || c.Used() != 300 {
+		t.Fatal("invalidate failed")
+	}
+	c.Flush()
+	if c.Used() != 0 || c.Contains(2) {
+		t.Fatal("flush failed")
+	}
+}
+
+func TestZeroBytesAlwaysHit(t *testing.T) {
+	c := New(10)
+	if !c.Access(1, 0) {
+		t.Fatal("zero-byte access should hit")
+	}
+}
+
+func TestGroupIndependence(t *testing.T) {
+	g := NewGroup(4, 1000)
+	g.Node(0).Access(1, 500)
+	if g.Node(1).Contains(1) {
+		t.Fatal("caches not independent")
+	}
+	g.Node(1).Access(1, 500)
+	g.InvalidateAll(1)
+	if g.Node(0).Contains(1) || g.Node(1).Contains(1) {
+		t.Fatal("InvalidateAll failed")
+	}
+}
+
+// Property: used never exceeds capacity and equals the sum of resident
+// entries, regardless of access sequence.
+func TestCapacityInvariantProperty(t *testing.T) {
+	check := func(ops []uint16) bool {
+		c := New(4096)
+		resident := map[uint64]int64{}
+		for _, op := range ops {
+			id := uint64(op % 16)
+			bytes := int64(op%5000) + 1
+			c.Access(id, bytes)
+			// Rebuild resident set from Contains.
+			for k := range resident {
+				if !c.Contains(k) {
+					delete(resident, k)
+				}
+			}
+			if c.Contains(id) {
+				resident[id] = bytes
+			}
+			var sum int64
+			for _, b := range resident {
+				sum += b
+			}
+			if c.Used() > 4096 || c.Used() != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"numamig/internal/kern"
+	"numamig/internal/model"
+	"numamig/internal/sim"
+	"numamig/internal/topology"
+	"numamig/internal/vm"
+)
+
+const pg = model.PageSize
+
+type harness struct {
+	eng  *sim.Engine
+	k    *kern.Kernel
+	proc *kern.Process
+}
+
+func newHarness(backed bool) *harness {
+	eng := sim.NewEngine(11)
+	k := kern.New(eng, topology.Opteron4x4(), model.Default(), backed)
+	return &harness{eng: eng, k: k, proc: k.NewProcess("core-test")}
+}
+
+func (h *harness) run(t *testing.T, core topology.CoreID, fn func(tk *kern.Task)) {
+	t.Helper()
+	h.proc.Spawn("t0", core, fn)
+	if err := h.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserNTMigratesWholeRegionOnFirstTouch(t *testing.T) {
+	h := newHarness(true)
+	u := NewUserNT(h.proc, true)
+	h.run(t, 0, func(tk *kern.Task) {
+		a, _ := tk.Mmap(32*pg, vm.ProtRW, vm.Bind(0), 0, "buf")
+		if _, err := tk.FaultIn(a, 32*pg, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := tk.WriteData(a+5*pg, []byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Mark(tk, Region{Addr: a, Len: 32 * pg}); err != nil {
+			t.Fatal(err)
+		}
+		if u.Marked() != 1 {
+			t.Fatalf("marked = %d", u.Marked())
+		}
+		// Thread moves to node 2, then touches ONE page: the whole
+		// region must follow (the library knows the workset structure).
+		tk.MigrateTo(9)
+		if err := tk.Touch(a+7*pg, false); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 32; i++ {
+			if n := tk.GetNode(a + vm.Addr(i)*pg); n != 2 {
+				t.Fatalf("page %d on node %d, want 2 (whole-region migration)", i, n)
+			}
+		}
+		// Region is consumed; further touches do not re-migrate.
+		tk.MigrateTo(0)
+		if err := tk.Touch(a, false); err != nil {
+			t.Fatal(err)
+		}
+		if n := tk.GetNode(a); n != 2 {
+			t.Fatalf("unmarked region migrated again to %d", n)
+		}
+		// Data survived.
+		got, err := tk.ReadData(a+5*pg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, []byte("hello")) {
+			t.Fatalf("data corrupted: %q", got)
+		}
+		// The library remembers the placement (§3.4).
+		if n, ok := u.Placement(a); !ok || n != 2 {
+			t.Fatalf("placement = %v %v", n, ok)
+		}
+	})
+	if u.Stats.Migrations != 1 || u.Stats.PagesMigrated != 32 {
+		t.Fatalf("stats = %+v", u.Stats)
+	}
+}
+
+func TestUserNTOverlappingMarkRejected(t *testing.T) {
+	h := newHarness(false)
+	u := NewUserNT(h.proc, true)
+	h.run(t, 0, func(tk *kern.Task) {
+		a, _ := tk.Mmap(16*pg, vm.ProtRW, vm.DefaultPolicy(), 0, "buf")
+		if _, err := tk.FaultIn(a, 16*pg, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Mark(tk, Region{Addr: a, Len: 8 * pg}); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Mark(tk, Region{Addr: a + 4*pg, Len: 8 * pg}); err == nil {
+			t.Fatal("overlapping mark accepted")
+		}
+		if err := u.Mark(tk, Region{Addr: a, Len: 0}); err == nil {
+			t.Fatal("empty mark accepted")
+		}
+	})
+}
+
+func TestUserNTUnrelatedSegvStillFails(t *testing.T) {
+	h := newHarness(false)
+	NewUserNT(h.proc, true)
+	h.run(t, 0, func(tk *kern.Task) {
+		a, _ := tk.Mmap(pg, vm.ProtRW, vm.DefaultPolicy(), 0, "buf")
+		if _, err := tk.FaultIn(a, pg, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := tk.Mprotect(a, pg, vm.ProtNone); err != nil {
+			t.Fatal(err)
+		}
+		// Protected but never marked: handler must not "fix" it.
+		if err := tk.Touch(a, false); err == nil {
+			t.Fatal("touch of unmarked protected page succeeded")
+		}
+	})
+}
+
+func TestUserNTFasterWithPatchedMovePages(t *testing.T) {
+	const pages = 4096
+	run := func(patched bool) sim.Time {
+		h := newHarness(false)
+		u := NewUserNT(h.proc, patched)
+		var dur sim.Time
+		h.run(t, 4, func(tk *kern.Task) {
+			a, _ := tk.Mmap(pages*pg, vm.ProtRW, vm.Bind(0), 0, "buf")
+			if _, err := tk.FaultIn(a, pages*pg, true); err != nil {
+				t.Fatal(err)
+			}
+			if err := u.Mark(tk, Region{Addr: a, Len: pages * pg}); err != nil {
+				t.Fatal(err)
+			}
+			start := tk.P.Now()
+			if err := tk.Touch(a, false); err != nil {
+				t.Fatal(err)
+			}
+			dur = tk.P.Now() - start
+		})
+		return dur
+	}
+	patched, unpatched := run(true), run(false)
+	if unpatched < 3*patched {
+		t.Fatalf("user NT: unpatched %v vs patched %v, want >3x at 4096 pages", unpatched, patched)
+	}
+}
+
+func TestKernelNTMarkCounts(t *testing.T) {
+	h := newHarness(false)
+	kn := NewKernelNT(h.proc)
+	h.run(t, 0, func(tk *kern.Task) {
+		a, _ := tk.Mmap(16*pg, vm.ProtRW, vm.Bind(0), 0, "buf")
+		if _, err := tk.FaultIn(a, 10*pg, true); err != nil {
+			t.Fatal(err)
+		}
+		n, err := kn.Mark(tk, Region{Addr: a, Len: 16 * pg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 10 {
+			t.Fatalf("marked %d present pages, want 10", n)
+		}
+		n, err = kn.Unmark(tk, Region{Addr: a, Len: 16 * pg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 10 {
+			t.Fatalf("unmarked %d, want 10", n)
+		}
+	})
+}
+
+func TestManagerSyncMode(t *testing.T) {
+	h := newHarness(false)
+	m := NewManager(h.proc, Sync, true)
+	h.run(t, 0, func(tk *kern.Task) {
+		a, _ := tk.Mmap(16*pg, vm.ProtRW, vm.Bind(0), 0, "ws")
+		if _, err := tk.FaultIn(a, 16*pg, true); err != nil {
+			t.Fatal(err)
+		}
+		m.Attach(tk, Region{Addr: a, Len: 16 * pg})
+		if err := m.MoveThread(tk, 13); err != nil { // node 3
+			t.Fatal(err)
+		}
+		// Sync: pages already moved, no touch needed.
+		if n := tk.GetNode(a + 9*pg); n != 3 {
+			t.Fatalf("sync move left page on %d", n)
+		}
+	})
+	if m.SyncPages != 16 || m.ThreadMoves != 1 {
+		t.Fatalf("stats: %+v", m)
+	}
+}
+
+func TestManagerLazyKernelMode(t *testing.T) {
+	h := newHarness(false)
+	m := NewManager(h.proc, LazyKernel, true)
+	h.run(t, 0, func(tk *kern.Task) {
+		a, _ := tk.Mmap(16*pg, vm.ProtRW, vm.Bind(0), 0, "ws")
+		if _, err := tk.FaultIn(a, 16*pg, true); err != nil {
+			t.Fatal(err)
+		}
+		m.Attach(tk, Region{Addr: a, Len: 16 * pg})
+		if err := m.MoveThread(tk, 13); err != nil {
+			t.Fatal(err)
+		}
+		// Lazy: nothing moved yet.
+		if n := tk.GetNode(a); n != 0 {
+			t.Fatalf("lazy mode moved eagerly to %d", n)
+		}
+		// Touch half: only touched pages migrate; untouched never move
+		// ("no useless migration", §3.4).
+		if err := tk.AccessRange(a, 8*pg, kern.Stream, false); err != nil {
+			t.Fatal(err)
+		}
+		if n := tk.GetNode(a); n != 3 {
+			t.Fatalf("touched page on %d", n)
+		}
+		if n := tk.GetNode(a + 12*pg); n != 0 {
+			t.Fatalf("untouched page moved to %d", n)
+		}
+	})
+	if h.k.Stats.NTMigrations != 8 {
+		t.Fatalf("nt migrations = %d, want 8", h.k.Stats.NTMigrations)
+	}
+}
+
+func TestManagerLazyUserMode(t *testing.T) {
+	h := newHarness(false)
+	m := NewManager(h.proc, LazyUser, true)
+	h.run(t, 0, func(tk *kern.Task) {
+		a, _ := tk.Mmap(16*pg, vm.ProtRW, vm.Bind(0), 0, "ws")
+		if _, err := tk.FaultIn(a, 16*pg, true); err != nil {
+			t.Fatal(err)
+		}
+		m.Attach(tk, Region{Addr: a, Len: 16 * pg})
+		if err := m.MoveThread(tk, 13); err != nil {
+			t.Fatal(err)
+		}
+		if n := tk.GetNode(a); n != 0 {
+			t.Fatalf("lazy-user moved eagerly to %d", n)
+		}
+		// One touch migrates the whole workset.
+		if err := tk.Touch(a+3*pg, false); err != nil {
+			t.Fatal(err)
+		}
+		if tk.GetNode(a) != 3 || tk.GetNode(a+15*pg) != 3 {
+			t.Fatal("user lazy mode did not migrate whole region")
+		}
+	})
+}
+
+func TestManagerSameNodeMoveIsNoop(t *testing.T) {
+	h := newHarness(false)
+	m := NewManager(h.proc, Sync, true)
+	h.run(t, 0, func(tk *kern.Task) {
+		a, _ := tk.Mmap(4*pg, vm.ProtRW, vm.Bind(2), 0, "ws")
+		if _, err := tk.FaultIn(a, 4*pg, true); err != nil {
+			t.Fatal(err)
+		}
+		m.Attach(tk, Region{Addr: a, Len: 4 * pg})
+		if err := m.MoveThread(tk, 1); err != nil { // still node 0
+			t.Fatal(err)
+		}
+		if m.ThreadMoves != 0 {
+			t.Fatal("same-node move counted as migration")
+		}
+		if n := tk.GetNode(a); n != 2 {
+			t.Fatalf("workset moved on same-node thread move: %d", n)
+		}
+	})
+}
+
+func TestModeString(t *testing.T) {
+	if Sync.String() != "sync" || LazyKernel.String() != "lazy-kernel" || LazyUser.String() != "lazy-user" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(99).String() != "invalid" {
+		t.Fatal("invalid mode string")
+	}
+}
+
+func TestRegionHelpers(t *testing.T) {
+	r := Region{Addr: 0x1000, Len: 0x2000}
+	if r.End() != 0x3000 {
+		t.Fatal("End wrong")
+	}
+	if !r.Contains(0x1000) || !r.Contains(0x2fff) || r.Contains(0x3000) || r.Contains(0xfff) {
+		t.Fatal("Contains wrong")
+	}
+}

@@ -1,0 +1,364 @@
+package kern
+
+import (
+	"fmt"
+
+	"numamig/internal/model"
+	"numamig/internal/sim"
+	"numamig/internal/topology"
+	"numamig/internal/vm"
+)
+
+// AccessKind describes the memory access pattern of a bulk access, which
+// determines how strongly remote placement hurts.
+type AccessKind int
+
+// Access kinds.
+const (
+	// Stream is a sequential, prefetch-friendly access; hardware
+	// prefetching hides most of the remote latency, so only a small
+	// penalty applies (the reason BLAS1 never benefits from migration,
+	// §4.5).
+	Stream AccessKind = iota
+	// Blocked is a compute-kernel access with reuse and strides; the
+	// effective remote cost scales with the NUMA factor (1.2-1.4).
+	Blocked
+)
+
+// FaultIn resolves every faulting page in [addr, addr+length): demand
+// allocation for absent pages, batched kernel next-touch migration for
+// marked pages, minor fixups for stale protections, and SIGSEGV delivery
+// for protection violations (which re-runs the scan afterwards, since
+// the user handler typically repairs whole regions). It returns the
+// number of pages that required service.
+func (t *Task) FaultIn(addr vm.Addr, length int64, write bool) (int, error) {
+	k := t.Proc.K
+	sp := t.Proc.Space
+	serviced := 0
+	for round := 0; round < 16; round++ {
+		var segvAt vm.Addr
+		haveSegv := false
+
+		t.Proc.MmapSem.RLock(t.P)
+		first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
+		for cstart := first; cstart < last && !haveSegv; {
+			ci := vm.ChunkIndex(cstart)
+			cend := vm.VPN((ci + 1) * model.PTEChunkPages)
+			if cend > last {
+				cend = last
+			}
+			// Classify pages of this chunk.
+			var ntPages []vm.VPN
+			var absent []vm.VPN
+			var stale []vm.VPN
+			for p := cstart; p < cend; p++ {
+				v := sp.Find(p.Base())
+				if v == nil || !v.Prot.Allows(write) {
+					segvAt = p.Base()
+					haveSegv = true
+					break
+				}
+				pte := sp.PT.Lookup(p)
+				switch {
+				case pte.Allows(write):
+				case !pte.Present():
+					absent = append(absent, p)
+				case pte.Flags&vm.PTENextTouch != 0:
+					ntPages = append(ntPages, p)
+				default:
+					stale = append(stale, p)
+				}
+			}
+			if haveSegv {
+				break
+			}
+			if len(ntPages)+len(absent)+len(stale) > 0 {
+				serviced += len(ntPages) + len(absent) + len(stale)
+				t.serviceChunk(ci, ntPages, absent, stale, write)
+			}
+			cstart = cend
+		}
+		t.Proc.MmapSem.RUnlock()
+
+		if !haveSegv {
+			return serviced, nil
+		}
+		k.Stats.Faults++
+		t.P.Sleep(k.P.FaultBase)
+		if err := t.raiseSegv(segvAt, write); err != nil {
+			return serviced, err
+		}
+		serviced++
+	}
+	return serviced, fmt.Errorf("kern: FaultIn at %#x did not settle", addr)
+}
+
+// serviceChunk handles the classified faulting pages of one PTE chunk
+// with aggregate costs equivalent to per-page fault handling. Caller
+// holds mmap_sem shared.
+func (t *Task) serviceChunk(ci uint64, ntPages, absent, stale []vm.VPN, write bool) {
+	k := t.Proc.K
+	sp := t.Proc.Space
+	cl := t.Proc.chunkLock(ci)
+	cl.Acquire(t.P)
+	defer cl.Release()
+
+	// Minor fixups.
+	if len(stale) > 0 {
+		k.Stats.MinorFaults += uint64(len(stale))
+		t.P.Sleep(sim.Time(len(stale)) * k.P.FaultBase)
+		for _, p := range stale {
+			v := sp.Find(p.Base())
+			sp.PT.Entry(p).SetProt(v.Prot)
+		}
+	}
+	// Demand allocations.
+	if len(absent) > 0 {
+		k.Stats.Faults += uint64(len(absent))
+		k.Stats.DemandAllocs += uint64(len(absent))
+		t.P.Sleep(sim.Time(len(absent)) * (k.P.FaultBase + k.P.DemandZero))
+		for _, p := range absent {
+			v := sp.Find(p.Base())
+			pte := sp.PT.Entry(p)
+			pol := v.Pol
+			if pol.Kind == vm.PolDefault {
+				pol = sp.DefaultPol
+			}
+			pte.Frame = t.allocFrame(pol.Target(p, t.Node()))
+			pte.Flags = vm.PTEPresent | vm.PTEAccessed
+			pte.SetProt(v.Prot)
+		}
+	}
+	// Kernel next-touch migrations, batched.
+	for i := 0; i < len(ntPages); i += k.P.BatchPages {
+		j := i + k.P.BatchPages
+		if j > len(ntPages) {
+			j = len(ntPages)
+		}
+		t.ntMigrateBatch(ntPages[i:j])
+	}
+}
+
+// ntMigrateBatch migrates a batch of next-touch pages to the toucher's
+// node with the same per-page costs as the single-page path, grouping
+// the copies by source node. Caller holds the chunk lock.
+func (t *Task) ntMigrateBatch(pages []vm.VPN) {
+	k := t.Proc.K
+	sp := t.Proc.Space
+	dst := t.Node()
+	defer t.P.PushCat(CatNTCtl)()
+
+	k.Stats.Faults += uint64(len(pages))
+	t.P.Sleep(sim.Time(len(pages)) * k.P.FaultBase)
+
+	var migrating []vm.VPN
+	for _, p := range pages {
+		pte := sp.PT.Lookup(p)
+		if pte.Frame.Node == dst {
+			k.Stats.NTLocalSkips++
+			pte.Flags &^= vm.PTENextTouch
+			t.P.Sleep(k.P.NTFaultCtl / 2)
+			continue
+		}
+		migrating = append(migrating, p)
+	}
+	if len(migrating) == 0 {
+		return
+	}
+	k.lruLock.Acquire(t.P)
+	t.P.Sleep(sim.Time(len(migrating)) * k.P.NTFaultCtlLocked)
+	k.lruLock.Release()
+	t.P.Sleep(sim.Time(len(migrating)) * (k.P.NTFaultCtl - k.P.NTFaultCtlLocked))
+
+	bytesBySrc := map[topology.NodeID]float64{}
+	var order []topology.NodeID
+	for _, p := range migrating {
+		pte := sp.PT.Lookup(p)
+		src := pte.Frame.Node
+		newF := t.allocFrame(dst)
+		if pte.Frame.Data != nil {
+			copy(newF.Data, pte.Frame.Data)
+		}
+		k.Phys.Free(pte.Frame)
+		k.Phys.NoteMigration(newF.Node)
+		k.Stats.NTMigrations++
+		pte.Frame = newF
+		pte.Flags &^= vm.PTENextTouch
+		if _, ok := bytesBySrc[src]; !ok {
+			order = append(order, src)
+		}
+		bytesBySrc[src] += model.PageSize
+	}
+	t.P.InCat(CatNTCopy, func() {
+		for _, src := range order {
+			k.Net.Transfer(t.P, bytesBySrc[src], k.migPath(t.Core, src, dst, false)...)
+		}
+	})
+}
+
+// AccessRange models the application touching every byte of
+// [addr, addr+length) with the given pattern: faults are serviced first
+// (demand paging, next-touch migration, signal handling), then the
+// resident pages generate memory traffic from their home nodes through
+// the interconnect, sharing bandwidth with all concurrent activity.
+func (t *Task) AccessRange(addr vm.Addr, length int64, kind AccessKind, write bool) error {
+	if length <= 0 {
+		return nil
+	}
+	if _, err := t.FaultIn(addr, length, write); err != nil {
+		return err
+	}
+	k := t.Proc.K
+	sp := t.Proc.Space
+	local := t.Node()
+
+	bytesByNode := map[topology.NodeID]float64{}
+	var order []topology.NodeID
+	first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
+	end := addr + vm.Addr(length)
+	sp.PT.ForEach(first, last, func(p vm.VPN, pte *vm.PTE) {
+		pte.Flags |= vm.PTEAccessed
+		if write {
+			pte.Flags |= vm.PTEDirty
+		}
+		// Byte overlap of this page with the range.
+		lo, hi := p.Base(), p.Base()+model.PageSize
+		if lo < addr {
+			lo = addr
+		}
+		if hi > end {
+			hi = end
+		}
+		n := bytesByNode[pte.Frame.Node]
+		if n == 0 {
+			order = append(order, pte.Frame.Node)
+		}
+		bytesByNode[pte.Frame.Node] = n + float64(hi-lo)
+	})
+	for _, node := range order {
+		bytes := bytesByNode[node]
+		penalty := 1.0
+		if node != local {
+			switch kind {
+			case Stream:
+				penalty = k.P.StreamPenalty
+			case Blocked:
+				penalty = k.M.NUMAFactor(local, node) * k.P.BlockedBoost
+			}
+			k.Stats.RemoteBytes += bytes
+		} else {
+			k.Stats.LocalBytes += bytes
+		}
+		k.Net.Transfer(t.P, bytes*penalty, k.userPath(t.Core, node, node)...)
+	}
+	return nil
+}
+
+// Memcpy models a user-space optimized copy of length bytes from src to
+// dst (both resident after fault-in), the baseline curve of Figure 4.
+func (t *Task) Memcpy(dst, src vm.Addr, length int64) error {
+	if _, err := t.FaultIn(src, length, false); err != nil {
+		return err
+	}
+	if _, err := t.FaultIn(dst, length, true); err != nil {
+		return err
+	}
+	k := t.Proc.K
+	srcNode := t.dominantNode(src, length)
+	dstNode := t.dominantNode(dst, length)
+	t.P.Sleep(k.P.SyscallBase) // call overhead / loop warm-up
+	k.Net.Transfer(t.P, float64(length), k.userPath(t.Core, srcNode, dstNode)...)
+	if k.Phys.Backed {
+		t.copyBytes(dst, src, length)
+	}
+	return nil
+}
+
+// dominantNode returns the node holding the most bytes of the range.
+func (t *Task) dominantNode(addr vm.Addr, length int64) topology.NodeID {
+	counts := map[topology.NodeID]int{}
+	sp := t.Proc.Space
+	first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
+	sp.PT.ForEach(first, last, func(_ vm.VPN, pte *vm.PTE) {
+		counts[pte.Frame.Node]++
+	})
+	best, bestN := t.Node(), -1
+	for n := 0; n < t.Proc.K.M.NumNodes(); n++ {
+		if c := counts[topology.NodeID(n)]; c > bestN {
+			best, bestN = topology.NodeID(n), c
+		}
+	}
+	return best
+}
+
+// copyBytes copies real backing bytes between two resident ranges.
+func (t *Task) copyBytes(dst, src vm.Addr, length int64) {
+	for off := int64(0); off < length; {
+		sPte := t.Proc.Space.PT.Lookup(vm.PageOf(src + vm.Addr(off)))
+		dPte := t.Proc.Space.PT.Lookup(vm.PageOf(dst + vm.Addr(off)))
+		sOff := int64((src + vm.Addr(off)) % model.PageSize)
+		dOff := int64((dst + vm.Addr(off)) % model.PageSize)
+		n := model.PageSize - sOff
+		if m := model.PageSize - dOff; m < n {
+			n = m
+		}
+		if rem := length - off; rem < n {
+			n = rem
+		}
+		copy(dPte.Frame.Data[dOff:dOff+n], sPte.Frame.Data[sOff:sOff+n])
+		off += n
+	}
+}
+
+// WriteData stores bytes at addr in the (backed) simulated memory,
+// faulting pages in as needed. Intended for correctness tests.
+func (t *Task) WriteData(addr vm.Addr, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if _, err := t.FaultIn(addr, int64(len(data)), true); err != nil {
+		return err
+	}
+	sp := t.Proc.Space
+	for off := 0; off < len(data); {
+		pte := sp.PT.Lookup(vm.PageOf(addr + vm.Addr(off)))
+		pgOff := int((addr + vm.Addr(off)) % model.PageSize)
+		n := model.PageSize - pgOff
+		if rem := len(data) - off; rem < n {
+			n = rem
+		}
+		if pte.Frame.Data == nil {
+			return fmt.Errorf("kern: WriteData on unbacked memory")
+		}
+		copy(pte.Frame.Data[pgOff:pgOff+n], data[off:off+n])
+		pte.Flags |= vm.PTEDirty
+		off += n
+	}
+	return nil
+}
+
+// ReadData loads length bytes from addr in the (backed) simulated memory.
+func (t *Task) ReadData(addr vm.Addr, length int) ([]byte, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	if _, err := t.FaultIn(addr, int64(length), false); err != nil {
+		return nil, err
+	}
+	sp := t.Proc.Space
+	out := make([]byte, length)
+	for off := 0; off < length; {
+		pte := sp.PT.Lookup(vm.PageOf(addr + vm.Addr(off)))
+		pgOff := int((addr + vm.Addr(off)) % model.PageSize)
+		n := model.PageSize - pgOff
+		if rem := length - off; rem < n {
+			n = rem
+		}
+		if pte.Frame.Data == nil {
+			return nil, fmt.Errorf("kern: ReadData on unbacked memory")
+		}
+		copy(out[off:off+n], pte.Frame.Data[pgOff:pgOff+n])
+		off += n
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package kern
+
+import (
+	"fmt"
+
+	"numamig/internal/mem"
+	"numamig/internal/model"
+	"numamig/internal/topology"
+	"numamig/internal/vm"
+)
+
+// ErrSegv is the simulated equivalent of an unhandled segmentation fault.
+type ErrSegv struct {
+	Addr  vm.Addr
+	Write bool
+}
+
+func (e ErrSegv) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("kern: segmentation fault: %s at %#x", op, e.Addr)
+}
+
+// Touch performs one application access to addr, taking page faults as
+// needed (demand allocation, kernel next-touch migration, SIGSEGV
+// delivery). It is the single-address path; bulk accesses should use
+// AccessRange/FaultIn.
+func (t *Task) Touch(addr vm.Addr, write bool) error {
+	for attempt := 0; attempt < 16; attempt++ {
+		pte := t.Proc.Space.PT.Lookup(vm.PageOf(addr))
+		if pte.Allows(write) {
+			pte.Flags |= vm.PTEAccessed
+			if write {
+				pte.Flags |= vm.PTEDirty
+			}
+			return nil
+		}
+		if err := t.fault(addr, write); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("kern: touch of %#x did not settle after 16 faults", addr)
+}
+
+// fault runs the page-fault handler once for addr. On return either the
+// PTE has been fixed, or a user SIGSEGV handler ran (the access must be
+// retried), or an error is returned.
+func (t *Task) fault(addr vm.Addr, write bool) error {
+	k := t.Proc.K
+	k.Stats.Faults++
+	t.P.Sleep(k.P.FaultBase)
+
+	sp := t.Proc.Space
+	t.Proc.MmapSem.RLock(t.P)
+	v := sp.Find(addr)
+	if v == nil {
+		t.Proc.MmapSem.RUnlock()
+		return t.raiseSegv(addr, write)
+	}
+	if !v.Prot.Allows(write) {
+		t.Proc.MmapSem.RUnlock()
+		return t.raiseSegv(addr, write)
+	}
+
+	vpn := vm.PageOf(addr)
+	cl := t.Proc.chunkLock(vm.ChunkIndex(vpn))
+	cl.Acquire(t.P)
+	pte := sp.PT.Entry(vpn)
+	switch {
+	case pte.Allows(write):
+		// Raced with another thread that already fixed it.
+	case !pte.Present():
+		t.demandAlloc(v, vpn, pte)
+	case pte.Flags&vm.PTENextTouch != 0:
+		t.ntMigrate(vpn, pte)
+	default:
+		// Present but stale permissions (e.g. after mprotect restore):
+		// minor fault, install VMA protection.
+		k.Stats.MinorFaults++
+		pte.SetProt(v.Prot)
+	}
+	cl.Release()
+	t.Proc.MmapSem.RUnlock()
+	return nil
+}
+
+// demandAlloc services a not-present fault: allocate per policy near the
+// toucher (first-touch), zero, map.
+func (t *Task) demandAlloc(v *vm.VMA, vpn vm.VPN, pte *vm.PTE) {
+	k := t.Proc.K
+	k.Stats.DemandAllocs++
+	pol := v.Pol
+	if pol.Kind == vm.PolDefault {
+		pol = t.Proc.Space.DefaultPol
+	}
+	target := pol.Target(vpn, t.Node())
+	f := t.allocFrame(target)
+	t.P.Sleep(k.P.DemandZero)
+	pte.Frame = f
+	pte.Flags = vm.PTEPresent | vm.PTEAccessed
+	pte.SetProt(v.Prot)
+	// Pages populated after a next-touch mark need no mark themselves:
+	// first-touch already places them locally.
+}
+
+// allocFrame allocates a frame on target, falling back to other nodes in
+// distance order when the target is full.
+func (t *Task) allocFrame(target topology.NodeID) *mem.Frame {
+	k := t.Proc.K
+	f, err := k.Phys.Alloc(target)
+	if err == nil {
+		return f
+	}
+	// Fallback: nodes by distance from target.
+	type cand struct {
+		n topology.NodeID
+		d int
+	}
+	var cands []cand
+	for n := 0; n < k.M.NumNodes(); n++ {
+		if topology.NodeID(n) == target {
+			continue
+		}
+		cands = append(cands, cand{topology.NodeID(n), k.M.Dist[target][n]})
+	}
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].d < cands[i].d || (cands[j].d == cands[i].d && cands[j].n < cands[i].n) {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	for _, c := range cands {
+		if f, err := k.Phys.Alloc(c.n); err == nil {
+			return f
+		}
+	}
+	panic("kern: machine out of memory")
+}
+
+// ntMigrate services a Migrate-on-next-touch fault for one page: the
+// paper's kernel next-touch implementation (Fig. 2). Inspired by
+// copy-on-write: allocate on the toucher's node, copy, free the old
+// frame, clear the mark. Caller holds the chunk lock.
+func (t *Task) ntMigrate(vpn vm.VPN, pte *vm.PTE) {
+	k := t.Proc.K
+	src := pte.Frame.Node
+	dst := t.Node()
+	defer t.P.PushCat(CatNTCtl)()
+	if src == dst {
+		// Already local: just restore access.
+		k.Stats.NTLocalSkips++
+		pte.Flags &^= vm.PTENextTouch
+		t.P.Sleep(k.P.NTFaultCtl / 2)
+		return
+	}
+	k.lruLock.Acquire(t.P)
+	t.P.Sleep(k.P.NTFaultCtlLocked)
+	k.lruLock.Release()
+	t.P.Sleep(k.P.NTFaultCtl - k.P.NTFaultCtlLocked)
+	newF := t.allocFrame(dst)
+	t.P.InCat(CatNTCopy, func() {
+		k.Net.Transfer(t.P, model.PageSize, k.migPath(t.Core, src, newF.Node, false)...)
+	})
+	if pte.Frame.Data != nil {
+		copy(newF.Data, pte.Frame.Data)
+	}
+	k.Phys.Free(pte.Frame)
+	k.Phys.NoteMigration(newF.Node)
+	k.Stats.NTMigrations++
+	pte.Frame = newF
+	pte.Flags &^= vm.PTENextTouch
+}
+
+// raiseSegv delivers SIGSEGV to the process handler, or returns ErrSegv
+// if none is installed.
+func (t *Task) raiseSegv(addr vm.Addr, write bool) error {
+	k := t.Proc.K
+	k.Stats.Sigsegvs++
+	if t.Proc.sigHandler == nil {
+		return ErrSegv{Addr: addr, Write: write}
+	}
+	defer t.P.PushCat(CatFaultSignal)()
+	t.P.Sleep(k.P.SignalDeliver)
+	h := t.Proc.sigHandler
+	// The handler runs with default accounting categories of its own.
+	func() {
+		end := t.P.PushCat("")
+		defer end()
+		h(t, SigInfo{Addr: addr, Write: write})
+	}()
+	t.P.Sleep(k.P.SignalReturn)
+	return nil
+}

@@ -1,0 +1,186 @@
+// Package kern simulates the Linux kernel subsystems the paper studies:
+// demand paging, the page-fault handler (including Migrate-on-next-touch),
+// SIGSEGV delivery to user handlers, TLB shootdowns, the migration system
+// calls move_pages (both the quadratic pre-2.6.29 implementation and the
+// paper's linear fix) and migrate_pages, plus madvise/mprotect/mbind/
+// set_mempolicy. Locking (mmap_sem, per-2MB PTE-page locks, a global LRU
+// lock, per-node zone locks) is modelled with DES resources so contention
+// emerges from execution rather than from formulas.
+package kern
+
+import (
+	"fmt"
+
+	"numamig/internal/mem"
+	"numamig/internal/model"
+	"numamig/internal/sim"
+	"numamig/internal/topology"
+	"numamig/internal/vm"
+)
+
+// Accounting categories used in cost breakdowns (Figures 6a/6b).
+const (
+	CatMovePagesCopy = "move_pages copy"
+	CatMovePagesCtl  = "move_pages control"
+	CatNTCopy        = "nt copy page"
+	CatNTCtl         = "nt fault+migration control"
+	CatMadvise       = "madvise"
+	CatMprotectMark  = "mprotect mark"
+	CatMprotectRest  = "mprotect restore"
+	CatFaultSignal   = "page-fault+signal"
+)
+
+// Stats aggregates kernel-wide event counters.
+type Stats struct {
+	Faults         uint64 // page faults taken
+	MinorFaults    uint64 // permission fixups
+	DemandAllocs   uint64 // first-touch allocations
+	NTMigrations   uint64 // pages migrated by kernel next-touch
+	NTLocalSkips   uint64 // next-touch faults already local (no copy)
+	MovePagesCalls uint64
+	MovePagesPages uint64 // pages actually migrated by move_pages
+	MigratePages   uint64 // pages migrated by migrate_pages
+	Sigsegvs       uint64
+	TLBShootdowns  uint64
+	Syscalls       uint64
+	LocalBytes     float64 // application bytes served from local node
+	RemoteBytes    float64 // application bytes served from remote nodes
+}
+
+// Kernel is the simulated operating system instance for one machine.
+type Kernel struct {
+	Eng  *sim.Engine
+	M    *topology.Machine
+	Phys *mem.Phys
+	P    model.Params
+	Net  *sim.Fluid
+
+	// Fluid links modelling the memory system.
+	KernEng  []*sim.Link // per-core kernel copy engine
+	UserEng  []*sim.Link // per-core user-side memory pipe
+	NodeCtrl []*sim.Link // per-node memory controller
+	HT       []*sim.Link // per topology link
+	migChan  map[[3]int32]*sim.Link
+
+	// Global kernel locks.
+	migLock *sim.Resource // serialized migration setup (pagevec drain etc.)
+	lruLock *sim.Resource // global LRU lock
+
+	Stats Stats
+}
+
+// New builds a kernel for the machine with the given parameters. backed
+// selects real byte backing for frames.
+func New(eng *sim.Engine, m *topology.Machine, p model.Params, backed bool) *Kernel {
+	k := &Kernel{
+		Eng:     eng,
+		M:       m,
+		Phys:    mem.NewPhys(m, backed),
+		P:       p,
+		Net:     sim.NewFluid(eng),
+		migChan: map[[3]int32]*sim.Link{},
+		migLock: sim.NewResource(eng, "mig_setup", 1),
+		lruLock: sim.NewResource(eng, "lru_lock", 1),
+	}
+	for c := 0; c < m.NumCores(); c++ {
+		k.KernEng = append(k.KernEng, sim.NewLink(fmt.Sprintf("kcopy%d", c), p.KernCopyRate))
+		k.UserEng = append(k.UserEng, sim.NewLink(fmt.Sprintf("ucopy%d", c), p.UserCopyRate))
+	}
+	for n := 0; n < m.NumNodes(); n++ {
+		k.NodeCtrl = append(k.NodeCtrl, sim.NewLink(fmt.Sprintf("ctrl%d", n), p.NodeCtrlBW))
+	}
+	for _, l := range m.Links {
+		k.HT = append(k.HT, sim.NewLink(fmt.Sprintf("ht%d-%d", l.A, l.B), p.HTLinkBW))
+	}
+	return k
+}
+
+// MigChan returns the page-migration channel between a pair of nodes
+// (order-insensitive), creating it lazily. The sync (move_pages /
+// migrate_pages) and lazy (next-touch fault) paths see different
+// effective capacities on the same physical channel (§4.4, Fig. 7).
+func (k *Kernel) MigChan(a, b topology.NodeID, syncPath bool) *sim.Link {
+	if a > b {
+		a, b = b, a
+	}
+	cls := int32(0)
+	bw := k.P.MigChanBW
+	name := "migchan"
+	if syncPath {
+		cls = 1
+		bw = k.P.MigChanSyncBW
+		name = "migchan-sync"
+	}
+	key := [3]int32{int32(a), int32(b), cls}
+	l := k.migChan[key]
+	if l == nil {
+		l = sim.NewLink(fmt.Sprintf("%s%d-%d", name, a, b), bw)
+		k.migChan[key] = l
+	}
+	return l
+}
+
+// routeLinks returns the fluid links of the HT route between two nodes.
+func (k *Kernel) routeLinks(from, to topology.NodeID) []*sim.Link {
+	ids := k.M.Route(from, to)
+	out := make([]*sim.Link, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, k.HT[id])
+	}
+	return out
+}
+
+// migPath returns the fluid path for a kernel page migration executed on
+// core, moving data src -> dst. syncPath selects the batched
+// move_pages/migrate_pages channel capacity.
+func (k *Kernel) migPath(core topology.CoreID, src, dst topology.NodeID, syncPath bool) []*sim.Link {
+	links := []*sim.Link{k.KernEng[core], k.MigChan(src, dst, syncPath), k.NodeCtrl[src]}
+	if src != dst {
+		links = append(links, k.NodeCtrl[dst])
+	}
+	return links
+}
+
+// userPath returns the fluid path for a user-level copy or stream on
+// core touching data on srcNode (and optionally writing dstNode; pass
+// src==dst for pure streams).
+func (k *Kernel) userPath(core topology.CoreID, src, dst topology.NodeID) []*sim.Link {
+	coreNode := k.M.NodeOf(core)
+	links := []*sim.Link{k.UserEng[core], k.NodeCtrl[src]}
+	if dst != src {
+		links = append(links, k.NodeCtrl[dst])
+	}
+	links = append(links, k.routeLinks(coreNode, src)...)
+	if dst != src && dst != coreNode {
+		links = append(links, k.routeLinks(coreNode, dst)...)
+	}
+	return dedupLinks(links)
+}
+
+func dedupLinks(ls []*sim.Link) []*sim.Link {
+	out := ls[:0]
+	for _, l := range ls {
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// NewProcess creates a process with an empty address space.
+func (k *Kernel) NewProcess(name string) *Process {
+	return &Process{
+		K:          k,
+		Name:       name,
+		Space:      vm.NewSpace(k.Phys),
+		MmapSem:    sim.NewRWLock(k.Eng, name+".mmap_sem"),
+		chunkLocks: map[uint64]*sim.Resource{},
+	}
+}

@@ -1,0 +1,202 @@
+package kern
+
+import (
+	"sort"
+
+	"numamig/internal/model"
+	"numamig/internal/topology"
+	"numamig/internal/vm"
+)
+
+// Rect describes a strided 2D region of the address space, e.g. one
+// matrix block inside a row-major matrix: Rows row segments of RowBytes
+// bytes, consecutive segments Stride bytes apart. The blocked-application
+// drivers use Rect to fault and access whole blocks with aggregate DES
+// costs (equivalent per-page charges, far fewer events).
+type Rect struct {
+	Base     vm.Addr
+	RowBytes int64
+	Stride   int64
+	Rows     int
+}
+
+// Bytes returns the total payload bytes of the rectangle.
+func (r Rect) Bytes() int64 { return r.RowBytes * int64(r.Rows) }
+
+// pages returns the ascending, deduplicated page list covered by the
+// rectangle.
+func (r Rect) pages() []vm.VPN {
+	if r.RowBytes <= 0 || r.Rows <= 0 {
+		return nil
+	}
+	out := make([]vm.VPN, 0, r.Rows*2)
+	var last vm.VPN
+	haveLast := false
+	for row := 0; row < r.Rows; row++ {
+		start := r.Base + vm.Addr(int64(row)*r.Stride)
+		first, lastP := vm.PageOf(start), vm.PageOf(start+vm.Addr(r.RowBytes)-1)
+		for p := first; p <= lastP; p++ {
+			if haveLast && p <= last {
+				continue
+			}
+			out = append(out, p)
+			last = p
+			haveLast = true
+		}
+	}
+	// Strides are normally positive and rows ascending, but guard
+	// against exotic rects.
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out
+}
+
+// FaultInRect resolves all faulting pages of the rectangle (demand
+// allocation, kernel next-touch migration, stale-PTE fixups) with the
+// same batched cost model as FaultIn. Protection violations fall back to
+// the single-address fault path so user next-touch handlers run.
+// Returns the number of serviced pages.
+func (t *Task) FaultInRect(r Rect, write bool) (int, error) {
+	sp := t.Proc.Space
+	pages := r.pages()
+	if len(pages) == 0 {
+		return 0, nil
+	}
+	serviced := 0
+	for round := 0; round < 16; round++ {
+		var segvAt vm.Addr
+		haveSegv := false
+		t.Proc.MmapSem.RLock(t.P)
+		i := 0
+		for i < len(pages) && !haveSegv {
+			ci := vm.ChunkIndex(pages[i])
+			j := i
+			var nt, absent, stale []vm.VPN
+			for ; j < len(pages) && vm.ChunkIndex(pages[j]) == ci; j++ {
+				p := pages[j]
+				v := sp.Find(p.Base())
+				if v == nil || !v.Prot.Allows(write) {
+					segvAt = p.Base()
+					haveSegv = true
+					break
+				}
+				pte := sp.PT.Lookup(p)
+				switch {
+				case pte.Allows(write):
+				case !pte.Present():
+					absent = append(absent, p)
+				case pte.Flags&vm.PTENextTouch != 0:
+					nt = append(nt, p)
+				default:
+					stale = append(stale, p)
+				}
+			}
+			if haveSegv {
+				break
+			}
+			if len(nt)+len(absent)+len(stale) > 0 {
+				serviced += len(nt) + len(absent) + len(stale)
+				t.serviceChunk(ci, nt, absent, stale, write)
+			}
+			i = j
+		}
+		t.Proc.MmapSem.RUnlock()
+		if !haveSegv {
+			return serviced, nil
+		}
+		// Protection violation: run the full single-address fault path
+		// (SIGSEGV delivery) and rescan.
+		if err := t.Touch(segvAt, write); err != nil {
+			return serviced, err
+		}
+		serviced++
+	}
+	return serviced, nil
+}
+
+// TrafficRect charges the memory traffic of reading/writing the
+// rectangle once, based on where its pages currently live. Pages must be
+// resident (call FaultInRect first). Partial pages are accounted
+// proportionally.
+func (t *Task) TrafficRect(r Rect, kind AccessKind, write bool) {
+	t.TrafficRectVolume(r, float64(r.Bytes()), kind, write)
+}
+
+// TrafficRectVolume charges `volume` bytes of traffic distributed over
+// the rectangle's current page placement. Drivers use it to model
+// cache-thrashing kernels whose memory volume exceeds the data footprint
+// (e.g. column-strided DGEMM re-reading its B operand).
+func (t *Task) TrafficRectVolume(r Rect, volume float64, kind AccessKind, write bool) {
+	k := t.Proc.K
+	sp := t.Proc.Space
+	pages := r.pages()
+	if len(pages) == 0 {
+		return
+	}
+	counts := map[topology.NodeID]int{}
+	var order []topology.NodeID
+	resident := 0
+	for _, p := range pages {
+		pte := sp.PT.Lookup(p)
+		if !pte.Present() {
+			continue
+		}
+		resident++
+		if counts[pte.Frame.Node] == 0 {
+			order = append(order, pte.Frame.Node)
+		}
+		counts[pte.Frame.Node]++
+	}
+	if resident == 0 || volume <= 0 {
+		return
+	}
+	perPage := volume / float64(resident)
+	local := t.Node()
+	for _, node := range order {
+		bytes := perPage * float64(counts[node])
+		penalty := 1.0
+		if node != local {
+			switch kind {
+			case Stream:
+				penalty = k.P.StreamPenalty
+			case Blocked:
+				penalty = k.M.NUMAFactor(local, node) * k.P.BlockedBoost
+			}
+			k.Stats.RemoteBytes += bytes
+		} else {
+			k.Stats.LocalBytes += bytes
+		}
+		k.Net.Transfer(t.P, bytes*penalty, k.userPath(t.Core, node, node)...)
+	}
+}
+
+// AccessRect faults the rectangle in and charges its traffic.
+func (t *Task) AccessRect(r Rect, kind AccessKind, write bool) error {
+	if _, err := t.FaultInRect(r, write); err != nil {
+		return err
+	}
+	t.TrafficRect(r, kind, write)
+	return nil
+}
+
+// NodesOfRect returns the per-node resident page counts of a rectangle
+// plus the number of absent pages; drivers use it to cache block
+// placement summaries.
+func (t *Task) NodesOfRect(r Rect) (map[topology.NodeID]int, int) {
+	sp := t.Proc.Space
+	counts := map[topology.NodeID]int{}
+	absent := 0
+	for _, p := range r.pages() {
+		pte := sp.PT.Lookup(p)
+		if !pte.Present() {
+			absent++
+			continue
+		}
+		counts[pte.Frame.Node]++
+	}
+	return counts, absent
+}
+
+// PageSizeBytes re-exports the page size for drivers.
+const PageSizeBytes = model.PageSize

@@ -1,0 +1,106 @@
+package kern
+
+import (
+	"testing"
+
+	"numamig/internal/vm"
+)
+
+func TestRectPagesDedup(t *testing.T) {
+	// 2KB rows with 8KB stride starting mid-page: rows share no pages.
+	r := Rect{Base: 0x10000, RowBytes: 2048, Stride: 8192, Rows: 4}
+	pages := r.pages()
+	if len(pages) != 4 {
+		t.Fatalf("pages = %v", pages)
+	}
+	// 2KB rows, 2KB stride: fully contiguous, rows share pages.
+	r2 := Rect{Base: 0x10000, RowBytes: 2048, Stride: 2048, Rows: 4}
+	if got := len(r2.pages()); got != 2 {
+		t.Fatalf("contiguous rect pages = %d, want 2", got)
+	}
+	// Empty rect.
+	if len((Rect{}).pages()) != 0 {
+		t.Fatal("empty rect has pages")
+	}
+	if (Rect{RowBytes: 100, Rows: 3}).Bytes() != 300 {
+		t.Fatal("Bytes wrong")
+	}
+}
+
+func TestFaultInRectDemandAndNT(t *testing.T) {
+	h := newHarness(false)
+	h.run(t, 0, func(tk *Task) {
+		// 16 rows of 2KB with 16KB stride (like a 512-col block in a
+		// 4096-col float matrix).
+		a, _ := tk.Mmap(16*16384, vm.ProtRW, vm.Bind(0), 0, "m")
+		r := Rect{Base: a, RowBytes: 2048, Stride: 16384, Rows: 16}
+		n, err := tk.FaultInRect(r, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 16 {
+			t.Fatalf("serviced = %d, want 16", n)
+		}
+		// All pages of the rect on node 0.
+		counts, absent := tk.NodesOfRect(r)
+		if absent != 0 || counts[0] != 16 {
+			t.Fatalf("counts = %v absent = %d", counts, absent)
+		}
+		// Mark NT, touch from another node: only rect pages migrate.
+		if _, err := tk.Madvise(a, 16*16384, AdvMigrateOnNextTouch); err != nil {
+			t.Fatal(err)
+		}
+		tk.MigrateTo(13) // node 3
+		if _, err := tk.FaultInRect(r, false); err != nil {
+			t.Fatal(err)
+		}
+		counts, _ = tk.NodesOfRect(r)
+		if counts[3] != 16 {
+			t.Fatalf("after NT: %v", counts)
+		}
+	})
+	if h.k.Stats.NTMigrations != 16 {
+		t.Fatalf("nt migrations = %d", h.k.Stats.NTMigrations)
+	}
+}
+
+func TestAccessRectTrafficSplitsByNode(t *testing.T) {
+	h := newHarness(false)
+	h.run(t, 0, func(tk *Task) {
+		a, _ := tk.Mmap(64*pg, vm.ProtRW, vm.Interleave(0, 1), 0, "m")
+		r := Rect{Base: a, RowBytes: 64 * pg, Stride: 64 * pg, Rows: 1}
+		if err := tk.AccessRect(r, Stream, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if h.k.Stats.LocalBytes != 32*pg || h.k.Stats.RemoteBytes != 32*pg {
+		t.Fatalf("local=%v remote=%v", h.k.Stats.LocalBytes, h.k.Stats.RemoteBytes)
+	}
+}
+
+func TestAccessRectUserNTSegvPath(t *testing.T) {
+	h := newHarness(false)
+	repaired := false
+	h.proc.OnSegv(func(tk *Task, info SigInfo) {
+		repaired = true
+		if err := tk.Mprotect(vm.PageFloor(info.Addr), 64*pg, vm.ProtRW); err != nil {
+			t.Error(err)
+		}
+	})
+	h.run(t, 0, func(tk *Task) {
+		a, _ := tk.Mmap(64*pg, vm.ProtRW, vm.Bind(0), 0, "m")
+		if _, err := tk.FaultIn(a, 64*pg, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := tk.Mprotect(a, 64*pg, vm.ProtNone); err != nil {
+			t.Fatal(err)
+		}
+		r := Rect{Base: a, RowBytes: 4096, Stride: 4096, Rows: 64}
+		if _, err := tk.FaultInRect(r, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !repaired {
+		t.Fatal("segv handler never ran through rect path")
+	}
+}

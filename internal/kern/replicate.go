@@ -1,0 +1,230 @@
+package kern
+
+import (
+	"fmt"
+
+	"numamig/internal/mem"
+	"numamig/internal/model"
+	"numamig/internal/sim"
+	"numamig/internal/topology"
+	"numamig/internal/vm"
+)
+
+// Read-only page replication is the second future-work item of §6
+// ("replicating read-only pages among NUMA nodes so as to achieve local
+// access performance from anywhere"). Replicated pages keep their home
+// frame plus one copy per other node; reads are served from the reader's
+// local copy. A write collapses the replica set back to a single frame
+// (the writer's node), like a COW break.
+
+// ReplicaStats counts replication activity.
+type ReplicaStats struct {
+	PagesReplicated uint64 // page-copies created
+	Collapses       uint64 // replica sets torn down by writes
+	LocalReads      uint64 // page-reads served by a replica
+}
+
+// replicaSet tracks the per-node copies of one page.
+type replicaSet struct {
+	frames []*mem.Frame // index = node id; nil where absent
+}
+
+// Replicas returns the process's replica statistics.
+func (pr *Process) Replicas() ReplicaStats { return pr.replicaStats }
+
+// replicaFor returns the frame to read page v from, preferring a copy
+// local to node.
+func (pr *Process) replicaFor(v vm.VPN, node topology.NodeID) *mem.Frame {
+	rs, ok := pr.replicas[v]
+	if !ok {
+		return nil
+	}
+	if f := rs.frames[node]; f != nil {
+		return f
+	}
+	return nil
+}
+
+// ReplicateRange creates read-only replicas of every resident page of
+// [addr, addr+length) on every node. The pages are write-protected; the
+// next write collapses the replicas. Returns the number of page-copies
+// created.
+func (t *Task) ReplicateRange(addr vm.Addr, length int64) (int, error) {
+	k := t.Proc.K
+	pr := t.Proc
+	sp := pr.Space
+	if sp.Find(addr) == nil {
+		return 0, fmt.Errorf("kern: replicate of unmapped address %#x", addr)
+	}
+	k.Stats.Syscalls++
+	t.P.Sleep(k.P.SyscallBase + k.P.MadviseBase)
+	pr.MmapSem.RLock(t.P)
+	defer pr.MmapSem.RUnlock()
+	if pr.replicas == nil {
+		pr.replicas = map[vm.VPN]*replicaSet{}
+	}
+
+	created := 0
+	first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
+	var copies []vm.VPN
+	sp.PT.ForEach(first, last, func(p vm.VPN, pte *vm.PTE) {
+		if _, done := pr.replicas[p]; done {
+			return
+		}
+		copies = append(copies, p)
+	})
+	// Copy costs, batched per chunk like the migration paths.
+	for i := 0; i < len(copies); i += k.P.BatchPages {
+		j := i + k.P.BatchPages
+		if j > len(copies) {
+			j = len(copies)
+		}
+		batch := copies[i:j]
+		cl := pr.chunkLock(vm.ChunkIndex(batch[0]))
+		cl.Acquire(t.P)
+		for _, p := range batch {
+			pte := sp.PT.Lookup(p)
+			home := pte.Frame.Node
+			rs := &replicaSet{frames: make([]*mem.Frame, k.M.NumNodes())}
+			rs.frames[home] = pte.Frame
+			for n := 0; n < k.M.NumNodes(); n++ {
+				node := topology.NodeID(n)
+				if node == home {
+					continue
+				}
+				f := t.allocFrame(node)
+				if pte.Frame.Data != nil {
+					copy(f.Data, pte.Frame.Data)
+				}
+				rs.frames[node] = f
+				pr.replicaStats.PagesReplicated++
+				created++
+			}
+			pr.replicas[p] = rs
+			// Write-protect so stores fault and collapse.
+			pte.Flags &^= vm.PTEWrite
+		}
+		cl.Release()
+		// One bulk copy per destination node through the migration
+		// channels.
+		pte := sp.PT.Lookup(batch[0])
+		home := pte.Frame.Node
+		for n := 0; n < k.M.NumNodes(); n++ {
+			if topology.NodeID(n) == home {
+				continue
+			}
+			k.Net.Transfer(t.P, float64(len(batch))*model.PageSize,
+				k.migPath(t.Core, home, topology.NodeID(n), false)...)
+		}
+		t.P.Sleep(sim.Time(len(batch)) * k.P.NTFaultCtl)
+	}
+	t.tlbShootdown()
+	return created, nil
+}
+
+// CollapseReplicas tears down the replica set of the page containing
+// addr, keeping the copy on keep (typically the writer's node) and
+// restoring write permission. Called from the write-fault path.
+func (pr *Process) collapseReplicas(t *Task, p vm.VPN, keep topology.NodeID) {
+	rs, ok := pr.replicas[p]
+	if !ok {
+		return
+	}
+	k := pr.K
+	kept := rs.frames[keep]
+	if kept == nil {
+		// No local copy: keep the home frame.
+		for _, f := range rs.frames {
+			if f != nil {
+				kept = f
+				break
+			}
+		}
+	}
+	for _, f := range rs.frames {
+		if f != nil && f != kept {
+			k.Phys.Free(f)
+		}
+	}
+	delete(pr.replicas, p)
+	pte := pr.Space.PT.Lookup(p)
+	pte.Frame = kept
+	v := pr.Space.Find(p.Base())
+	if v != nil {
+		pte.SetProt(v.Prot)
+	}
+	pr.replicaStats.Collapses++
+}
+
+// ReadReplicated performs a read of [addr, addr+length) that serves
+// replicated pages from the local copy (no remote traffic for them).
+// Non-replicated pages fall back to their home node as in AccessRange.
+func (t *Task) ReadReplicated(addr vm.Addr, length int64, kind AccessKind) error {
+	if length <= 0 {
+		return nil
+	}
+	k := t.Proc.K
+	pr := t.Proc
+	sp := pr.Space
+	if _, err := t.FaultIn(addr, length, false); err != nil {
+		return err
+	}
+	local := t.Node()
+	bytesByNode := map[topology.NodeID]float64{}
+	var order []topology.NodeID
+	first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
+	end := addr + vm.Addr(length)
+	sp.PT.ForEach(first, last, func(p vm.VPN, pte *vm.PTE) {
+		node := pte.Frame.Node
+		if f := pr.replicaFor(p, local); f != nil {
+			node = local
+			pr.replicaStats.LocalReads++
+		}
+		lo, hi := p.Base(), p.Base()+model.PageSize
+		if lo < addr {
+			lo = addr
+		}
+		if hi > end {
+			hi = end
+		}
+		if bytesByNode[node] == 0 {
+			order = append(order, node)
+		}
+		bytesByNode[node] += float64(hi - lo)
+	})
+	for _, node := range order {
+		bytes := bytesByNode[node]
+		penalty := 1.0
+		if node != local {
+			switch kind {
+			case Stream:
+				penalty = k.P.StreamPenalty
+			case Blocked:
+				penalty = k.M.NUMAFactor(local, node) * k.P.BlockedBoost
+			}
+			k.Stats.RemoteBytes += bytes
+		} else {
+			k.Stats.LocalBytes += bytes
+		}
+		k.Net.Transfer(t.P, bytes*penalty, k.userPath(t.Core, node, node)...)
+	}
+	return nil
+}
+
+// WriteReplicated performs a write to one page, collapsing its replica
+// set first (the COW-style break).
+func (t *Task) WriteReplicated(addr vm.Addr) error {
+	pr := t.Proc
+	p := vm.PageOf(addr)
+	if _, ok := pr.replicas[p]; ok {
+		k := pr.K
+		k.Stats.Faults++
+		t.P.Sleep(k.P.FaultBase + k.P.NTFaultCtl)
+		cl := pr.chunkLock(vm.ChunkIndex(p))
+		cl.Acquire(t.P)
+		pr.collapseReplicas(t, p, t.Node())
+		cl.Release()
+		t.tlbShootdown()
+	}
+	return t.Touch(addr, true)
+}

@@ -1,0 +1,456 @@
+package kern
+
+import (
+	"fmt"
+
+	"numamig/internal/model"
+	"numamig/internal/sim"
+	"numamig/internal/topology"
+	"numamig/internal/vm"
+)
+
+// Advice values for Madvise.
+type Advice int
+
+// Supported madvise advice.
+const (
+	// AdvMigrateOnNextTouch is the paper's new madvise parameter: mark
+	// the range Migrate-on-next-touch. The kernel strips access bits
+	// from present PTEs so the next touch faults and migrates the page
+	// to the toucher's node (§3.3).
+	AdvMigrateOnNextTouch Advice = iota
+	// AdvNormal clears the next-touch mark.
+	AdvNormal
+)
+
+// Page-status codes returned by MovePages, mirroring Linux.
+const (
+	StatusNoEnt = -2 // page not present (-ENOENT)
+)
+
+// Mmap creates an anonymous mapping.
+func (t *Task) Mmap(length int64, prot vm.Prot, pol vm.Policy, flags vm.VMAFlags, label string) (vm.Addr, error) {
+	k := t.Proc.K
+	k.Stats.Syscalls++
+	t.P.Sleep(k.P.SyscallBase + k.P.MmapBase)
+	t.Proc.MmapSem.Lock(t.P)
+	defer t.Proc.MmapSem.Unlock()
+	return t.Proc.Space.Map(length, prot, pol, flags, label)
+}
+
+// Munmap removes a mapping.
+func (t *Task) Munmap(addr vm.Addr, length int64) error {
+	k := t.Proc.K
+	k.Stats.Syscalls++
+	t.P.Sleep(k.P.SyscallBase + k.P.MmapBase)
+	t.Proc.MmapSem.Lock(t.P)
+	defer t.Proc.MmapSem.Unlock()
+	if err := t.Proc.Space.Unmap(addr, length); err != nil {
+		return err
+	}
+	t.tlbShootdown()
+	return nil
+}
+
+// Mprotect changes protection of [addr, addr+length): updates the VMAs
+// and strips now-forbidden hardware bits from present PTEs, then flushes
+// TLBs. Used by the user-space next-touch implementation (§3.2).
+func (t *Task) Mprotect(addr vm.Addr, length int64, prot vm.Prot) error {
+	k := t.Proc.K
+	k.Stats.Syscalls++
+	t.P.Sleep(k.P.SyscallBase + k.P.MprotectBase)
+	t.Proc.MmapSem.Lock(t.P)
+	defer t.Proc.MmapSem.Unlock()
+	end := vm.PageCeil(addr + vm.Addr(length))
+	if err := t.Proc.Space.Apply(vm.PageFloor(addr), end, func(v *vm.VMA) {
+		v.Prot = prot
+	}); err != nil {
+		return err
+	}
+	first, last := vm.PageOf(addr), vm.PageOf(end-1)+1
+	n := 0
+	t.Proc.Space.PT.ForEach(first, last, func(_ vm.VPN, pte *vm.PTE) {
+		pte.SetProt(prot)
+		n++
+	})
+	t.P.Sleep(sim.Time(n) * k.P.MprotectPage)
+	t.tlbShootdown()
+	return nil
+}
+
+// Madvise applies advice to [addr, addr+length). For
+// AdvMigrateOnNextTouch it sets the next-touch PTE bit on present pages
+// and removes their access bits (they will fault on next touch); the TLB
+// is flushed once (§3.3).
+func (t *Task) Madvise(addr vm.Addr, length int64, adv Advice) (int, error) {
+	k := t.Proc.K
+	k.Stats.Syscalls++
+	defer t.P.PushCat(CatMadvise)()
+	t.P.Sleep(k.P.SyscallBase + k.P.MadviseBase)
+	t.Proc.MmapSem.RLock(t.P)
+	defer t.Proc.MmapSem.RUnlock()
+	if t.Proc.Space.Find(addr) == nil {
+		return 0, fmt.Errorf("kern: madvise on unmapped address %#x", addr)
+	}
+	first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
+	n := 0
+	t.Proc.Space.PT.ForEach(first, last, func(_ vm.VPN, pte *vm.PTE) {
+		switch adv {
+		case AdvMigrateOnNextTouch:
+			pte.Flags |= vm.PTENextTouch
+		case AdvNormal:
+			pte.Flags &^= vm.PTENextTouch
+		}
+		n++
+	})
+	t.P.Sleep(sim.Time(n) * k.P.MadvisePage)
+	t.tlbShootdown()
+	return n, nil
+}
+
+// SetMempolicy sets the process default policy.
+func (t *Task) SetMempolicy(pol vm.Policy) {
+	k := t.Proc.K
+	k.Stats.Syscalls++
+	t.P.Sleep(k.P.SyscallBase)
+	t.Proc.Space.DefaultPol = pol
+}
+
+// GetMempolicy returns the process default policy.
+func (t *Task) GetMempolicy() vm.Policy {
+	t.Proc.K.Stats.Syscalls++
+	t.P.Sleep(t.Proc.K.P.SyscallBase)
+	return t.Proc.Space.DefaultPol
+}
+
+// GetVMAPolicy returns the policy of the mapping containing addr.
+func (t *Task) GetVMAPolicy(addr vm.Addr) (vm.Policy, error) {
+	t.Proc.K.Stats.Syscalls++
+	t.P.Sleep(t.Proc.K.P.SyscallBase)
+	v := t.Proc.Space.Find(addr)
+	if v == nil {
+		return vm.Policy{}, fmt.Errorf("kern: get_mempolicy on unmapped address %#x", addr)
+	}
+	return v.Pol, nil
+}
+
+// MbindFlags modify Mbind behaviour, mirroring MPOL_MF_* flags.
+type MbindFlags uint8
+
+// Mbind flags.
+const (
+	// MbindMove migrates already-allocated pages that violate the new
+	// policy (MPOL_MF_MOVE).
+	MbindMove MbindFlags = 1 << iota
+)
+
+// Mbind sets the policy of an address range. With MbindMove, pages that
+// no longer satisfy the policy are migrated immediately (through the
+// same batched path as move_pages).
+func (t *Task) Mbind(addr vm.Addr, length int64, pol vm.Policy, flags ...MbindFlags) error {
+	k := t.Proc.K
+	k.Stats.Syscalls++
+	t.P.Sleep(k.P.SyscallBase + k.P.MmapBase)
+	var fl MbindFlags
+	for _, f := range flags {
+		fl |= f
+	}
+	t.Proc.MmapSem.Lock(t.P)
+	err := t.Proc.Space.Apply(vm.PageFloor(addr), vm.PageCeil(addr+vm.Addr(length)), func(v *vm.VMA) {
+		v.Pol = pol
+	})
+	t.Proc.MmapSem.Unlock()
+	if err != nil || fl&MbindMove == 0 {
+		return err
+	}
+	// MPOL_MF_MOVE: collect misplaced pages, then migrate them.
+	var addrs []vm.Addr
+	var nodes []topology.NodeID
+	first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
+	t.Proc.Space.PT.ForEach(first, last, func(p vm.VPN, pte *vm.PTE) {
+		want := pol.Target(p, t.Node())
+		if pte.Frame.Node != want {
+			addrs = append(addrs, p.Base())
+			nodes = append(nodes, want)
+		}
+	})
+	if len(addrs) == 0 {
+		return nil
+	}
+	_, err = t.MovePages(addrs, nodes, true)
+	return err
+}
+
+// QueryPages is move_pages' query mode (nodes == NULL in Linux): it
+// returns the node of each page without migrating, or StatusNoEnt for
+// absent pages.
+func (t *Task) QueryPages(addrs []vm.Addr) []int {
+	k := t.Proc.K
+	k.Stats.Syscalls++
+	t.P.Sleep(k.P.SyscallBase)
+	t.Proc.MmapSem.RLock(t.P)
+	defer t.Proc.MmapSem.RUnlock()
+	status := make([]int, len(addrs))
+	var n int
+	for i, a := range addrs {
+		pte := t.Proc.Space.PT.Lookup(vm.PageOf(a))
+		if !pte.Present() {
+			status[i] = StatusNoEnt
+			continue
+		}
+		status[i] = int(pte.Frame.Node)
+		n++
+	}
+	// Page-table walk cost, no locking beyond mmap_sem.
+	t.P.Sleep(sim.Time(len(addrs)) * k.P.MadvisePage)
+	return status
+}
+
+// GetNode returns the NUMA node of the page backing addr, or -1 if not
+// present (the move_pages query mode, nodes == nil).
+func (t *Task) GetNode(addr vm.Addr) int {
+	pte := t.Proc.Space.PT.Lookup(vm.PageOf(addr))
+	if !pte.Present() {
+		return -1
+	}
+	return int(pte.Frame.Node)
+}
+
+// MovePages is the move_pages(2) system call: migrate the pages holding
+// addrs[i] to nodes[i]. patched selects the paper's linear
+// implementation; !patched reproduces the pre-2.6.29 quadratic behaviour
+// (a linear scan of the whole destination-node array for every page).
+// The returned status slice holds, per page, the resulting node or a
+// negative errno-style code.
+func (t *Task) MovePages(addrs []vm.Addr, nodes []topology.NodeID, patched bool) ([]int, error) {
+	k := t.Proc.K
+	if len(addrs) != len(nodes) {
+		return nil, fmt.Errorf("kern: move_pages: %d addrs vs %d nodes", len(addrs), len(nodes))
+	}
+	k.Stats.Syscalls++
+	k.Stats.MovePagesCalls++
+	status := make([]int, len(addrs))
+
+	defer t.P.PushCat(CatMovePagesCtl)()
+	t.P.Sleep(k.P.SyscallBase)
+	// Serialized setup: task lookup, per-CPU pagevec drains. This is the
+	// dominant fixed cost (~160us) and does not parallelize (§4.2, §4.4).
+	k.migLock.Acquire(t.P)
+	t.P.Sleep(k.P.MovePagesBaseLocked)
+	k.migLock.Release()
+	t.P.Sleep(k.P.MovePagesBase - k.P.MovePagesBaseLocked)
+
+	t.Proc.MmapSem.RLock(t.P)
+	defer t.Proc.MmapSem.RUnlock()
+
+	// Process in batches bounded by the PTE-chunk (lock) granularity.
+	i := 0
+	for i < len(addrs) {
+		// Batch: consecutive entries within one PTE chunk.
+		ci := vm.ChunkIndex(vm.PageOf(addrs[i]))
+		j := i + 1
+		for j < len(addrs) && j-i < k.P.BatchPages && vm.ChunkIndex(vm.PageOf(addrs[j])) == ci {
+			j++
+		}
+		t.movePagesBatch(addrs[i:j], nodes[i:j], status[i:j], ci, patched, len(nodes))
+		i = j
+	}
+	t.tlbShootdown()
+	return status, nil
+}
+
+// movePagesBatch migrates one batch of pages sharing a PTE chunk.
+// Control costs are charged under the chunk and LRU locks; copies go
+// through the migration channel afterwards, grouped by (src, dst).
+func (t *Task) movePagesBatch(addrs []vm.Addr, nodes []topology.NodeID, status []int, ci uint64, patched bool, totalEntries int) {
+	k := t.Proc.K
+	sp := t.Proc.Space
+	if !patched {
+		// The quadratic bug: for every page, scan the entire
+		// destination-node array.
+		t.P.Sleep(sim.Time(len(addrs)) * sim.Time(totalEntries) * k.P.UnpatchedScanEntry)
+	}
+
+	cl := t.Proc.chunkLock(ci)
+	cl.Acquire(t.P)
+
+	type migOp struct {
+		pte *vm.PTE
+		dst topology.NodeID
+	}
+	var ops []migOp
+	for x, a := range addrs {
+		pte := sp.PT.Lookup(vm.PageOf(a))
+		if !pte.Present() {
+			status[x] = StatusNoEnt
+			continue
+		}
+		if pte.Frame.Node == nodes[x] {
+			status[x] = int(nodes[x])
+			continue
+		}
+		ops = append(ops, migOp{pte: pte, dst: nodes[x]})
+		status[x] = int(nodes[x])
+	}
+	// Control: page isolation, PTE updates. Partially under the global
+	// LRU lock — the serialized fraction that limits threaded scaling.
+	k.lruLock.Acquire(t.P)
+	t.P.Sleep(sim.Time(len(addrs)) * k.P.MovePagesCtlLocked)
+	k.lruLock.Release()
+	t.P.Sleep(sim.Time(len(addrs)) * (k.P.MovePagesCtl - k.P.MovePagesCtlLocked))
+
+	// Allocate destinations and update PTEs while the chunk is locked.
+	type copyGroup struct {
+		src, dst topology.NodeID
+		bytes    float64
+	}
+	groups := map[[2]topology.NodeID]*copyGroup{}
+	var order [][2]topology.NodeID
+	for _, op := range ops {
+		src := op.pte.Frame.Node
+		newF := t.allocFrame(op.dst)
+		if op.pte.Frame.Data != nil {
+			copy(newF.Data, op.pte.Frame.Data)
+		}
+		k.Phys.Free(op.pte.Frame)
+		k.Phys.NoteMigration(newF.Node)
+		k.Stats.MovePagesPages++
+		op.pte.Frame = newF
+		key := [2]topology.NodeID{src, newF.Node}
+		g := groups[key]
+		if g == nil {
+			g = &copyGroup{src: src, dst: newF.Node}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.bytes += model.PageSize
+	}
+	cl.Release()
+
+	// Data copies: outside the PTE lock, through the migration channel.
+	t.P.InCat(CatMovePagesCopy, func() {
+		for _, key := range order {
+			g := groups[key]
+			k.Net.Transfer(t.P, g.bytes, k.migPath(t.Core, g.src, g.dst, true)...)
+		}
+	})
+}
+
+// MovePagesTo migrates every page of [addr, addr+length) to one node:
+// the common pattern of the user-space next-touch handler.
+func (t *Task) MovePagesTo(addr vm.Addr, length int64, node topology.NodeID, patched bool) ([]int, error) {
+	n := vm.PagesIn(addr, length)
+	addrs := make([]vm.Addr, n)
+	nodes := make([]topology.NodeID, n)
+	base := vm.PageOf(addr)
+	for i := 0; i < n; i++ {
+		addrs[i] = (base + vm.VPN(i)).Base()
+		nodes[i] = node
+	}
+	return t.MovePages(addrs, nodes, patched)
+}
+
+// MigratePages is the migrate_pages(2) system call: move every page of
+// the whole process that resides on a node in from to the corresponding
+// node in to. The address space is traversed in order, which locks less
+// per page than move_pages' arbitrary page sets (§4.2).
+func (t *Task) MigratePages(from, to []topology.NodeID) (int, error) {
+	k := t.Proc.K
+	if len(from) != len(to) {
+		return 0, fmt.Errorf("kern: migrate_pages: mask sizes differ")
+	}
+	k.Stats.Syscalls++
+	dst := map[topology.NodeID]topology.NodeID{}
+	for i := range from {
+		dst[from[i]] = to[i]
+	}
+
+	defer t.P.PushCat(CatMovePagesCtl)()
+	t.P.Sleep(k.P.SyscallBase)
+	k.migLock.Acquire(t.P)
+	t.P.Sleep(k.P.MigratePagesBase)
+	k.migLock.Release()
+
+	t.Proc.MmapSem.RLock(t.P)
+	defer t.Proc.MmapSem.RUnlock()
+
+	moved := 0
+	for _, v := range t.Proc.Space.VMAs() {
+		first, last := vm.PageOf(v.Start), vm.PageOf(v.End-1)+1
+		// Collect per chunk, then process batch-wise.
+		var batch []vm.VPN
+		var batchChunk uint64
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			t.migratePagesBatch(batch, batchChunk, dst)
+			moved += len(batch)
+			batch = batch[:0]
+		}
+		t.Proc.Space.PT.ForEach(first, last, func(p vm.VPN, pte *vm.PTE) {
+			d, ok := dst[pte.Frame.Node]
+			if !ok || d == pte.Frame.Node {
+				return
+			}
+			ci := vm.ChunkIndex(p)
+			if len(batch) > 0 && (ci != batchChunk || len(batch) >= k.P.BatchPages) {
+				flush()
+			}
+			batchChunk = ci
+			batch = append(batch, p)
+		})
+		flush()
+	}
+	t.tlbShootdown()
+	k.Stats.MigratePages += uint64(moved)
+	return moved, nil
+}
+
+func (t *Task) migratePagesBatch(vpns []vm.VPN, ci uint64, dst map[topology.NodeID]topology.NodeID) {
+	k := t.Proc.K
+	sp := t.Proc.Space
+	cl := t.Proc.chunkLock(ci)
+	cl.Acquire(t.P)
+	k.lruLock.Acquire(t.P)
+	t.P.Sleep(sim.Time(len(vpns)) * k.P.MigratePagesCtlLocked)
+	k.lruLock.Release()
+	t.P.Sleep(sim.Time(len(vpns)) * (k.P.MigratePagesCtl - k.P.MigratePagesCtlLocked))
+
+	type copyGroup struct{ bytes float64 }
+	groups := map[[2]topology.NodeID]*copyGroup{}
+	var order [][2]topology.NodeID
+	for _, p := range vpns {
+		pte := sp.PT.Lookup(p)
+		if !pte.Present() {
+			continue
+		}
+		src := pte.Frame.Node
+		d, ok := dst[src]
+		if !ok || d == src {
+			continue
+		}
+		newF := t.allocFrame(d)
+		if pte.Frame.Data != nil {
+			copy(newF.Data, pte.Frame.Data)
+		}
+		k.Phys.Free(pte.Frame)
+		k.Phys.NoteMigration(newF.Node)
+		pte.Frame = newF
+		key := [2]topology.NodeID{src, newF.Node}
+		g := groups[key]
+		if g == nil {
+			g = &copyGroup{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.bytes += model.PageSize
+	}
+	cl.Release()
+	t.P.InCat(CatMovePagesCopy, func() {
+		for _, key := range order {
+			g := groups[key]
+			k.Net.Transfer(t.P, g.bytes, k.migPath(t.Core, key[0], key[1], true)...)
+		}
+	})
+}

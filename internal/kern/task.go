@@ -1,0 +1,122 @@
+package kern
+
+import (
+	"fmt"
+
+	"numamig/internal/sim"
+	"numamig/internal/topology"
+	"numamig/internal/vm"
+)
+
+// SigInfo describes a delivered SIGSEGV.
+type SigInfo struct {
+	Addr  vm.Addr
+	Write bool
+}
+
+// SigHandler is a user-registered segmentation-fault handler. It runs in
+// the faulting task's context; on return the faulting access is retried.
+type SigHandler func(t *Task, info SigInfo)
+
+// Process is a simulated user process: one address space shared by its
+// tasks (threads).
+type Process struct {
+	K       *Kernel
+	Name    string
+	Space   *vm.Space
+	MmapSem *sim.RWLock
+
+	chunkLocks map[uint64]*sim.Resource
+	sigHandler SigHandler
+	tasks      []*Task
+	nextTID    int
+
+	// Read-only replication state (the §6 extension; see replicate.go).
+	replicas     map[vm.VPN]*replicaSet
+	replicaStats ReplicaStats
+}
+
+// OnSegv installs the process SIGSEGV handler (nil uninstalls).
+func (pr *Process) OnSegv(h SigHandler) { pr.sigHandler = h }
+
+// NumThreads returns the number of live tasks.
+func (pr *Process) NumThreads() int { return len(pr.tasks) }
+
+// chunkLock returns the PTE lock covering the 2 MiB page-table chunk.
+func (pr *Process) chunkLock(ci uint64) *sim.Resource {
+	l := pr.chunkLocks[ci]
+	if l == nil {
+		l = sim.NewResource(pr.K.Eng, fmt.Sprintf("%s.ptl%d", pr.Name, ci), 1)
+		pr.chunkLocks[ci] = l
+	}
+	return l
+}
+
+// Task is one thread of a process, bound to a core.
+type Task struct {
+	P    *sim.Proc
+	Proc *Process
+	TID  int
+	Core topology.CoreID
+}
+
+// Spawn starts a new thread on the given core running fn. The thread is
+// registered for TLB-shootdown accounting until fn returns.
+func (pr *Process) Spawn(name string, core topology.CoreID, fn func(t *Task)) *Task {
+	pr.nextTID++
+	t := &Task{Proc: pr, TID: pr.nextTID, Core: core}
+	pr.tasks = append(pr.tasks, t)
+	pr.K.Eng.Spawn(name, func(p *sim.Proc) {
+		t.P = p
+		defer pr.removeTask(t)
+		fn(t)
+	})
+	return t
+}
+
+// Adopt binds an existing sim proc as a thread of the process; used when
+// the caller manages proc lifetime itself. Release with removeTask via
+// the returned func.
+func (pr *Process) Adopt(p *sim.Proc, core topology.CoreID) (*Task, func()) {
+	pr.nextTID++
+	t := &Task{P: p, Proc: pr, TID: pr.nextTID, Core: core}
+	pr.tasks = append(pr.tasks, t)
+	return t, func() { pr.removeTask(t) }
+}
+
+func (pr *Process) removeTask(t *Task) {
+	for i, x := range pr.tasks {
+		if x == t {
+			pr.tasks = append(pr.tasks[:i], pr.tasks[i+1:]...)
+			return
+		}
+	}
+}
+
+// Node returns the NUMA node of the task's current core.
+func (t *Task) Node() topology.NodeID { return t.Proc.K.M.NodeOf(t.Core) }
+
+// K returns the kernel.
+func (t *Task) K() *Kernel { return t.Proc.K }
+
+// MigrateTo moves the thread to another core (scheduler decision),
+// charging a context-switch cost.
+func (t *Task) MigrateTo(core topology.CoreID) {
+	if core == t.Core {
+		return
+	}
+	t.P.Sleep(t.Proc.K.P.CtxSwitch)
+	t.Core = core
+}
+
+// tlbShootdown charges a TLB flush across all cores running this
+// process's threads.
+func (t *Task) tlbShootdown() {
+	k := t.Proc.K
+	k.Stats.TLBShootdowns++
+	others := len(t.Proc.tasks) - 1
+	if others < 0 {
+		others = 0
+	}
+	t.P.Sleep(k.P.TLBShootBase + sim.Time(others)*k.P.TLBShootCore)
+}

@@ -1,0 +1,247 @@
+// Package linalg implements the real (non-simulated) numerical kernels
+// the paper's applications use: dense matrices, DGEMM, DAXPY and a
+// right-looking blocked LU factorization. These validate that the
+// access-pattern drivers in package workload walk the same block
+// structure a real LU walks, and provide the compute payload for the
+// runnable examples.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// FillRandom fills with deterministic pseudo-random values in [-1, 1).
+func (m *Matrix) FillRandom(seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = 2*r.Float64() - 1
+	}
+}
+
+// FillDiagonallyDominant makes the matrix safely factorizable without
+// pivoting: random off-diagonal, dominant diagonal.
+func (m *Matrix) FillDiagonallyDominant(seed int64) {
+	m.FillRandom(seed)
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, i, float64(m.Cols)+1)
+	}
+}
+
+// MaxAbsDiff returns the max absolute elementwise difference.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return math.Inf(1)
+	}
+	var d float64
+	for i := range m.Data {
+		if v := math.Abs(m.Data[i] - o.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// Gemm computes C += A * B on sub-blocks: C[ci:ci+n, cj:cj+p] +=
+// A[ai:ai+n, aj:aj+m] * B[bi:bi+m, bj:bj+p]. This is the naive triple
+// loop (reference-BLAS era, as the paper's GCC-compiled setup).
+func Gemm(C, A, B *Matrix, ci, cj, ai, aj, bi, bj, n, mm, p int) {
+	for i := 0; i < n; i++ {
+		for k := 0; k < mm; k++ {
+			a := A.At(ai+i, aj+k)
+			if a == 0 {
+				continue
+			}
+			crow := (ci + i) * C.Cols
+			brow := (bi + k) * B.Cols
+			for j := 0; j < p; j++ {
+				C.Data[crow+cj+j] += a * B.Data[brow+bj+j]
+			}
+		}
+	}
+}
+
+// MatMul returns A*B for full matrices.
+func MatMul(A, B *Matrix) (*Matrix, error) {
+	if A.Cols != B.Rows {
+		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d * %dx%d", A.Rows, A.Cols, B.Rows, B.Cols)
+	}
+	C := NewMatrix(A.Rows, B.Cols)
+	Gemm(C, A, B, 0, 0, 0, 0, 0, 0, A.Rows, A.Cols, B.Cols)
+	return C, nil
+}
+
+// Daxpy computes y += alpha * x (BLAS1).
+func Daxpy(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Dot returns the dot product (BLAS1).
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// LU factorizes A in place without pivoting (A must be diagonally
+// dominant): A = L*U with unit-diagonal L stored below the diagonal and
+// U on/above it. Unblocked reference implementation.
+func LU(A *Matrix) error {
+	if A.Rows != A.Cols {
+		return fmt.Errorf("linalg: LU of non-square %dx%d", A.Rows, A.Cols)
+	}
+	n := A.Rows
+	for k := 0; k < n; k++ {
+		piv := A.At(k, k)
+		if piv == 0 {
+			return fmt.Errorf("linalg: zero pivot at %d", k)
+		}
+		for i := k + 1; i < n; i++ {
+			l := A.At(i, k) / piv
+			A.Set(i, k, l)
+			irow := i * A.Cols
+			krow := k * A.Cols
+			for j := k + 1; j < n; j++ {
+				A.Data[irow+j] -= l * A.Data[krow+j]
+			}
+		}
+	}
+	return nil
+}
+
+// BlockedLU factorizes A in place with a right-looking blocked algorithm
+// using block size b — the exact task structure the paper's threaded LU
+// uses (§4.5): factor the pivot block, update the block row and block
+// column, then GEMM-update the trailing submatrix.
+func BlockedLU(A *Matrix, b int) error {
+	if A.Rows != A.Cols {
+		return fmt.Errorf("linalg: LU of non-square %dx%d", A.Rows, A.Cols)
+	}
+	n := A.Rows
+	if b <= 0 || b > n {
+		return fmt.Errorf("linalg: bad block size %d for n=%d", b, n)
+	}
+	for k := 0; k < n; k += b {
+		kb := min(b, n-k)
+		// Factor the pivot panel A[k:n, k:k+kb] (unblocked, like the
+		// panel factorization a BLAS library would do).
+		for kk := k; kk < k+kb; kk++ {
+			piv := A.At(kk, kk)
+			if piv == 0 {
+				return fmt.Errorf("linalg: zero pivot at %d", kk)
+			}
+			for i := kk + 1; i < n; i++ {
+				A.Set(i, kk, A.At(i, kk)/piv)
+			}
+			for i := kk + 1; i < n; i++ {
+				l := A.At(i, kk)
+				if l == 0 {
+					continue
+				}
+				irow := i * A.Cols
+				krow := kk * A.Cols
+				for j := kk + 1; j < k+kb; j++ {
+					A.Data[irow+j] -= l * A.Data[krow+j]
+				}
+			}
+		}
+		if k+kb >= n {
+			break
+		}
+		// Update block row: U[k:k+kb, k+kb:n] via triangular solve with
+		// unit L of the pivot block.
+		for kk := k; kk < k+kb; kk++ {
+			for i := kk + 1; i < k+kb; i++ {
+				l := A.At(i, kk)
+				if l == 0 {
+					continue
+				}
+				irow := i * A.Cols
+				krow := kk * A.Cols
+				for j := k + kb; j < n; j++ {
+					A.Data[irow+j] -= l * A.Data[krow+j]
+				}
+			}
+		}
+		// Trailing update: A[i, j] -= L[i, k-panel] * U[k-panel, j],
+		// block by block (the parallel-for loops of §4.5).
+		for i := k + kb; i < n; i += b {
+			ib := min(b, n-i)
+			for j := k + kb; j < n; j += b {
+				jb := min(b, n-j)
+				for kk := 0; kk < kb; kk++ {
+					for ii := 0; ii < ib; ii++ {
+						l := A.At(i+ii, k+kk)
+						if l == 0 {
+							continue
+						}
+						irow := (i + ii) * A.Cols
+						krow := (k + kk) * A.Cols
+						for jj := 0; jj < jb; jj++ {
+							A.Data[irow+j+jj] -= l * A.Data[krow+j+jj]
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ExtractLU splits a factorized in-place LU into explicit L and U.
+func ExtractLU(A *Matrix) (L, U *Matrix) {
+	n := A.Rows
+	L = NewMatrix(n, n)
+	U = NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		L.Set(i, i, 1)
+		for j := 0; j < n; j++ {
+			if j < i {
+				L.Set(i, j, A.At(i, j))
+			} else {
+				U.Set(i, j, A.At(i, j))
+			}
+		}
+	}
+	return L, U
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,148 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulSmall(t *testing.T) {
+	A := NewMatrix(2, 3)
+	B := NewMatrix(3, 2)
+	// A = [1 2 3; 4 5 6], B = [7 8; 9 10; 11 12]
+	for i, v := range []float64{1, 2, 3, 4, 5, 6} {
+		A.Data[i] = v
+	}
+	for i, v := range []float64{7, 8, 9, 10, 11, 12} {
+		B.Data[i] = v
+	}
+	C, err := MatMul(A, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if C.Data[i] != want[i] {
+			t.Fatalf("C = %v, want %v", C.Data, want)
+		}
+	}
+	if _, err := MatMul(A, A); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestDaxpyDot(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	Daxpy(2, x, y)
+	if y[0] != 6 || y[1] != 9 || y[2] != 12 {
+		t.Fatalf("daxpy = %v", y)
+	}
+	if d := Dot(x, []float64{1, 1, 1}); d != 6 {
+		t.Fatalf("dot = %v", d)
+	}
+}
+
+func TestLUReconstructs(t *testing.T) {
+	A := NewMatrix(16, 16)
+	A.FillDiagonallyDominant(42)
+	orig := A.Clone()
+	if err := LU(A); err != nil {
+		t.Fatal(err)
+	}
+	L, U := ExtractLU(A)
+	P, err := MatMul(L, U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := P.MaxAbsDiff(orig); d > 1e-9 {
+		t.Fatalf("L*U differs from A by %g", d)
+	}
+}
+
+func TestBlockedLUMatchesUnblocked(t *testing.T) {
+	for _, b := range []int{1, 3, 4, 8, 16, 32} {
+		A := NewMatrix(32, 32)
+		A.FillDiagonallyDominant(7)
+		ref := A.Clone()
+		if err := LU(ref); err != nil {
+			t.Fatal(err)
+		}
+		if err := BlockedLU(A, b); err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+		if d := A.MaxAbsDiff(ref); d > 1e-8 {
+			t.Fatalf("b=%d: blocked LU differs from unblocked by %g", b, d)
+		}
+	}
+}
+
+func TestBlockedLUBadArgs(t *testing.T) {
+	A := NewMatrix(4, 4)
+	A.FillDiagonallyDominant(1)
+	if err := BlockedLU(A, 0); err == nil {
+		t.Fatal("block 0 accepted")
+	}
+	if err := BlockedLU(A, 5); err == nil {
+		t.Fatal("oversize block accepted")
+	}
+	if err := BlockedLU(NewMatrix(3, 4), 1); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestZeroPivotDetected(t *testing.T) {
+	A := NewMatrix(2, 2) // all zeros
+	if err := LU(A); err == nil {
+		t.Fatal("zero pivot accepted")
+	}
+	B := NewMatrix(2, 2)
+	if err := BlockedLU(B, 2); err == nil {
+		t.Fatal("zero pivot accepted (blocked)")
+	}
+}
+
+// Property: for random diagonally dominant matrices and block sizes,
+// blocked LU reconstructs the input.
+func TestBlockedLUReconstructionProperty(t *testing.T) {
+	check := func(seed int64, bsel uint8) bool {
+		n := 24
+		b := []int{1, 2, 3, 4, 6, 8, 12, 24}[int(bsel)%8]
+		A := NewMatrix(n, n)
+		A.FillDiagonallyDominant(seed)
+		orig := A.Clone()
+		if err := BlockedLU(A, b); err != nil {
+			return false
+		}
+		L, U := ExtractLU(A)
+		P, err := MatMul(L, U)
+		if err != nil {
+			return false
+		}
+		return P.MaxAbsDiff(orig) < 1e-8
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a := NewMatrix(4, 4)
+	b := NewMatrix(4, 4)
+	a.FillRandom(5)
+	b.FillRandom(5)
+	if a.MaxAbsDiff(b) != 0 {
+		t.Fatal("FillRandom not deterministic")
+	}
+	for _, v := range a.Data {
+		if v < -1 || v >= 1 || math.IsNaN(v) {
+			t.Fatalf("value out of range: %v", v)
+		}
+	}
+}
+
+func TestMaxAbsDiffShapeMismatch(t *testing.T) {
+	if d := NewMatrix(2, 2).MaxAbsDiff(NewMatrix(2, 3)); !math.IsInf(d, 1) {
+		t.Fatal("shape mismatch should be +Inf")
+	}
+}

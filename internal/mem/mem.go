@@ -1,0 +1,143 @@
+// Package mem models the physical memory of the simulated machine:
+// per-node frame pools with allocation statistics and optional real byte
+// backing. Backed frames carry a 4 KiB data slice so that correctness
+// tests can verify data integrity across migrations; large experiments
+// run unbacked to keep real memory use low.
+package mem
+
+import (
+	"fmt"
+
+	"numamig/internal/model"
+	"numamig/internal/topology"
+)
+
+// Frame is one physical page frame.
+type Frame struct {
+	Node topology.NodeID
+	PFN  uint64 // unique physical frame number
+	Data []byte // nil unless the Phys is backed
+}
+
+// NodeStats carries per-node allocator statistics.
+type NodeStats struct {
+	Total      int64 // frames the node can hold
+	Allocated  int64 // currently allocated frames
+	Cumulative int64 // total allocations ever
+	Freed      int64
+	MigratedIn int64 // frames that received migrated data
+}
+
+// Free returns the number of available frames.
+func (s NodeStats) Free() int64 { return s.Total - s.Allocated }
+
+// Phys is the machine's physical memory.
+type Phys struct {
+	M       *topology.Machine
+	Backed  bool
+	stats   []NodeStats
+	nextPFN uint64
+	free    [][]*Frame // recycled frames per node
+}
+
+// NewPhys creates physical memory for the machine. If backed, every
+// allocated frame carries a real zeroed 4 KiB buffer.
+func NewPhys(m *topology.Machine, backed bool) *Phys {
+	p := &Phys{M: m, Backed: backed}
+	p.stats = make([]NodeStats, m.NumNodes())
+	p.free = make([][]*Frame, m.NumNodes())
+	for i, n := range m.Nodes {
+		p.stats[i].Total = n.MemBytes / model.PageSize
+	}
+	return p
+}
+
+// ErrNoMemory is returned when a node's frame pool is exhausted.
+type ErrNoMemory struct {
+	Node topology.NodeID
+}
+
+func (e ErrNoMemory) Error() string {
+	return fmt.Sprintf("mem: node %d out of memory", e.Node)
+}
+
+// Alloc allocates one frame on the given node.
+func (p *Phys) Alloc(node topology.NodeID) (*Frame, error) {
+	st := &p.stats[node]
+	if st.Allocated >= st.Total {
+		return nil, ErrNoMemory{Node: node}
+	}
+	st.Allocated++
+	st.Cumulative++
+	if fl := p.free[node]; len(fl) > 0 {
+		f := fl[len(fl)-1]
+		p.free[node] = fl[:len(fl)-1]
+		if f.Data != nil {
+			for i := range f.Data {
+				f.Data[i] = 0
+			}
+		}
+		return f, nil
+	}
+	p.nextPFN++
+	f := &Frame{Node: node, PFN: p.nextPFN}
+	if p.Backed {
+		f.Data = make([]byte, model.PageSize)
+	}
+	return f, nil
+}
+
+// Free returns a frame to its node's pool.
+func (p *Phys) Free(f *Frame) {
+	if f == nil {
+		panic("mem: free of nil frame")
+	}
+	st := &p.stats[f.Node]
+	if st.Allocated <= 0 {
+		panic("mem: free underflow")
+	}
+	st.Allocated--
+	st.Freed++
+	p.free[f.Node] = append(p.free[f.Node], f)
+}
+
+// AllocFootprint reserves n frames' worth of memory on the node without
+// materializing frame objects; used for huge-page footprints where one
+// representative Frame stands for 512 small frames.
+func (p *Phys) AllocFootprint(node topology.NodeID, n int) error {
+	st := &p.stats[node]
+	if st.Allocated+int64(n) > st.Total {
+		return ErrNoMemory{Node: node}
+	}
+	st.Allocated += int64(n)
+	st.Cumulative += int64(n)
+	return nil
+}
+
+// ReleaseFootprint returns n frames' worth of accounting reserved with
+// AllocFootprint.
+func (p *Phys) ReleaseFootprint(node topology.NodeID, n int) {
+	st := &p.stats[node]
+	if st.Allocated < int64(n) {
+		panic("mem: footprint release underflow")
+	}
+	st.Allocated -= int64(n)
+	st.Freed += int64(n)
+}
+
+// NoteMigration records that data was migrated into a frame on dst.
+func (p *Phys) NoteMigration(dst topology.NodeID) {
+	p.stats[dst].MigratedIn++
+}
+
+// Stats returns a copy of the node's statistics.
+func (p *Phys) Stats(node topology.NodeID) NodeStats { return p.stats[node] }
+
+// TotalAllocated returns the machine-wide allocated frame count.
+func (p *Phys) TotalAllocated() int64 {
+	var n int64
+	for i := range p.stats {
+		n += p.stats[i].Allocated
+	}
+	return n
+}

@@ -1,0 +1,142 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"numamig/internal/topology"
+)
+
+func TestAllocFree(t *testing.T) {
+	p := NewPhys(topology.Opteron4x4(), false)
+	f, err := p.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Node != 1 {
+		t.Fatalf("frame node = %d, want 1", f.Node)
+	}
+	if f.Data != nil {
+		t.Fatal("unbacked frame has data")
+	}
+	if got := p.Stats(1).Allocated; got != 1 {
+		t.Fatalf("allocated = %d", got)
+	}
+	p.Free(f)
+	if got := p.Stats(1).Allocated; got != 0 {
+		t.Fatalf("allocated after free = %d", got)
+	}
+	if got := p.Stats(1).Freed; got != 1 {
+		t.Fatalf("freed = %d", got)
+	}
+}
+
+func TestBackedFramesZeroedOnReuse(t *testing.T) {
+	p := NewPhys(topology.Opteron4x4(), true)
+	f, err := p.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Data) != 4096 {
+		t.Fatalf("data len = %d", len(f.Data))
+	}
+	f.Data[123] = 0xAB
+	p.Free(f)
+	g, err := p.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != f {
+		t.Fatal("frame not recycled from free list")
+	}
+	if g.Data[123] != 0 {
+		t.Fatal("recycled frame not zeroed")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	m := topology.Grid(2, 1, 3*4096, 1<<20) // 3 frames per node
+	p := NewPhys(m, false)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Alloc(0); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	_, err := p.Alloc(0)
+	var oom ErrNoMemory
+	if !errors.As(err, &oom) || oom.Node != 0 {
+		t.Fatalf("err = %v, want ErrNoMemory{0}", err)
+	}
+	// Other node unaffected.
+	if _, err := p.Alloc(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniquePFNs(t *testing.T) {
+	p := NewPhys(topology.Opteron4x4(), false)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		f, err := p.Alloc(topology.NodeID(i % 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[f.PFN] {
+			t.Fatalf("duplicate PFN %d", f.PFN)
+		}
+		seen[f.PFN] = true
+	}
+}
+
+func TestMigrationCounter(t *testing.T) {
+	p := NewPhys(topology.Opteron4x4(), false)
+	p.NoteMigration(2)
+	p.NoteMigration(2)
+	if got := p.Stats(2).MigratedIn; got != 2 {
+		t.Fatalf("migratedIn = %d", got)
+	}
+}
+
+// Property: any interleaving of allocs and frees keeps per-node accounting
+// consistent and TotalAllocated equal to live frame count.
+func TestAllocFreeAccountingProperty(t *testing.T) {
+	check := func(ops []uint8) bool {
+		m := topology.Grid(4, 1, 64*4096, 1<<20)
+		p := NewPhys(m, false)
+		var live []*Frame
+		for _, op := range ops {
+			node := topology.NodeID(op % 4)
+			if op&0x80 != 0 && len(live) > 0 {
+				f := live[len(live)-1]
+				live = live[:len(live)-1]
+				p.Free(f)
+				continue
+			}
+			f, err := p.Alloc(node)
+			if err != nil {
+				continue
+			}
+			live = append(live, f)
+		}
+		if p.TotalAllocated() != int64(len(live)) {
+			return false
+		}
+		perNode := map[topology.NodeID]int64{}
+		for _, f := range live {
+			perNode[f.Node]++
+		}
+		for n := topology.NodeID(0); n < 4; n++ {
+			if p.Stats(n).Allocated != perNode[n] {
+				return false
+			}
+			if p.Stats(n).Free() != 64-perNode[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

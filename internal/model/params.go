@@ -1,0 +1,182 @@
+// Package model holds every calibrated constant of the simulated platform
+// in one documented place. The values are derived from the measurements
+// the paper itself reports for its experimentation host (4x quad-core
+// Opteron 8347HE, 1.9 GHz, HyperTransport, Linux 2.6.27):
+//
+//   - kernel page copy runs at ~1 GB/s per core (§4.2),
+//   - move_pages base overhead ~160 us, migrate_pages ~400 us (§4.2),
+//   - patched move_pages sustains ~600 MB/s, migrate_pages ~780 MB/s,
+//   - control (locking, page-table updates) is 38 % of move_pages cost and
+//     20 % of the kernel next-touch cost (Fig. 6),
+//   - kernel next-touch reaches ~800 MB/s even for small buffers (Fig. 5),
+//   - parallel migration saturates ~1.3 GB/s with 4 threads (Fig. 7),
+//   - NUMA factor 1.2-1.4 (§2.1, §4.1).
+package model
+
+import "numamig/internal/sim"
+
+// PageSize is the small-page size of the simulated machine (4 KiB).
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// HugePageSize is the huge-page size (2 MiB) used by the huge-page
+// extension experiments.
+const HugePageSize = 2 << 20
+
+// PTEChunkPages is the number of PTEs covered by one page-table page; the
+// kernel holds one PTE lock per such chunk (2 MiB of address space).
+const PTEChunkPages = 512
+
+// Params carries all cost-model constants. Zero value is not usable; call
+// Default for the paper's calibrated platform.
+type Params struct {
+	// ---- Bandwidths (bytes/second) ----
+
+	// UserCopyRate is the per-core user-space copy rate (MMX/SSE
+	// optimized memcpy), the top curve of Figure 4.
+	UserCopyRate float64
+	// KernCopyRate is the per-core kernel page-copy rate; the kernel does
+	// not use vector instructions (§4.2: "pages are copied during
+	// move_pages at only 1 GB/s").
+	KernCopyRate float64
+	// NodeCtrlBW is the per-node memory-controller bandwidth.
+	NodeCtrlBW float64
+	// HTLinkBW is one HyperTransport link's bandwidth.
+	HTLinkBW float64
+	// MigChanBW is the effective aggregate bandwidth of the kernel page
+	// migration path between one pair of nodes: page-granular copies with
+	// page-table maintenance interleave poorly and saturate below the raw
+	// link rate. Calibrated so 4-thread lazy migration peaks ~1.3 GB/s
+	// (Fig. 7).
+	MigChanBW float64
+	// MigChanSyncBW is the same channel as seen by the batched
+	// move_pages/migrate_pages path, which additionally writes back
+	// status arrays and maintains pagevecs between copies; it saturates
+	// lower, which is why parallel synchronous migration tops out
+	// ~50-60% above single-threaded while lazy reaches ~1.3 GB/s
+	// (Fig. 7, §4.4).
+	MigChanSyncBW float64
+
+	// ---- Syscall and VM costs ----
+
+	SyscallBase   sim.Time // bare user->kernel->user transition
+	MmapBase      sim.Time // mmap/munmap setup
+	MprotectBase  sim.Time // mprotect fixed cost (excl. TLB flush)
+	MprotectPage  sim.Time // per-page PTE protection change
+	MadviseBase   sim.Time // madvise fixed cost
+	MadvisePage   sim.Time // per-page next-touch marking (PTE walk)
+	TLBShootBase  sim.Time // local TLB flush
+	TLBShootCore  sim.Time // per remote core IPI cost of a shootdown
+	FaultBase     sim.Time // hardware fault + kernel entry + VMA walk
+	DemandZero    sim.Time // allocate + zero a new anonymous page
+	SignalDeliver sim.Time // SIGSEGV: kernel -> user handler entry
+	SignalReturn  sim.Time // sigreturn back to the faulting instruction
+	CtxSwitch     sim.Time // thread migration to another core
+
+	// ---- move_pages / migrate_pages ----
+
+	// MovePagesBase is the fixed syscall overhead; mostly serialized
+	// setup (task lookup, per-CPU page-vec drain) modelled under the
+	// global migration lock, which is why parallel calls on small
+	// buffers do not scale (Fig. 7, §4.4).
+	MovePagesBase       sim.Time
+	MovePagesBaseLocked sim.Time // portion of MovePagesBase under mig lock
+	// MovePagesCtl is per-page control: locking, page-table updates,
+	// status handling. 38% of the per-page cost at 4 us/page copy
+	// (Fig. 6a) gives ~2.45 us.
+	MovePagesCtl sim.Time
+	// MovePagesCtlLocked is the part of MovePagesCtl held under the
+	// global LRU/migration lock.
+	MovePagesCtlLocked sim.Time
+	// UnpatchedScanEntry is the per-element cost of the unpatched
+	// implementation's linear lookup over the destination-node array for
+	// every page (the quadratic bug fixed in 2.6.29).
+	UnpatchedScanEntry sim.Time
+	// MigratePagesBase is migrate_pages' fixed cost (whole address-space
+	// traversal, ~400 us per §4.2).
+	MigratePagesBase sim.Time
+	// MigratePagesCtl is per-page control for migrate_pages; in-order
+	// traversal locks less (§4.2: better locality, ~780 MB/s).
+	MigratePagesCtl       sim.Time
+	MigratePagesCtlLocked sim.Time
+
+	// ---- Kernel next-touch ----
+
+	// NTFaultCtl is fault + migration control per page for the dedicated
+	// kernel next-touch path (20% of ~5 us/page, Fig. 6b).
+	NTFaultCtl       sim.Time
+	NTFaultCtlLocked sim.Time // portion under the global LRU lock
+
+	// ---- Application cost model ----
+
+	// ComputeRate is per-core useful flop rate for the LU/BLAS drivers
+	// (reference-BLAS era Opteron, not vendor DGEMM).
+	ComputeRate float64
+	// L3Bytes is the per-socket shared L3 capacity.
+	L3Bytes int64
+	// StreamPenalty scales remote traffic for prefetch-friendly
+	// sequential streams (latency largely hidden).
+	StreamPenalty float64
+	// BlockedBoost scales the NUMA distance factor for Blocked
+	// (reuse/stride) remote accesses: sustained blocked-access bandwidth
+	// degrades faster than the raw latency ratio because out-of-order
+	// windows cannot cover the remote round trip. Effective penalty =
+	// NUMAFactor * BlockedBoost.
+	BlockedBoost float64
+	// BatchPages is the page-batch granularity used when charging
+	// aggregate per-page costs, bounding DES event counts while
+	// preserving lock-contention fidelity (one PTE chunk).
+	BatchPages int
+}
+
+// Default returns the parameters calibrated against the paper's host.
+func Default() Params {
+	return Params{
+		UserCopyRate:  2.1e9,
+		KernCopyRate:  1.0e9,
+		NodeCtrlBW:    6.4e9,
+		HTLinkBW:      8.0e9,
+		MigChanBW:     1.45e9,
+		MigChanSyncBW: 0.97e9,
+
+		SyscallBase:   sim.Micros(0.15),
+		MmapBase:      sim.Micros(1.0),
+		MprotectBase:  sim.Micros(0.8),
+		MprotectPage:  sim.Micros(0.012),
+		MadviseBase:   sim.Micros(1.2),
+		MadvisePage:   sim.Micros(0.06),
+		TLBShootBase:  sim.Micros(1.0),
+		TLBShootCore:  sim.Micros(0.4),
+		FaultBase:     sim.Micros(0.35),
+		DemandZero:    sim.Micros(0.9),
+		SignalDeliver: sim.Micros(2.2),
+		SignalReturn:  sim.Micros(0.9),
+		CtxSwitch:     sim.Micros(3.0),
+
+		MovePagesBase:         sim.Micros(158),
+		MovePagesBaseLocked:   sim.Micros(120),
+		MovePagesCtl:          sim.Micros(2.45),
+		MovePagesCtlLocked:    sim.Micros(1.1),
+		UnpatchedScanEntry:    sim.Micros(0.005),
+		MigratePagesBase:      sim.Micros(400),
+		MigratePagesCtl:       sim.Micros(1.25),
+		MigratePagesCtlLocked: sim.Micros(0.6),
+
+		NTFaultCtl:       sim.Micros(0.70),
+		NTFaultCtlLocked: sim.Micros(0.35),
+
+		ComputeRate:   1.15e9,
+		L3Bytes:       2 << 20,
+		StreamPenalty: 1.05,
+		BlockedBoost:  1.55,
+		BatchPages:    64,
+	}
+}
+
+// PageCopyTime returns the nominal un-contended time to copy n pages at
+// the kernel copy rate; used only for sanity checks and documentation.
+func (p Params) PageCopyTime(n int) sim.Time {
+	return sim.FromSeconds(float64(n*PageSize) / p.KernCopyRate)
+}

@@ -1,0 +1,154 @@
+// Package omp provides a minimal OpenMP-style runtime on top of the
+// simulated kernel: thread teams pinned to cores, parallel-for loops with
+// static and dynamic schedules, barriers and critical sections. It mimics
+// the GCC (GOMP) behaviour the paper relies on: static chunking gives no
+// guarantee about which thread computes which data across different
+// parallel regions, which is exactly why next-touch redistribution pays
+// off (§4.5).
+package omp
+
+import (
+	"fmt"
+
+	"numamig/internal/kern"
+	"numamig/internal/sim"
+	"numamig/internal/topology"
+)
+
+// Schedule selects a loop schedule.
+type Schedule interface {
+	isSchedule()
+}
+
+// Static divides the iteration space into fixed chunks assigned
+// round-robin; Chunk 0 means one contiguous block per thread (GOMP
+// default).
+type Static struct{ Chunk int }
+
+// Dynamic hands out chunks of the given size on demand.
+type Dynamic struct{ Chunk int }
+
+func (Static) isSchedule()  {}
+func (Dynamic) isSchedule() {}
+
+// Team is a set of worker threads pinned to cores of one process.
+type Team struct {
+	Proc  *kern.Process
+	Cores []topology.CoreID
+	// ForkCost is charged on the master per parallel region.
+	ForkCost sim.Time
+
+	regionSeq int
+	critical  *sim.Resource
+}
+
+// NewTeam builds a team over the given cores.
+func NewTeam(proc *kern.Process, cores []topology.CoreID) *Team {
+	return &Team{
+		Proc:     proc,
+		Cores:    cores,
+		ForkCost: 2 * sim.Microsecond,
+		critical: sim.NewResource(proc.K.Eng, "omp.critical", 1),
+	}
+}
+
+// TeamAllCores builds a team with one thread per machine core.
+func TeamAllCores(proc *kern.Process) *Team {
+	cores := make([]topology.CoreID, proc.K.M.NumCores())
+	for i := range cores {
+		cores[i] = topology.CoreID(i)
+	}
+	return NewTeam(proc, cores)
+}
+
+// Size returns the team width.
+func (tm *Team) Size() int { return len(tm.Cores) }
+
+// Critical runs fn under the team-wide critical-section lock.
+func (tm *Team) Critical(t *kern.Task, fn func()) {
+	tm.critical.With(t.P, fn)
+}
+
+// Parallel runs body once per team thread (an OpenMP parallel region)
+// and blocks the master until all threads finish. body receives the
+// worker task and its thread id.
+func (tm *Team) Parallel(master *kern.Task, body func(t *kern.Task, tid int)) {
+	tm.regionSeq++
+	master.P.Sleep(tm.ForkCost)
+	eng := tm.Proc.K.Eng
+	wg := sim.NewWaitGroup(eng, len(tm.Cores))
+	for tid, core := range tm.Cores {
+		tid := tid
+		tm.Proc.Spawn(fmt.Sprintf("omp%d.%d", tm.regionSeq, tid), core, func(t *kern.Task) {
+			defer wg.Done()
+			body(t, tid)
+		})
+	}
+	wg.Wait(master.P)
+}
+
+// ParallelFor runs body(i) for i in [low, high) across the team with the
+// given schedule, blocking the master until the implicit barrier at the
+// end of the loop.
+func (tm *Team) ParallelFor(master *kern.Task, low, high int, sched Schedule, body func(t *kern.Task, i int)) {
+	if high <= low {
+		return
+	}
+	n := high - low
+	switch s := sched.(type) {
+	case Static:
+		chunk := s.Chunk
+		if chunk <= 0 {
+			chunk = (n + len(tm.Cores) - 1) / len(tm.Cores)
+		}
+		tm.Parallel(master, func(t *kern.Task, tid int) {
+			for base := low + tid*chunk; base < high; base += chunk * len(tm.Cores) {
+				end := base + chunk
+				if end > high {
+					end = high
+				}
+				for i := base; i < end; i++ {
+					body(t, i)
+				}
+			}
+		})
+	case Dynamic:
+		chunk := s.Chunk
+		if chunk <= 0 {
+			chunk = 1
+		}
+		next := low
+		tm.Parallel(master, func(t *kern.Task, tid int) {
+			for {
+				// Single-token DES execution makes this race-free.
+				if next >= high {
+					return
+				}
+				base := next
+				next += chunk
+				end := base + chunk
+				if end > high {
+					end = high
+				}
+				for i := base; i < end; i++ {
+					body(t, i)
+				}
+				t.P.Yield() // allow interleaving between chunk grabs
+			}
+		})
+	default:
+		panic("omp: unknown schedule")
+	}
+}
+
+// StaticOwner returns the thread id that a Static{Chunk:0} schedule over
+// [low, high) assigns iteration i to; used by drivers to reason about
+// ownership churn without running the loop.
+func (tm *Team) StaticOwner(low, high, i int) int {
+	n := high - low
+	chunk := (n + len(tm.Cores) - 1) / len(tm.Cores)
+	if chunk == 0 {
+		return 0
+	}
+	return ((i - low) / chunk) % len(tm.Cores)
+}

@@ -1,0 +1,183 @@
+package omp
+
+import (
+	"testing"
+
+	"numamig/internal/kern"
+	"numamig/internal/model"
+	"numamig/internal/sim"
+	"numamig/internal/topology"
+)
+
+func setup() (*sim.Engine, *kern.Process) {
+	eng := sim.NewEngine(3)
+	k := kern.New(eng, topology.Opteron4x4(), model.Default(), false)
+	return eng, k.NewProcess("omp-test")
+}
+
+func TestParallelRunsEveryThreadOnItsCore(t *testing.T) {
+	eng, proc := setup()
+	tm := TeamAllCores(proc)
+	seen := map[int]topology.CoreID{}
+	proc.Spawn("master", 0, func(master *kern.Task) {
+		tm.Parallel(master, func(tk *kern.Task, tid int) {
+			seen[tid] = tk.Core
+			tk.P.Sleep(10 * sim.Microsecond)
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 16 {
+		t.Fatalf("threads ran = %d, want 16", len(seen))
+	}
+	for tid, core := range seen {
+		if int(core) != tid {
+			t.Fatalf("tid %d on core %d", tid, core)
+		}
+	}
+}
+
+func TestParallelForStaticCoversAllOnce(t *testing.T) {
+	eng, proc := setup()
+	tm := NewTeam(proc, []topology.CoreID{0, 4, 8, 12})
+	counts := make([]int, 100)
+	owners := make([]int, 100)
+	proc.Spawn("master", 0, func(master *kern.Task) {
+		tm.ParallelFor(master, 0, 100, Static{}, func(tk *kern.Task, i int) {
+			counts[i]++
+			owners[i] = int(tk.Core) / 4
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("iteration %d ran %d times", i, c)
+		}
+	}
+	// Static{}: one contiguous block of 25 per thread.
+	if owners[0] != 0 || owners[25] != 1 || owners[99] != 3 {
+		t.Fatalf("static ownership wrong: %v %v %v", owners[0], owners[25], owners[99])
+	}
+}
+
+func TestParallelForStaticChunked(t *testing.T) {
+	eng, proc := setup()
+	tm := NewTeam(proc, []topology.CoreID{0, 1})
+	owners := make([]int, 8)
+	proc.Spawn("master", 0, func(master *kern.Task) {
+		tm.ParallelFor(master, 0, 8, Static{Chunk: 2}, func(tk *kern.Task, i int) {
+			owners[i] = int(tk.Core)
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 1, 0, 0, 1, 1}
+	for i := range want {
+		if owners[i] != want[i] {
+			t.Fatalf("owners = %v, want %v", owners, want)
+		}
+	}
+}
+
+func TestParallelForDynamicCoversAll(t *testing.T) {
+	eng, proc := setup()
+	tm := NewTeam(proc, []topology.CoreID{0, 4, 8})
+	counts := make([]int, 50)
+	proc.Spawn("master", 0, func(master *kern.Task) {
+		tm.ParallelFor(master, 0, 50, Dynamic{Chunk: 3}, func(tk *kern.Task, i int) {
+			counts[i]++
+			tk.P.Sleep(sim.Microsecond)
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("iteration %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestParallelForBarrierSemantics(t *testing.T) {
+	eng, proc := setup()
+	tm := NewTeam(proc, []topology.CoreID{0, 4})
+	var loopDone, masterResumed sim.Time
+	proc.Spawn("master", 0, func(master *kern.Task) {
+		tm.ParallelFor(master, 0, 2, Static{}, func(tk *kern.Task, i int) {
+			tk.P.Sleep(sim.Time(i+1) * 100 * sim.Microsecond)
+			if tk.P.Now() > loopDone {
+				loopDone = tk.P.Now()
+			}
+		})
+		masterResumed = master.P.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if masterResumed < loopDone {
+		t.Fatalf("master resumed at %v before loop finished at %v", masterResumed, loopDone)
+	}
+}
+
+func TestCriticalMutualExclusion(t *testing.T) {
+	eng, proc := setup()
+	tm := NewTeam(proc, []topology.CoreID{0, 4, 8, 12})
+	inside, max := 0, 0
+	proc.Spawn("master", 0, func(master *kern.Task) {
+		tm.Parallel(master, func(tk *kern.Task, tid int) {
+			tm.Critical(tk, func() {
+				inside++
+				if inside > max {
+					max = inside
+				}
+				tk.P.Sleep(10 * sim.Microsecond)
+				inside--
+			})
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if max != 1 {
+		t.Fatalf("critical section concurrency = %d", max)
+	}
+}
+
+func TestStaticOwnerMatchesExecution(t *testing.T) {
+	eng, proc := setup()
+	tm := NewTeam(proc, []topology.CoreID{0, 4, 8})
+	owners := make([]int, 31)
+	proc.Spawn("master", 0, func(master *kern.Task) {
+		tm.ParallelFor(master, 0, 31, Static{}, func(tk *kern.Task, i int) {
+			owners[i] = int(tk.Core) / 4
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range owners {
+		if got := tm.StaticOwner(0, 31, i); got != owners[i] {
+			t.Fatalf("StaticOwner(%d) = %d, executed by %d", i, got, owners[i])
+		}
+	}
+}
+
+func TestParallelForEmptyRange(t *testing.T) {
+	eng, proc := setup()
+	tm := NewTeam(proc, []topology.CoreID{0})
+	ran := false
+	proc.Spawn("master", 0, func(master *kern.Task) {
+		tm.ParallelFor(master, 5, 5, Static{}, func(tk *kern.Task, i int) { ran = true })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("body ran for empty range")
+	}
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignmentAndTypes(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value", "note")
+	tbl.Add("a", 12.5, "x")
+	tbl.Add("bcd", 3.14159, "y")
+	tbl.Add("e", 1000000.0, "z")
+	out := tbl.String()
+	if !strings.Contains(out, "## Demo") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, sep, 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "12.5") || !strings.Contains(out, "3.14") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1000000") {
+		t.Fatalf("integral float should print as integer:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		42:      "42",
+		1234.5:  "1234", // %.0f rounds half to even
+		12.34:   "12.3",
+		0.5:     "0.50",
+		0.01234: "0.0123",
+		-3:      "-3",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.Add("x,y", `say "hi"`)
+	var sb strings.Builder
+	tbl.CSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `"x,y"`) || !strings.Contains(out, `"say ""hi"""`) {
+		t.Fatalf("csv escaping wrong: %s", out)
+	}
+}
+
+func TestFigureSeriesAlignment(t *testing.T) {
+	fig := NewFigure("F", "x", "y")
+	a := fig.NewSeries("a")
+	b := fig.NewSeries("b")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(1, 100)
+	b.Add(2, 200)
+	out := fig.String()
+	if !strings.Contains(out, "## F") {
+		t.Fatal("missing title")
+	}
+	for _, frag := range []string{"x", "a", "b", "10", "200"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("missing %q in:\n%s", frag, out)
+		}
+	}
+	// Series with a missing x leaves the cell empty rather than
+	// fabricating data.
+	c := fig.NewSeries("c")
+	c.Add(1, 7)
+	out = fig.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1] // x=2 row
+	if strings.Count(last, "7") != 0 && !strings.HasPrefix(last, "2") {
+		t.Fatalf("unexpected row: %q", last)
+	}
+}

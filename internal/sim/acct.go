@@ -1,0 +1,58 @@
+package sim
+
+import "sort"
+
+// Acct accumulates virtual time per named cost category. It backs the
+// per-operation cost breakdowns of Figures 6(a) and 6(b).
+type Acct struct {
+	m map[string]Time
+}
+
+// NewAcct creates an empty account.
+func NewAcct() *Acct { return &Acct{m: map[string]Time{}} }
+
+// Add accumulates d against category cat.
+func (a *Acct) Add(cat string, d Time) { a.m[cat] += d }
+
+// Get returns the accumulated time for cat.
+func (a *Acct) Get(cat string) Time { return a.m[cat] }
+
+// Total returns the sum over all categories.
+func (a *Acct) Total() Time {
+	var t Time
+	for _, v := range a.m {
+		t += v
+	}
+	return t
+}
+
+// Categories returns the category names in sorted order.
+func (a *Acct) Categories() []string {
+	cats := make([]string, 0, len(a.m))
+	for c := range a.m {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	return cats
+}
+
+// Percent returns cat's share of the total in percent (0 if empty).
+func (a *Acct) Percent(cat string) float64 {
+	tot := a.Total()
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(a.m[cat]) / float64(tot)
+}
+
+// Reset clears all categories.
+func (a *Acct) Reset() { a.m = map[string]Time{} }
+
+// Clone returns a deep copy.
+func (a *Acct) Clone() *Acct {
+	c := NewAcct()
+	for k, v := range a.m {
+		c.m[k] = v
+	}
+	return c
+}

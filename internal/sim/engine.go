@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// event is a scheduled occurrence: either waking a process or running a
+// callback in engine context (callbacks must not block).
+type event struct {
+	t   Time
+	seq uint64
+	p   *Proc
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Engine is a deterministic discrete-event simulator. All processes run in
+// goroutines, but a single execution token guarantees that exactly one of
+// them (or the engine itself) executes at any instant, so simulated code
+// needs no synchronization and runs are reproducible.
+type Engine struct {
+	now      Time
+	seq      uint64
+	events   eventHeap
+	yield    chan struct{}
+	live     map[*Proc]struct{}
+	nextID   int
+	failure  error
+	nsteps   uint64
+	MaxSteps uint64 // optional runaway guard; 0 = unlimited
+
+	// Rand is a deterministic source shared by all simulated code.
+	Rand *rand.Rand
+}
+
+// NewEngine returns an engine with the given deterministic seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		live:  make(map[*Proc]struct{}),
+		Rand:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+func (e *Engine) schedule(t Time, p *Proc, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, p: p, fn: fn})
+}
+
+// At schedules fn to run in engine context after delay d. fn must not
+// block; it may fire events, release resources and schedule further work.
+func (e *Engine) At(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, nil, fn)
+}
+
+// Spawn creates a new process running fn and schedules it to start at the
+// current time. It may be called before Run or from inside a running
+// process.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	e.nextID++
+	p := &Proc{
+		eng:    e,
+		id:     e.nextID,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	e.live[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil && e.failure == nil {
+				e.failure = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+			}
+			delete(e.live, p)
+			p.done = true
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.schedule(e.now, p, nil)
+	return p
+}
+
+// Run executes events until the queue drains. It returns an error if a
+// process panicked, if the step guard tripped, or if processes remain
+// blocked with no pending events (deadlock).
+func (e *Engine) Run() error {
+	for e.failure == nil && e.events.Len() > 0 {
+		if e.MaxSteps > 0 && e.nsteps >= e.MaxSteps {
+			return fmt.Errorf("sim: exceeded %d steps at t=%v", e.MaxSteps, e.now)
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.nsteps++
+		e.now = ev.t
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		ev.p.resume <- struct{}{}
+		<-e.yield
+	}
+	if e.failure != nil {
+		return e.failure
+	}
+	if len(e.live) > 0 {
+		names := make([]string, 0, len(e.live))
+		for p := range e.live {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("sim: deadlock at t=%v: %d blocked procs %v", e.now, len(names), names)
+	}
+	return nil
+}
+
+// MustRun runs the simulation and panics on error. Intended for examples
+// and benchmarks where an engine error is a programming bug.
+func (e *Engine) MustRun() {
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+}

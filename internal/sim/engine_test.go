@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSleepAdvancesTime(t *testing.T) {
+	e := NewEngine(1)
+	var end Time
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		p.Sleep(10 * Microsecond)
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 15*Microsecond {
+		t.Fatalf("end = %v, want 15us", end)
+	}
+}
+
+func TestEventOrderingFIFOAtSameTime(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestTimerOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.At(3*Microsecond, func() { order = append(order, "c") })
+	e.At(1*Microsecond, func() { order = append(order, "a") })
+	e.At(2*Microsecond, func() { order = append(order, "b") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ""); got != "abc" {
+		t.Fatalf("order = %q, want abc", got)
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := NewEngine(1)
+	var childTime Time
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(7 * Microsecond)
+		p.Spawn("child", func(c *Proc) {
+			c.Sleep(2 * Microsecond)
+			childTime = c.Now()
+		})
+		p.Sleep(100 * Microsecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 9*Microsecond {
+		t.Fatalf("child end = %v, want 9us", childTime)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine(1)
+	ev := NewEvent(e)
+	e.Spawn("stuck", func(p *Proc) {
+		ev.Wait(p) // never fired
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("deadlock error should name the proc: %v", err)
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("bad", func(p *Proc) {
+		panic("boom")
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want panic propagation", err)
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	e := NewEngine(1)
+	e.MaxSteps = 100
+	e.Spawn("spin", func(p *Proc) {
+		for {
+			p.Sleep(Nanosecond)
+		}
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "steps") {
+		t.Fatalf("err = %v, want step guard", err)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func() string {
+		e := NewEngine(42)
+		var sb strings.Builder
+		r := NewResource(e, "r", 2)
+		for i := 0; i < 8; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+				p.Sleep(Time(e.Rand.Intn(100)) * Nanosecond)
+				r.Acquire(p)
+				fmt.Fprintf(&sb, "%d@%d;", i, p.Now())
+				p.Sleep(50 * Nanosecond)
+				r.Release()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := trace(), trace()
+	if a != b {
+		t.Fatalf("nondeterministic runs:\n%s\n%s", a, b)
+	}
+}
+
+func TestYield(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "a1,b1,a2" {
+		t.Fatalf("order = %q, want a1,b1,a2", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{15 * Microsecond, "15.00us"},
+		{3 * Millisecond, "3.00ms"},
+		{2 * Second, "2.00ms" /* placeholder replaced below */},
+	}
+	cases[3].want = "2000.00ms"
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if Micros(2.5) != 2500*Nanosecond {
+		t.Errorf("Micros(2.5) = %v", Micros(2.5))
+	}
+}

@@ -1,0 +1,221 @@
+package sim
+
+import "math"
+
+// Link is a capacity-limited channel in the fluid bandwidth network: a
+// memory controller, a HyperTransport link, a per-core copy engine, or the
+// kernel's page-migration channel. Capacity is in bytes per second.
+type Link struct {
+	Name string
+	Cap  float64 // bytes/second
+
+	// Stats.
+	Bytes float64 // total bytes served
+
+	// waterfill scratch state
+	residual float64
+	njobs    int
+	settled  bool
+}
+
+// NewLink creates a link with the given capacity in bytes/second.
+func NewLink(name string, capacity float64) *Link {
+	if capacity <= 0 {
+		panic("sim: link capacity must be positive: " + name)
+	}
+	return &Link{Name: name, Cap: capacity}
+}
+
+type fjob struct {
+	links     []*Link
+	remaining float64
+	rate      float64
+	p         *Proc
+	settled   bool
+}
+
+// Fluid models concurrent bulk transfers over shared links with max-min
+// fair bandwidth allocation (progressive water-filling). Each transfer
+// occupies a path of links; its instantaneous rate is recomputed whenever
+// the set of active transfers changes. This reproduces the
+// processor-sharing behaviour of real memory controllers and interconnect
+// links under contention.
+type Fluid struct {
+	eng     *Engine
+	jobs    []*fjob
+	lastUpd Time
+	gen     uint64
+}
+
+// NewFluid creates a fluid network on the engine.
+func NewFluid(e *Engine) *Fluid { return &Fluid{eng: e} }
+
+// Active returns the number of in-flight transfers.
+func (f *Fluid) Active() int { return len(f.jobs) }
+
+// Transfer moves bytes across the path of links, blocking the calling
+// process until complete. Bandwidth is shared max-min fairly with all
+// concurrent transfers. The elapsed time is charged to the caller's
+// current accounting category.
+func (f *Fluid) Transfer(p *Proc, bytes float64, links ...*Link) {
+	if bytes <= 0 {
+		return
+	}
+	if len(links) == 0 {
+		panic("sim: transfer with no links")
+	}
+	start := f.eng.now
+	j := &fjob{links: links, remaining: bytes, p: p}
+	f.advance()
+	f.jobs = append(f.jobs, j)
+	for _, l := range links {
+		l.Bytes += bytes
+	}
+	f.reconfigure()
+	p.park()
+	p.charge(f.eng.now - start)
+}
+
+// advance drains progress for all jobs up to the current instant.
+func (f *Fluid) advance() {
+	dt := f.eng.now - f.lastUpd
+	f.lastUpd = f.eng.now
+	if dt <= 0 {
+		return
+	}
+	sec := dt.Seconds()
+	for _, j := range f.jobs {
+		j.remaining -= j.rate * sec
+		if j.remaining < 0 {
+			j.remaining = 0
+		}
+	}
+}
+
+// reconfigure recomputes max-min fair rates and schedules the next
+// completion instant.
+func (f *Fluid) reconfigure() {
+	f.gen++
+	if len(f.jobs) == 0 {
+		return
+	}
+	f.waterfill()
+	// Next completion.
+	minDt := math.Inf(1)
+	for _, j := range f.jobs {
+		if j.rate <= 0 {
+			continue
+		}
+		if dt := j.remaining / j.rate; dt < minDt {
+			minDt = dt
+		}
+	}
+	if math.IsInf(minDt, 1) {
+		// All rates zero: cannot happen with positive link capacities.
+		panic("sim: fluid jobs with zero rate")
+	}
+	dtNs := Time(math.Ceil(minDt * float64(Second)))
+	if dtNs < 1 {
+		dtNs = 1
+	}
+	gen := f.gen
+	f.eng.At(dtNs, func() {
+		if f.gen != gen {
+			return // superseded by a later membership change
+		}
+		f.advance()
+		f.complete()
+	})
+}
+
+// complete finishes all drained jobs, waking their processes, then
+// reconfigures the remainder.
+func (f *Fluid) complete() {
+	const eps = 1e-3 // bytes; completion times are rounded up to 1ns
+	kept := f.jobs[:0]
+	for _, j := range f.jobs {
+		if j.remaining <= eps {
+			j.p.wake()
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	f.jobs = kept
+	f.reconfigure()
+}
+
+// waterfill assigns max-min fair rates: repeatedly find the most
+// constrained link (smallest residual capacity per unsettled job), fix
+// that share for its jobs, subtract, and continue. Deterministic: links
+// and jobs are visited in stable slice order.
+func (f *Fluid) waterfill() {
+	links := make([]*Link, 0, 8)
+	seen := map[*Link]bool{}
+	for _, j := range f.jobs {
+		j.rate = 0
+		j.settled = false
+		for _, l := range j.links {
+			if !seen[l] {
+				seen[l] = true
+				l.residual = l.Cap
+				l.njobs = 0
+				l.settled = false
+				links = append(links, l)
+			}
+		}
+	}
+	for _, j := range f.jobs {
+		for _, l := range j.links {
+			l.njobs++
+		}
+	}
+	unsettledJobs := len(f.jobs)
+	for unsettledJobs > 0 {
+		// Find bottleneck link.
+		var bn *Link
+		best := math.Inf(1)
+		for _, l := range links {
+			if l.settled || l.njobs == 0 {
+				continue
+			}
+			share := l.residual / float64(l.njobs)
+			if share < best {
+				best = share
+				bn = l
+			}
+		}
+		if bn == nil {
+			panic("sim: waterfill found no bottleneck with unsettled jobs")
+		}
+		bn.settled = true
+		for _, j := range f.jobs {
+			if j.settled {
+				continue
+			}
+			onBn := false
+			for _, l := range j.links {
+				if l == bn {
+					onBn = true
+					break
+				}
+			}
+			if !onBn {
+				continue
+			}
+			j.rate = best
+			j.settled = true
+			unsettledJobs--
+			for _, l := range j.links {
+				if l == bn {
+					continue
+				}
+				l.residual -= best
+				if l.residual < 0 {
+					l.residual = 0
+				}
+				l.njobs--
+			}
+		}
+		bn.njobs = 0
+	}
+}

@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// expectClose fails unless got is within tol (relative) of want.
+func expectClose(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Fatalf("%s = %v, want 0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > tol {
+		t.Fatalf("%s = %v, want %v (±%v%%)", name, got, want, tol*100)
+	}
+}
+
+func TestFluidSingleTransferRate(t *testing.T) {
+	e := NewEngine(1)
+	f := NewFluid(e)
+	l := NewLink("l", 1e9) // 1 GB/s
+	var dur Time
+	e.Spawn("x", func(p *Proc) {
+		start := p.Now()
+		f.Transfer(p, 1e6, l) // 1 MB at 1GB/s = 1ms
+		dur = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	expectClose(t, "duration", float64(dur), float64(Millisecond), 1e-6)
+	if l.Bytes != 1e6 {
+		t.Fatalf("link bytes = %v", l.Bytes)
+	}
+}
+
+func TestFluidTwoTransfersShareLink(t *testing.T) {
+	e := NewEngine(1)
+	f := NewFluid(e)
+	l := NewLink("l", 1e9)
+	var d1, d2 Time
+	e.Spawn("a", func(p *Proc) {
+		s := p.Now()
+		f.Transfer(p, 1e6, l)
+		d1 = p.Now() - s
+	})
+	e.Spawn("b", func(p *Proc) {
+		s := p.Now()
+		f.Transfer(p, 1e6, l)
+		d2 = p.Now() - s
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both share the link: each takes 2ms.
+	expectClose(t, "d1", float64(d1), 2*float64(Millisecond), 1e-3)
+	expectClose(t, "d2", float64(d2), 2*float64(Millisecond), 1e-3)
+}
+
+func TestFluidUnequalJobsWorkConserving(t *testing.T) {
+	e := NewEngine(1)
+	f := NewFluid(e)
+	l := NewLink("l", 1e9)
+	var dShort, dLong Time
+	e.Spawn("short", func(p *Proc) {
+		s := p.Now()
+		f.Transfer(p, 0.5e6, l)
+		dShort = p.Now() - s
+	})
+	e.Spawn("long", func(p *Proc) {
+		s := p.Now()
+		f.Transfer(p, 1.5e6, l)
+		dLong = p.Now() - s
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Short: shares until its 0.5MB drains at 0.5GB/s = 1ms.
+	expectClose(t, "dShort", float64(dShort), float64(Millisecond), 1e-3)
+	// Long: 0.5MB during the shared ms, then 1.0MB alone at 1GB/s = 1ms more.
+	expectClose(t, "dLong", float64(dLong), 2*float64(Millisecond), 1e-3)
+}
+
+func TestFluidPathBottleneck(t *testing.T) {
+	e := NewEngine(1)
+	f := NewFluid(e)
+	fast := NewLink("fast", 4e9)
+	slow := NewLink("slow", 1e9)
+	var d Time
+	e.Spawn("x", func(p *Proc) {
+		s := p.Now()
+		f.Transfer(p, 1e6, fast, slow)
+		d = p.Now() - s
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	expectClose(t, "duration", float64(d), float64(Millisecond), 1e-6)
+}
+
+func TestFluidMaxMinFairnessCrossTraffic(t *testing.T) {
+	// Job A uses links L1+L2; job B uses L1 only; job C uses L2 only.
+	// L1 cap 1, L2 cap 2 (GB/s). Max-min: A=0.5, B=0.5 on L1;
+	// C gets L2 residual = 1.5.
+	e := NewEngine(1)
+	f := NewFluid(e)
+	l1 := NewLink("l1", 1e9)
+	l2 := NewLink("l2", 2e9)
+	res := map[string]Time{}
+	run := func(name string, bytes float64, links ...*Link) {
+		e.Spawn(name, func(p *Proc) {
+			s := p.Now()
+			f.Transfer(p, bytes, links...)
+			res[name] = p.Now() - s
+		})
+	}
+	// Large enough that completion-order effects are negligible at start.
+	run("A", 0.5e6, l1, l2)
+	run("B", 0.5e6, l1)
+	run("C", 1.5e6, l2)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	expectClose(t, "A", float64(res["A"]), float64(Millisecond), 0.01)
+	expectClose(t, "B", float64(res["B"]), float64(Millisecond), 0.01)
+	expectClose(t, "C", float64(res["C"]), float64(Millisecond), 0.01)
+}
+
+func TestFluidStaggeredArrival(t *testing.T) {
+	e := NewEngine(1)
+	f := NewFluid(e)
+	l := NewLink("l", 1e9)
+	var d1 Time
+	e.Spawn("first", func(p *Proc) {
+		s := p.Now()
+		f.Transfer(p, 1e6, l)
+		d1 = p.Now() - s
+	})
+	e.Spawn("second", func(p *Proc) {
+		p.Sleep(500 * Microsecond)
+		f.Transfer(p, 1e6, l)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// First: alone for 0.5ms (0.5MB done), shared for 1ms (0.5MB at half
+	// rate) = 1.5ms total.
+	expectClose(t, "d1", float64(d1), 1.5*float64(Millisecond), 1e-3)
+}
+
+func TestFluidZeroBytesNoop(t *testing.T) {
+	e := NewEngine(1)
+	f := NewFluid(e)
+	l := NewLink("l", 1e9)
+	e.Spawn("x", func(p *Proc) {
+		f.Transfer(p, 0, l)
+		if p.Now() != 0 {
+			t.Error("zero transfer advanced time")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFluidManyTransfersConservation(t *testing.T) {
+	// N equal jobs over one link must take exactly N * bytes / cap.
+	e := NewEngine(1)
+	f := NewFluid(e)
+	l := NewLink("l", 2e9)
+	const n = 16
+	var last Time
+	for i := 0; i < n; i++ {
+		e.Spawn(fmt.Sprintf("j%d", i), func(p *Proc) {
+			f.Transfer(p, 1e6, l)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	expectClose(t, "makespan", float64(last), float64(n)*1e6/2e9*float64(Second), 1e-3)
+}
+
+// TestFluidWaterfillProperties checks, over random configurations, that
+// the rate assignment (a) never oversubscribes a link and (b) is
+// work-conserving at each bottleneck (every job is limited by at least
+// one saturated link).
+func TestFluidWaterfillProperties(t *testing.T) {
+	check := func(seed int64) bool {
+		e := NewEngine(seed)
+		f := NewFluid(e)
+		rng := e.Rand
+		nLinks := 2 + rng.Intn(4)
+		links := make([]*Link, nLinks)
+		for i := range links {
+			links[i] = NewLink(fmt.Sprintf("l%d", i), float64(1+rng.Intn(8))*1e9)
+		}
+		nJobs := 1 + rng.Intn(8)
+		for i := 0; i < nJobs; i++ {
+			// Random non-empty subset of links.
+			var ls []*Link
+			for _, l := range links {
+				if rng.Intn(2) == 0 {
+					ls = append(ls, l)
+				}
+			}
+			if len(ls) == 0 {
+				ls = append(ls, links[rng.Intn(nLinks)])
+			}
+			j := &fjob{links: ls, remaining: 1e6}
+			f.jobs = append(f.jobs, j)
+		}
+		f.waterfill()
+		// (a) No link oversubscribed.
+		load := map[*Link]float64{}
+		for _, j := range f.jobs {
+			if j.rate <= 0 {
+				return false
+			}
+			for _, l := range j.links {
+				load[l] += j.rate
+			}
+		}
+		for l, v := range load {
+			if v > l.Cap*(1+1e-9) {
+				return false
+			}
+		}
+		// (b) Every job crosses at least one saturated link.
+		for _, j := range f.jobs {
+			sat := false
+			for _, l := range j.links {
+				if load[l] >= l.Cap*(1-1e-9) {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				return false
+			}
+		}
+		f.jobs = nil
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFluidTransferChargesAcct(t *testing.T) {
+	e := NewEngine(1)
+	f := NewFluid(e)
+	l := NewLink("l", 1e9)
+	a := NewAcct()
+	e.Spawn("x", func(p *Proc) {
+		p.SetAcct(a)
+		p.InCat("copy", func() {
+			f.Transfer(p, 1e6, l)
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	expectClose(t, "acct copy", float64(a.Get("copy")), float64(Millisecond), 1e-6)
+}
+
+// TestFluidInterleavedStartStop stresses membership churn: transfers of
+// random sizes starting at random times must all complete and total
+// link bytes must equal the sum of transfer sizes.
+func TestFluidInterleavedStartStop(t *testing.T) {
+	e := NewEngine(5)
+	f := NewFluid(e)
+	l := NewLink("l", 1e9)
+	var total float64
+	done := 0
+	const n = 50
+	for i := 0; i < n; i++ {
+		sz := float64(1+e.Rand.Intn(1000)) * 1e3
+		delay := Time(e.Rand.Intn(2000)) * Microsecond
+		total += sz
+		e.Spawn(fmt.Sprintf("x%d", i), func(p *Proc) {
+			p.Sleep(delay)
+			f.Transfer(p, sz, l)
+			done++
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != n {
+		t.Fatalf("done = %d, want %d", done, n)
+	}
+	if math.Abs(l.Bytes-total) > 1 {
+		t.Fatalf("link bytes = %v, want %v", l.Bytes, total)
+	}
+	if f.Active() != 0 {
+		t.Fatalf("active jobs left: %d", f.Active())
+	}
+}
+
+// TestFluidMakespanLowerBound: the makespan can never beat the most
+// loaded link's total bytes divided by its capacity.
+func TestFluidMakespanLowerBound(t *testing.T) {
+	e := NewEngine(9)
+	f := NewFluid(e)
+	a := NewLink("a", 1e9)
+	b := NewLink("b", 2e9)
+	var last Time
+	loads := map[*Link]float64{}
+	for i := 0; i < 12; i++ {
+		links := []*Link{a}
+		if i%3 == 0 {
+			links = []*Link{a, b}
+		} else if i%3 == 1 {
+			links = []*Link{b}
+		}
+		sz := float64(100+e.Rand.Intn(900)) * 1e3
+		for _, l := range links {
+			loads[l] += sz
+		}
+		ls := links
+		e.Spawn(fmt.Sprintf("j%d", i), func(p *Proc) {
+			f.Transfer(p, sz, ls...)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	bound := loads[a] / a.Cap
+	if lb := loads[b] / b.Cap; lb > bound {
+		bound = lb
+	}
+	if last.Seconds() < bound*(1-1e-9) {
+		t.Fatalf("makespan %v beats lower bound %.6fs", last, bound)
+	}
+}

@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestResourceMutualExclusion(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "mutex", 1)
+	inside := 0
+	max := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			r.Acquire(p)
+			inside++
+			if inside > max {
+				max = inside
+			}
+			p.Sleep(10 * Microsecond)
+			inside--
+			r.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if max != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", max)
+	}
+	if r.Contended != 4 {
+		t.Fatalf("contended = %d, want 4", r.Contended)
+	}
+	if r.WaitTime != (1+2+3+4)*10*Microsecond {
+		t.Fatalf("wait time = %v, want 100us", r.WaitTime)
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "sem", 2)
+	var done Time
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			r.Acquire(p)
+			p.Sleep(10 * Microsecond)
+			r.Release()
+			done = p.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 jobs of 10us with 2 slots: finishes at 20us.
+	if done != 20*Microsecond {
+		t.Fatalf("done = %v, want 20us", done)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "m", 1)
+	var order []int
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(100 * Microsecond)
+		r.Release()
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(Time(i+1) * Microsecond) // enqueue in index order
+			r.Acquire(p)
+			order = append(order, i)
+			r.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grant order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "m", 1)
+	var got []bool
+	e.Spawn("a", func(p *Proc) {
+		got = append(got, r.TryAcquire())
+		got = append(got, r.TryAcquire())
+		r.Release()
+		got = append(got, r.TryAcquire())
+		r.Release()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TryAcquire seq = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRWLockReadersShareWritersExclude(t *testing.T) {
+	e := NewEngine(1)
+	l := NewRWLock(e, "sem")
+	var readersIn, maxReaders int
+	writerIn := false
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprintf("r%d", i), func(p *Proc) {
+			l.RLock(p)
+			if writerIn {
+				t.Error("reader entered while writer held")
+			}
+			readersIn++
+			if readersIn > maxReaders {
+				maxReaders = readersIn
+			}
+			p.Sleep(10 * Microsecond)
+			readersIn--
+			l.RUnlock()
+		})
+	}
+	e.Spawn("w", func(p *Proc) {
+		p.Sleep(Microsecond)
+		l.Lock(p)
+		if readersIn != 0 {
+			t.Error("writer entered with readers inside")
+		}
+		writerIn = true
+		p.Sleep(10 * Microsecond)
+		writerIn = false
+		l.Unlock()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxReaders != 3 {
+		t.Fatalf("max concurrent readers = %d, want 3", maxReaders)
+	}
+}
+
+func TestRWLockWriterNotStarved(t *testing.T) {
+	e := NewEngine(1)
+	l := NewRWLock(e, "sem")
+	var writerAt Time
+	e.Spawn("r0", func(p *Proc) {
+		l.RLock(p)
+		p.Sleep(10 * Microsecond)
+		l.RUnlock()
+	})
+	e.Spawn("w", func(p *Proc) {
+		p.Sleep(Microsecond)
+		l.Lock(p)
+		writerAt = p.Now()
+		l.Unlock()
+	})
+	// A reader arriving after the writer queues must wait behind it.
+	var lateReaderAt Time
+	e.Spawn("r1", func(p *Proc) {
+		p.Sleep(2 * Microsecond)
+		l.RLock(p)
+		lateReaderAt = p.Now()
+		l.RUnlock()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if writerAt != 10*Microsecond {
+		t.Fatalf("writer acquired at %v, want 10us", writerAt)
+	}
+	if lateReaderAt < writerAt {
+		t.Fatalf("late reader at %v jumped the queued writer at %v", lateReaderAt, writerAt)
+	}
+}
+
+func TestEventFireReleasesAllAndIsIdempotent(t *testing.T) {
+	e := NewEngine(1)
+	ev := NewEvent(e)
+	var woke []string
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			ev.Wait(p)
+			woke = append(woke, fmt.Sprintf("w%d@%v", i, p.Now()))
+		})
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		ev.Fire()
+		ev.Fire()
+		// Wait after fire returns immediately.
+		ev.Wait(p)
+		woke = append(woke, "firer@"+p.Now().String())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 4 {
+		t.Fatalf("woke = %v, want 4 entries", woke)
+	}
+	if !strings.HasPrefix(woke[0], "firer") {
+		// firer continues synchronously before waiters get the token
+		t.Fatalf("woke order = %v", woke)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine(1)
+	wg := NewWaitGroup(e, 3)
+	var done Time
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(Time(i+1) * 10 * Microsecond)
+			wg.Done()
+		})
+	}
+	e.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		done = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 30*Microsecond {
+		t.Fatalf("waitgroup released at %v, want 30us", done)
+	}
+}
+
+func TestWaitGroupZeroImmediatelyReleased(t *testing.T) {
+	e := NewEngine(1)
+	wg := NewWaitGroup(e, 0)
+	ok := false
+	e.Spawn("w", func(p *Proc) {
+		wg.Wait(p)
+		ok = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("waiter not released on zero count")
+	}
+}
+
+func TestAcctCategories(t *testing.T) {
+	a := NewAcct()
+	a.Add("copy", 80*Microsecond)
+	a.Add("ctl", 20*Microsecond)
+	if a.Total() != 100*Microsecond {
+		t.Fatalf("total = %v", a.Total())
+	}
+	if p := a.Percent("copy"); p != 80 {
+		t.Fatalf("copy%% = %v, want 80", p)
+	}
+	cats := a.Categories()
+	if len(cats) != 2 || cats[0] != "copy" || cats[1] != "ctl" {
+		t.Fatalf("cats = %v", cats)
+	}
+	c := a.Clone()
+	c.Add("copy", 20*Microsecond)
+	if a.Get("copy") != 80*Microsecond {
+		t.Fatal("clone aliases original")
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestProcAcctCharging(t *testing.T) {
+	e := NewEngine(1)
+	a := NewAcct()
+	e.Spawn("p", func(p *Proc) {
+		p.SetAcct(a)
+		p.InCat("work", func() {
+			p.Sleep(10 * Microsecond)
+			p.InCat("inner", func() {
+				p.Sleep(5 * Microsecond)
+			})
+			p.Sleep(10 * Microsecond)
+		})
+		p.Sleep(99 * Microsecond) // uncategorized: not charged
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Get("work") != 20*Microsecond {
+		t.Fatalf("work = %v, want 20us", a.Get("work"))
+	}
+	if a.Get("inner") != 5*Microsecond {
+		t.Fatalf("inner = %v, want 5us", a.Get("inner"))
+	}
+	if a.Total() != 25*Microsecond {
+		t.Fatalf("total = %v, want 25us", a.Total())
+	}
+}
+
+func TestResourceWaitChargedToCategory(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "m", 1)
+	a := NewAcct()
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(40 * Microsecond)
+		r.Release()
+	})
+	e.Spawn("waiter", func(p *Proc) {
+		p.SetAcct(a)
+		p.Sleep(10 * Microsecond)
+		p.InCat("lock", func() {
+			r.Acquire(p)
+			r.Release()
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Get("lock") != 30*Microsecond {
+		t.Fatalf("lock wait charged %v, want 30us", a.Get("lock"))
+	}
+}

@@ -1,0 +1,59 @@
+// Package sim implements a deterministic discrete-event simulation (DES)
+// engine used as the substrate for the NUMA machine model.
+//
+// The engine executes simulated processes (Proc) one at a time: a single
+// execution token is passed between the engine goroutine and at most one
+// process goroutine, so process code never races and a run with a fixed
+// seed is reproducible bit for bit.
+//
+// On top of the core engine the package provides the synchronization
+// vocabulary the kernel model needs: counting resources with FIFO queueing
+// (Resource), reader/writer locks (RWLock), one-shot condition events
+// (Event), wait groups (WaitGroup), a max-min fair fluid bandwidth network
+// (Fluid/Link) used to model memory controllers and HyperTransport links,
+// and per-category cost accounting (Acct).
+package sim
+
+import "fmt"
+
+// Time is virtual simulated time in nanoseconds.
+type Time int64
+
+// Duration constants for virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats a virtual time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%v", -t)
+	case t < 10*Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", t.Micros())
+	case t < 10*Second:
+		return fmt.Sprintf("%.2fms", t.Millis())
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns t expressed in milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros returns t expressed in microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// FromSeconds converts seconds to virtual Time, rounding to nanoseconds.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Micros converts a floating-point microsecond count to Time.
+func Micros(us float64) Time { return Time(us * float64(Microsecond)) }

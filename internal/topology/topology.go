@@ -1,0 +1,229 @@
+// Package topology describes the simulated cc-NUMA machine: nodes with
+// attached memory and cores, the interconnect link graph, an ACPI
+// SLIT-style distance matrix, and per-node-pair routes through the links.
+package topology
+
+import "fmt"
+
+// NodeID identifies a NUMA node (memory bank + attached cores).
+type NodeID int
+
+// CoreID identifies a hardware core, globally numbered.
+type CoreID int
+
+// Node is one NUMA node.
+type Node struct {
+	ID       NodeID
+	MemBytes int64
+	L3Bytes  int64
+	Cores    []CoreID
+}
+
+// Core is one processing core.
+type Core struct {
+	ID   CoreID
+	Node NodeID
+}
+
+// Link is one interconnect link (e.g. HyperTransport) between two nodes.
+type Link struct {
+	ID   int
+	A, B NodeID
+}
+
+// Machine is a complete static description of the host.
+type Machine struct {
+	Nodes []Node
+	Cores []Core
+	Links []Link
+	// Dist is the SLIT-style distance matrix: 10 = local; the NUMA
+	// factor between nodes i,j is Dist[i][j]/10.
+	Dist [][]int
+	// routes[i][j] lists link IDs on the path from node i to node j
+	// (empty for i==j).
+	routes [][][]int
+}
+
+// NumNodes returns the node count.
+func (m *Machine) NumNodes() int { return len(m.Nodes) }
+
+// NumCores returns the total core count.
+func (m *Machine) NumCores() int { return len(m.Cores) }
+
+// NodeOf returns the node a core belongs to.
+func (m *Machine) NodeOf(c CoreID) NodeID { return m.Cores[c].Node }
+
+// Route returns the link IDs on the path between two nodes.
+func (m *Machine) Route(from, to NodeID) []int { return m.routes[from][to] }
+
+// NUMAFactor returns the access-cost ratio between a remote pair and
+// local access (1.0 for local).
+func (m *Machine) NUMAFactor(from, to NodeID) float64 {
+	return float64(m.Dist[from][to]) / float64(m.Dist[from][from])
+}
+
+// Validate checks internal consistency.
+func (m *Machine) Validate() error {
+	if len(m.Nodes) == 0 {
+		return fmt.Errorf("topology: no nodes")
+	}
+	if len(m.Dist) != len(m.Nodes) {
+		return fmt.Errorf("topology: distance matrix is %dx?, want %d rows", len(m.Dist), len(m.Nodes))
+	}
+	for i, row := range m.Dist {
+		if len(row) != len(m.Nodes) {
+			return fmt.Errorf("topology: distance row %d has %d cols", i, len(row))
+		}
+		if row[i]%10 != 0 || row[i] <= 0 {
+			return fmt.Errorf("topology: local distance of node %d is %d, want positive multiple of 10", i, row[i])
+		}
+		for j, d := range row {
+			if d < row[i] && i != j {
+				return fmt.Errorf("topology: remote distance %d->%d (%d) below local (%d)", i, j, d, row[i])
+			}
+			if m.Dist[j][i] != d {
+				return fmt.Errorf("topology: asymmetric distance %d<->%d", i, j)
+			}
+		}
+	}
+	for c, core := range m.Cores {
+		if CoreID(c) != core.ID {
+			return fmt.Errorf("topology: core %d has ID %d", c, core.ID)
+		}
+		if int(core.Node) >= len(m.Nodes) {
+			return fmt.Errorf("topology: core %d on invalid node %d", c, core.Node)
+		}
+	}
+	for n, node := range m.Nodes {
+		if NodeID(n) != node.ID {
+			return fmt.Errorf("topology: node %d has ID %d", n, node.ID)
+		}
+		for _, c := range node.Cores {
+			if m.Cores[c].Node != node.ID {
+				return fmt.Errorf("topology: node %d lists foreign core %d", n, c)
+			}
+		}
+	}
+	for i := range m.Nodes {
+		for j := range m.Nodes {
+			if i == j {
+				continue
+			}
+			r := m.routes[i][j]
+			if len(r) == 0 {
+				return fmt.Errorf("topology: no route %d->%d", i, j)
+			}
+			for _, l := range r {
+				if l < 0 || l >= len(m.Links) {
+					return fmt.Errorf("topology: route %d->%d uses invalid link %d", i, j, l)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Opteron4x4 builds the paper's experimentation host (Fig. 3): four
+// quad-core Opteron 8347HE sockets, 8 GB and one 2 MB shared L3 per
+// socket, HyperTransport links in a square (0-1, 0-2, 1-3, 2-3) so that
+// diagonally opposite nodes are two hops apart. Distances 10/12/14 give
+// the paper's NUMA factor range of 1.2-1.4.
+func Opteron4x4() *Machine {
+	return Grid(4, 4, 8<<30, 2<<20)
+}
+
+// Grid builds an n-node machine (n in {1,2,4,8}) with coresPerNode cores
+// per node, square/cube HT-style links and hop-count distances
+// (10 + 2*hops).
+func Grid(nodes, coresPerNode int, memPerNode, l3PerNode int64) *Machine {
+	if nodes != 1 && nodes != 2 && nodes != 4 && nodes != 8 {
+		panic(fmt.Sprintf("topology: unsupported node count %d (want 1,2,4,8)", nodes))
+	}
+	m := &Machine{}
+	coreID := CoreID(0)
+	for n := 0; n < nodes; n++ {
+		node := Node{ID: NodeID(n), MemBytes: memPerNode, L3Bytes: l3PerNode}
+		for c := 0; c < coresPerNode; c++ {
+			node.Cores = append(node.Cores, coreID)
+			m.Cores = append(m.Cores, Core{ID: coreID, Node: NodeID(n)})
+			coreID++
+		}
+		m.Nodes = append(m.Nodes, node)
+	}
+	// Hypercube-style adjacency: nodes differing in one bit are linked.
+	adj := make([][]bool, nodes)
+	for i := range adj {
+		adj[i] = make([]bool, nodes)
+	}
+	linkIdx := map[[2]int]int{}
+	for i := 0; i < nodes; i++ {
+		for j := i + 1; j < nodes; j++ {
+			if popcount(i^j) == 1 {
+				adj[i][j], adj[j][i] = true, true
+				linkIdx[[2]int{i, j}] = len(m.Links)
+				m.Links = append(m.Links, Link{ID: len(m.Links), A: NodeID(i), B: NodeID(j)})
+			}
+		}
+	}
+	// BFS hop counts and routes.
+	m.Dist = make([][]int, nodes)
+	m.routes = make([][][]int, nodes)
+	for i := 0; i < nodes; i++ {
+		m.Dist[i] = make([]int, nodes)
+		m.routes[i] = make([][]int, nodes)
+		hops, parents := bfs(adj, i)
+		for j := 0; j < nodes; j++ {
+			m.Dist[i][j] = 10 + 2*hops[j]
+			if i == j {
+				continue
+			}
+			// Reconstruct path j -> i, collect links.
+			var links []int
+			for v := j; v != i; v = parents[v] {
+				u := parents[v]
+				a, b := u, v
+				if a > b {
+					a, b = b, a
+				}
+				links = append(links, linkIdx[[2]int{a, b}])
+			}
+			m.routes[i][j] = links
+		}
+	}
+	if err := m.Validate(); err != nil {
+		panic("topology: generated invalid machine: " + err.Error())
+	}
+	return m
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func bfs(adj [][]bool, src int) (hops, parents []int) {
+	n := len(adj)
+	hops = make([]int, n)
+	parents = make([]int, n)
+	for i := range hops {
+		hops[i] = -1
+		parents[i] = -1
+	}
+	hops[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < n; v++ {
+			if adj[u][v] && hops[v] < 0 {
+				hops[v] = hops[u] + 1
+				parents[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return hops, parents
+}

@@ -1,0 +1,145 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpteron4x4Shape(t *testing.T) {
+	m := Opteron4x4()
+	if m.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4", m.NumNodes())
+	}
+	if m.NumCores() != 16 {
+		t.Fatalf("cores = %d, want 16", m.NumCores())
+	}
+	if len(m.Links) != 4 {
+		t.Fatalf("links = %d, want 4 (square)", len(m.Links))
+	}
+	if m.Nodes[0].MemBytes != 8<<30 {
+		t.Fatalf("mem = %d, want 8GB", m.Nodes[0].MemBytes)
+	}
+	if m.Nodes[2].L3Bytes != 2<<20 {
+		t.Fatalf("l3 = %d, want 2MB", m.Nodes[2].L3Bytes)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpteron4x4Distances(t *testing.T) {
+	m := Opteron4x4()
+	// Square 0-1, 0-2, 1-3, 2-3: diagonals (0,3) and (1,2) are 2 hops.
+	cases := []struct {
+		a, b NodeID
+		d    int
+	}{
+		{0, 0, 10}, {0, 1, 12}, {0, 2, 12}, {0, 3, 14}, {1, 2, 14}, {1, 3, 12}, {2, 3, 12},
+	}
+	for _, c := range cases {
+		if m.Dist[c.a][c.b] != c.d {
+			t.Errorf("dist[%d][%d] = %d, want %d", c.a, c.b, m.Dist[c.a][c.b], c.d)
+		}
+	}
+	if f := m.NUMAFactor(0, 3); f != 1.4 {
+		t.Errorf("NUMA factor 0->3 = %v, want 1.4", f)
+	}
+	if f := m.NUMAFactor(0, 1); f != 1.2 {
+		t.Errorf("NUMA factor 0->1 = %v, want 1.2", f)
+	}
+	if f := m.NUMAFactor(2, 2); f != 1.0 {
+		t.Errorf("NUMA factor local = %v, want 1.0", f)
+	}
+}
+
+func TestRoutes(t *testing.T) {
+	m := Opteron4x4()
+	if len(m.Route(0, 1)) != 1 {
+		t.Errorf("route 0->1 = %v, want 1 hop", m.Route(0, 1))
+	}
+	if len(m.Route(0, 3)) != 2 {
+		t.Errorf("route 0->3 = %v, want 2 hops", m.Route(0, 3))
+	}
+	if len(m.Route(1, 1)) != 0 {
+		t.Errorf("route 1->1 = %v, want empty", m.Route(1, 1))
+	}
+	// Route links must actually connect the endpoints.
+	for from := NodeID(0); from < 4; from++ {
+		for to := NodeID(0); to < 4; to++ {
+			if from == to {
+				continue
+			}
+			cur := to // path was built from `to` back to `from`
+			for _, li := range m.Route(from, to) {
+				l := m.Links[li]
+				switch cur {
+				case l.A:
+					cur = l.B
+				case l.B:
+					cur = l.A
+				default:
+					t.Fatalf("route %d->%d: link %d does not touch node %d", from, to, li, cur)
+				}
+			}
+			if cur != from {
+				t.Fatalf("route %d->%d ends at %d", from, to, cur)
+			}
+		}
+	}
+}
+
+func TestNodeOf(t *testing.T) {
+	m := Opteron4x4()
+	for c := CoreID(0); c < 16; c++ {
+		want := NodeID(int(c) / 4)
+		if m.NodeOf(c) != want {
+			t.Errorf("NodeOf(%d) = %d, want %d", c, m.NodeOf(c), want)
+		}
+	}
+}
+
+func TestGridShapes(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		m := Grid(n, 2, 1<<30, 1<<20)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Grid(%d): %v", n, err)
+		}
+		if m.NumNodes() != n || m.NumCores() != 2*n {
+			t.Fatalf("Grid(%d): %d nodes %d cores", n, m.NumNodes(), m.NumCores())
+		}
+	}
+}
+
+func TestGridUnsupportedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Grid(3) should panic")
+		}
+	}()
+	Grid(3, 2, 1<<30, 1<<20)
+}
+
+// Property: distances are symmetric, triangle-inequality-ish (hop metric)
+// and routes have length matching the hop count encoded in Dist.
+func TestGridRouteProperties(t *testing.T) {
+	check := func(sel uint8) bool {
+		sizes := []int{1, 2, 4, 8}
+		n := sizes[int(sel)%len(sizes)]
+		m := Grid(n, 1, 1<<30, 1<<20)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if m.Dist[i][j] != m.Dist[j][i] {
+					return false
+				}
+				wantHops := (m.Dist[i][j] - 10) / 2
+				if i != j && len(m.Route(NodeID(i), NodeID(j))) != wantHops {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

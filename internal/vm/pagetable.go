@@ -1,0 +1,137 @@
+package vm
+
+import (
+	"numamig/internal/mem"
+	"numamig/internal/model"
+)
+
+// PTE flag bits.
+const (
+	PTEPresent   uint8 = 1 << iota // a frame is mapped
+	PTERead                        // hardware read permitted
+	PTEWrite                       // hardware write permitted
+	PTENextTouch                   // migrate-on-next-touch mark
+	PTEDirty
+	PTEAccessed
+)
+
+// PTE is one page-table entry.
+type PTE struct {
+	Frame *mem.Frame
+	Flags uint8
+}
+
+// Present reports whether a frame is mapped.
+func (p *PTE) Present() bool { return p != nil && p.Flags&PTEPresent != 0 }
+
+// Allows reports whether the hardware bits permit the access. A
+// next-touch-marked PTE never allows access (the kernel cleared its
+// permission bits so the touch faults).
+func (p *PTE) Allows(write bool) bool {
+	if p == nil || p.Flags&PTEPresent == 0 || p.Flags&PTENextTouch != 0 {
+		return false
+	}
+	if write {
+		return p.Flags&PTEWrite != 0
+	}
+	return p.Flags&PTERead != 0
+}
+
+// SetProt installs hardware permission bits from a Prot mask, preserving
+// other flags.
+func (p *PTE) SetProt(prot Prot) {
+	p.Flags &^= PTERead | PTEWrite
+	if prot&ProtRead != 0 {
+		p.Flags |= PTERead
+	}
+	if prot&ProtWrite != 0 {
+		p.Flags |= PTEWrite
+	}
+}
+
+// Chunk is one page-table page: 512 PTEs covering 2 MiB of address space.
+// The kernel takes one PTE lock per chunk, which is what limits
+// parallel-migration scaling for sub-megabyte buffers (Fig. 7).
+//
+// A chunk may instead map one 2 MiB huge page (the paper's future-work
+// extension); then HugeFrame is set and the ptes array is unused.
+type Chunk struct {
+	ptes      [model.PTEChunkPages]PTE
+	Huge      bool
+	HugeFrame *mem.Frame
+	HugeFlags uint8
+}
+
+// ChunkIndex returns the page-table-chunk index of a VPN.
+func ChunkIndex(v VPN) uint64 { return uint64(v) / model.PTEChunkPages }
+
+// PageTable is a sparse two-level table: chunk index -> chunk.
+type PageTable struct {
+	chunks map[uint64]*Chunk
+}
+
+// NewPageTable creates an empty page table.
+func NewPageTable() *PageTable {
+	return &PageTable{chunks: map[uint64]*Chunk{}}
+}
+
+// Chunk returns the chunk covering v, or nil.
+func (t *PageTable) Chunk(v VPN) *Chunk { return t.chunks[ChunkIndex(v)] }
+
+// ChunkOrCreate returns the chunk covering v, creating it if needed.
+func (t *PageTable) ChunkOrCreate(v VPN) *Chunk {
+	ci := ChunkIndex(v)
+	c := t.chunks[ci]
+	if c == nil {
+		c = &Chunk{}
+		t.chunks[ci] = c
+	}
+	return c
+}
+
+// Lookup returns the PTE for v, or nil if the covering chunk does not
+// exist. The returned pointer aliases table state.
+func (t *PageTable) Lookup(v VPN) *PTE {
+	c := t.chunks[ChunkIndex(v)]
+	if c == nil || c.Huge {
+		return nil
+	}
+	return &c.ptes[uint64(v)%model.PTEChunkPages]
+}
+
+// Entry returns the PTE for v, creating the covering chunk.
+func (t *PageTable) Entry(v VPN) *PTE {
+	c := t.ChunkOrCreate(v)
+	if c.Huge {
+		panic("vm: 4k entry requested inside huge-page chunk")
+	}
+	return &c.ptes[uint64(v)%model.PTEChunkPages]
+}
+
+// NumChunks returns the number of allocated page-table pages.
+func (t *PageTable) NumChunks() int { return len(t.chunks) }
+
+// ForEach visits every present 4 KiB PTE in [start, end) VPNs, in
+// ascending order, without creating chunks. Huge chunks are skipped (the
+// caller handles them via Chunk).
+func (t *PageTable) ForEach(start, end VPN, fn func(v VPN, pte *PTE)) {
+	for v := start; v < end; {
+		c := t.chunks[ChunkIndex(v)]
+		if c == nil || c.Huge {
+			// Skip to next chunk boundary.
+			v = VPN((ChunkIndex(v) + 1) * model.PTEChunkPages)
+			continue
+		}
+		chunkEnd := VPN((ChunkIndex(v) + 1) * model.PTEChunkPages)
+		stop := end
+		if chunkEnd < stop {
+			stop = chunkEnd
+		}
+		for ; v < stop; v++ {
+			pte := &c.ptes[uint64(v)%model.PTEChunkPages]
+			if pte.Flags&PTEPresent != 0 {
+				fn(v, pte)
+			}
+		}
+	}
+}

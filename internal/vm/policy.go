@@ -1,0 +1,99 @@
+package vm
+
+import "numamig/internal/topology"
+
+// PolicyKind selects a NUMA memory allocation policy, mirroring Linux
+// mempolicies.
+type PolicyKind uint8
+
+// Policy kinds.
+const (
+	// PolDefault allocates on the faulting thread's local node
+	// (first-touch).
+	PolDefault PolicyKind = iota
+	// PolBind allocates strictly on the policy's node set.
+	PolBind
+	// PolInterleave round-robins allocations over the node set by page
+	// index, like MPOL_INTERLEAVE.
+	PolInterleave
+	// PolPreferred tries the first node of the set, falling back to
+	// local.
+	PolPreferred
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case PolDefault:
+		return "default"
+	case PolBind:
+		return "bind"
+	case PolInterleave:
+		return "interleave"
+	case PolPreferred:
+		return "preferred"
+	}
+	return "invalid"
+}
+
+// Policy is a NUMA allocation policy: a kind plus its node set.
+type Policy struct {
+	Kind  PolicyKind
+	Nodes []topology.NodeID
+}
+
+// DefaultPolicy is first-touch.
+func DefaultPolicy() Policy { return Policy{Kind: PolDefault} }
+
+// Interleave builds an interleave policy over the given nodes.
+func Interleave(nodes ...topology.NodeID) Policy {
+	return Policy{Kind: PolInterleave, Nodes: nodes}
+}
+
+// Bind builds a strict bind policy.
+func Bind(nodes ...topology.NodeID) Policy {
+	return Policy{Kind: PolBind, Nodes: nodes}
+}
+
+// Preferred builds a preferred policy.
+func Preferred(node topology.NodeID) Policy {
+	return Policy{Kind: PolPreferred, Nodes: []topology.NodeID{node}}
+}
+
+// Target returns the node on which page v of a VMA should be allocated,
+// given the faulting thread's local node. Interleaving is keyed on the
+// VPN so it is stable across faults, like Linux's offset-based
+// interleave.
+func (p Policy) Target(v VPN, local topology.NodeID) topology.NodeID {
+	switch p.Kind {
+	case PolBind:
+		if len(p.Nodes) == 0 {
+			return local
+		}
+		return p.Nodes[uint64(v)%uint64(len(p.Nodes))]
+	case PolInterleave:
+		if len(p.Nodes) == 0 {
+			return local
+		}
+		return p.Nodes[uint64(v)%uint64(len(p.Nodes))]
+	case PolPreferred:
+		if len(p.Nodes) == 0 {
+			return local
+		}
+		return p.Nodes[0]
+	default:
+		return local
+	}
+}
+
+// Equal reports whether two policies are identical (used for VMA merge).
+func (p Policy) Equal(q Policy) bool {
+	if p.Kind != q.Kind || len(p.Nodes) != len(q.Nodes) {
+		return false
+	}
+	for i := range p.Nodes {
+		if p.Nodes[i] != q.Nodes[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,297 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"numamig/internal/mem"
+	"numamig/internal/model"
+	"numamig/internal/topology"
+)
+
+func newSpace() *Space {
+	return NewSpace(mem.NewPhys(topology.Opteron4x4(), false))
+}
+
+func TestAddrHelpers(t *testing.T) {
+	if PageOf(4095) != 0 || PageOf(4096) != 1 {
+		t.Fatal("PageOf boundary wrong")
+	}
+	if VPN(3).Base() != 3*4096 {
+		t.Fatal("VPN.Base wrong")
+	}
+	if PageFloor(4097) != 4096 || PageCeil(4097) != 8192 || PageCeil(8192) != 8192 {
+		t.Fatal("floor/ceil wrong")
+	}
+	if PagesIn(4095, 2) != 2 {
+		t.Fatalf("PagesIn straddle = %d, want 2", PagesIn(4095, 2))
+	}
+	if PagesIn(0, 4096) != 1 {
+		t.Fatal("PagesIn exact")
+	}
+	if PagesIn(0, 0) != 0 {
+		t.Fatal("PagesIn empty")
+	}
+}
+
+func TestProt(t *testing.T) {
+	if ProtNone.Allows(false) || ProtNone.Allows(true) {
+		t.Fatal("ProtNone allows access")
+	}
+	if !ProtRead.Allows(false) || ProtRead.Allows(true) {
+		t.Fatal("ProtRead wrong")
+	}
+	if !ProtRW.Allows(true) {
+		t.Fatal("ProtRW wrong")
+	}
+	if ProtRW.String() != "rw" || ProtRead.String() != "r-" {
+		t.Fatal("Prot.String wrong")
+	}
+}
+
+func TestPTEFlags(t *testing.T) {
+	var p PTE
+	if p.Present() || p.Allows(false) {
+		t.Fatal("zero PTE should be absent")
+	}
+	p.Flags = PTEPresent
+	p.SetProt(ProtRW)
+	if !p.Allows(true) || !p.Allows(false) {
+		t.Fatal("rw PTE should allow access")
+	}
+	p.Flags |= PTENextTouch
+	if p.Allows(false) {
+		t.Fatal("next-touch PTE must fault on access")
+	}
+	p.Flags &^= PTENextTouch
+	p.SetProt(ProtRead)
+	if p.Allows(true) {
+		t.Fatal("read-only PTE allows write")
+	}
+	var nilPTE *PTE
+	if nilPTE.Present() || nilPTE.Allows(false) {
+		t.Fatal("nil PTE should deny")
+	}
+}
+
+func TestPageTableSparse(t *testing.T) {
+	pt := NewPageTable()
+	if pt.Lookup(123) != nil {
+		t.Fatal("lookup in empty table should be nil")
+	}
+	e := pt.Entry(123)
+	e.Flags = PTEPresent
+	if pt.Lookup(123) == nil || !pt.Lookup(123).Present() {
+		t.Fatal("entry not visible")
+	}
+	if pt.NumChunks() != 1 {
+		t.Fatalf("chunks = %d", pt.NumChunks())
+	}
+	// Far-away VPN allocates a second chunk.
+	pt.Entry(1 << 20).Flags = PTEPresent
+	if pt.NumChunks() != 2 {
+		t.Fatalf("chunks = %d", pt.NumChunks())
+	}
+}
+
+func TestPageTableForEachOrdered(t *testing.T) {
+	pt := NewPageTable()
+	for _, v := range []VPN{5, 600, 3, 1024} {
+		pt.Entry(v).Flags = PTEPresent
+	}
+	var got []VPN
+	pt.ForEach(0, 2000, func(v VPN, pte *PTE) { got = append(got, v) })
+	want := []VPN{3, 5, 600, 1024}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Bounded walk.
+	got = nil
+	pt.ForEach(4, 601, func(v VPN, pte *PTE) { got = append(got, v) })
+	if len(got) != 2 || got[0] != 5 || got[1] != 600 {
+		t.Fatalf("bounded walk got %v", got)
+	}
+}
+
+func TestPolicyTargets(t *testing.T) {
+	if DefaultPolicy().Target(7, 2) != 2 {
+		t.Fatal("default should be local")
+	}
+	il := Interleave(0, 1, 2, 3)
+	counts := map[topology.NodeID]int{}
+	for v := VPN(0); v < 100; v++ {
+		counts[il.Target(v, 0)]++
+	}
+	for n := topology.NodeID(0); n < 4; n++ {
+		if counts[n] != 25 {
+			t.Fatalf("interleave counts = %v", counts)
+		}
+	}
+	if Bind(3).Target(0, 1) != 3 {
+		t.Fatal("bind ignored")
+	}
+	if Preferred(2).Target(9, 0) != 2 {
+		t.Fatal("preferred ignored")
+	}
+	if !Interleave(1, 2).Equal(Interleave(1, 2)) {
+		t.Fatal("Equal false negative")
+	}
+	if Interleave(1, 2).Equal(Interleave(2, 1)) {
+		t.Fatal("Equal false positive")
+	}
+	if Bind().Target(5, 1) != 1 {
+		t.Fatal("empty bind should fall back to local")
+	}
+}
+
+func TestMapFindUnmap(t *testing.T) {
+	s := newSpace()
+	a, err := s.Map(10*model.PageSize, ProtRW, DefaultPolicy(), 0, "buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.Find(a)
+	if v == nil || v.Pages() != 10 || v.Label != "buf" {
+		t.Fatalf("vma = %v", v)
+	}
+	if s.Find(a+10*model.PageSize) == v {
+		t.Fatal("Find beyond end returned vma")
+	}
+	if err := s.Unmap(a, 10*model.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if s.Find(a) != nil {
+		t.Fatal("vma survives unmap")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoMapsDisjoint(t *testing.T) {
+	s := newSpace()
+	a, _ := s.Map(4*model.PageSize, ProtRW, DefaultPolicy(), 0, "a")
+	b, _ := s.Map(4*model.PageSize, ProtRW, DefaultPolicy(), 0, "b")
+	if a == b || (b >= a && b < a+4*model.PageSize) {
+		t.Fatalf("maps overlap: %#x %#x", a, b)
+	}
+	if s.NumVMAs() != 2 {
+		t.Fatalf("vmas = %d", s.NumVMAs())
+	}
+}
+
+func TestApplySplitsAndMerges(t *testing.T) {
+	s := newSpace()
+	a, _ := s.Map(10*model.PageSize, ProtRW, DefaultPolicy(), 0, "buf")
+	// Protect the middle 4 pages.
+	mid := a + 3*model.PageSize
+	err := s.Apply(mid, mid+4*model.PageSize, func(v *VMA) { v.Prot = ProtNone })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVMAs() != 3 {
+		t.Fatalf("vmas after split = %d, want 3", s.NumVMAs())
+	}
+	if got := s.Find(mid).Prot; got != ProtNone {
+		t.Fatalf("middle prot = %v", got)
+	}
+	if got := s.Find(a).Prot; got != ProtRW {
+		t.Fatalf("head prot = %v", got)
+	}
+	// Restoring merges back into one.
+	err = s.Apply(mid, mid+4*model.PageSize, func(v *VMA) { v.Prot = ProtRW })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVMAs() != 1 {
+		t.Fatalf("vmas after merge = %d, want 1", s.NumVMAs())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmapPartial(t *testing.T) {
+	s := newSpace()
+	phys := s.Phys
+	a, _ := s.Map(8*model.PageSize, ProtRW, DefaultPolicy(), 0, "buf")
+	// Fake-populate 8 pages on node 0.
+	for i := 0; i < 8; i++ {
+		f, err := phys.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := s.PT.Entry(PageOf(a) + VPN(i))
+		e.Frame = f
+		e.Flags = PTEPresent
+		e.SetProt(ProtRW)
+	}
+	if err := s.Unmap(a+2*model.PageSize, 3*model.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVMAs() != 2 {
+		t.Fatalf("vmas = %d, want 2", s.NumVMAs())
+	}
+	if got := phys.Stats(0).Allocated; got != 5 {
+		t.Fatalf("allocated after partial unmap = %d, want 5", got)
+	}
+	if n := s.ResidentPages(a, a+8*model.PageSize); n != 5 {
+		t.Fatalf("resident = %d, want 5", n)
+	}
+}
+
+// Property: random sequences of Apply on sub-ranges preserve VMA
+// invariants and total mapped length.
+func TestApplyInvariantsProperty(t *testing.T) {
+	const pages = 64
+	check := func(ops []uint16) bool {
+		s := newSpace()
+		base, _ := s.Map(pages*model.PageSize, ProtRW, DefaultPolicy(), 0, "x")
+		for _, op := range ops {
+			lo := int(op>>8) % pages
+			hi := lo + 1 + int(op&0xff)%(pages-lo)
+			prot := ProtRW
+			if op%3 == 0 {
+				prot = ProtNone
+			} else if op%3 == 1 {
+				prot = ProtRead
+			}
+			start := base + Addr(lo*model.PageSize)
+			end := base + Addr(hi*model.PageSize)
+			if err := s.Apply(start, end, func(v *VMA) { v.Prot = prot }); err != nil {
+				return false
+			}
+			if err := s.CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		var total int64
+		for _, v := range s.VMAs() {
+			total += v.Len()
+		}
+		return total == pages*model.PageSize
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHugeMapAlignment(t *testing.T) {
+	s := newSpace()
+	a, err := s.Map(3*model.PageSize, ProtRW, DefaultPolicy(), VMAHuge, "huge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a%model.HugePageSize != 0 {
+		t.Fatalf("huge map base %#x not 2MB aligned", a)
+	}
+	v := s.Find(a)
+	if v.Len() != model.HugePageSize {
+		t.Fatalf("huge map len = %d, want 2MB", v.Len())
+	}
+}

@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"fmt"
+
+	"numamig/internal/cachesim"
+	"numamig/internal/kern"
+	"numamig/internal/omp"
+	"numamig/internal/sim"
+	"numamig/internal/vm"
+
+	numamig "numamig"
+)
+
+// LUPolicy selects the Table 1 data-placement strategy.
+type LUPolicy int
+
+// LU placement policies.
+const (
+	// LUStatic keeps the initial interleaved allocation for the whole
+	// factorization (the best static policy per §4.5).
+	LUStatic LUPolicy = iota
+	// LUNextTouch re-marks the trailing submatrix Migrate-on-next-touch
+	// at the beginning of every iteration (the paper's madvise hook).
+	LUNextTouch
+)
+
+func (p LUPolicy) String() string {
+	if p == LUStatic {
+		return "static"
+	}
+	return "next-touch"
+}
+
+// LUConfig parameterizes one Table 1 cell.
+type LUConfig struct {
+	N       int // matrix dimension (N x N floats)
+	B       int // block dimension
+	Threads int // OpenMP threads (paper: 16); 0 = all cores
+	Policy  LUPolicy
+	Seed    int64
+}
+
+// LUResult reports one run.
+type LUResult struct {
+	Config       LUConfig
+	Duration     sim.Time
+	NTMigrations uint64
+	RemoteFrac   float64 // fraction of application bytes served remotely
+}
+
+const luElem = 4 // float32 elements, "NxN floats" per the paper
+
+// luDriver walks the block-task structure of a right-looking blocked LU
+// (the same panel / block-row / trailing-update decomposition as
+// linalg.BlockedLU, which verifies the numerics of that structure) over
+// the simulated memory system, with per-socket L3 caches gating traffic.
+type luDriver struct {
+	sys   *numamig.System
+	cfg   LUConfig
+	base  vm.Addr
+	nb    int
+	cache *cachesim.Group
+	team  *omp.Team
+}
+
+// blockRect returns the strided rectangle of block (bi, bj).
+func (d *luDriver) blockRect(bi, bj int) kern.Rect {
+	off := int64(bi*d.cfg.B)*int64(d.cfg.N)*luElem + int64(bj*d.cfg.B)*luElem
+	return kern.Rect{
+		Base:     d.base + vm.Addr(off),
+		RowBytes: int64(d.cfg.B) * luElem,
+		Stride:   int64(d.cfg.N) * luElem,
+		Rows:     d.cfg.B,
+	}
+}
+
+// blockRef names one operand of a kernel task.
+type blockRef struct {
+	bi, bj int
+	write  bool
+}
+
+// accessBlocks is the memory model of one BLAS task over the given
+// operand blocks: fault every block in (running next-touch migrations),
+// then charge traffic. Blocks resident in the socket's shared L3 cost
+// nothing beyond their faults; missing blocks cost at least their
+// footprint. When the socket's collective operand demand overflows the
+// L3, the column-strided operand reloads inflate the volume cubically up
+// to ~2*B^3*4 bytes (reference-BLAS thrashing, same model as the Fig. 8
+// driver) — this is what makes the paper's large-block factorizations
+// memory-bound and migration-sensitive.
+func (d *luDriver) accessBlocks(t *kern.Task, blocks ...blockRef) {
+	blockBytes := int64(d.cfg.B) * int64(d.cfg.B) * luElem
+	sock := int(t.Node())
+	cache := d.cache.Node(sock)
+	var missBytes float64
+	for _, b := range blocks {
+		r := d.blockRect(b.bi, b.bj)
+		if _, err := t.FaultInRect(r, b.write); err != nil {
+			panic(err)
+		}
+		id := uint64(b.bi*d.nb + b.bj)
+		if !cache.Access(id, blockBytes) {
+			missBytes += float64(blockBytes)
+		}
+		if b.write {
+			for n := 0; n < d.sys.Machine.NumNodes(); n++ {
+				if n != sock {
+					d.cache.Node(n).Invalidate(uint64(b.bi*d.nb + b.bj))
+				}
+			}
+		}
+	}
+	if missBytes == 0 {
+		return
+	}
+	// Collective cache pressure on this socket: every core runs a task
+	// over three blocks of its own.
+	threadsOnSocket := (d.cfg.Threads + d.sys.Machine.NumNodes() - 1) / d.sys.Machine.NumNodes()
+	demand := float64(threadsOnSocket) * 3 * float64(blockBytes)
+	l3 := float64(d.sys.Machine.Nodes[sock].L3Bytes)
+	volume := missBytes
+	if demand > l3 {
+		ratio := demand / l3
+		volume = missBytes * ratio * ratio * ratio
+		bf := float64(d.cfg.B)
+		if max := 2 * bf * bf * bf * luElem; volume > max {
+			volume = max
+		}
+	}
+	// Distribute the volume over the operands' page placements.
+	share := volume / float64(len(blocks))
+	for _, b := range blocks {
+		t.TrafficRectVolume(d.blockRect(b.bi, b.bj), share, kern.Blocked, b.write)
+	}
+}
+
+// compute charges flops of useful work at the per-core rate.
+func (d *luDriver) compute(t *kern.Task, flops float64) {
+	t.P.Sleep(sim.FromSeconds(flops / d.sys.Kernel.P.ComputeRate))
+}
+
+// RunLU executes one Table 1 configuration and returns its simulated
+// wall time.
+func RunLU(cfg LUConfig) (LUResult, error) {
+	if cfg.N <= 0 || cfg.B <= 0 || cfg.N%cfg.B != 0 {
+		return LUResult{}, fmt.Errorf("workload: bad LU config N=%d B=%d", cfg.N, cfg.B)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	sys := numamig.New(numamig.Config{Seed: cfg.Seed})
+	if cfg.Threads == 0 {
+		cfg.Threads = sys.Machine.NumCores()
+	}
+	d := &luDriver{
+		sys:   sys,
+		cfg:   cfg,
+		nb:    cfg.N / cfg.B,
+		cache: cachesim.NewGroup(sys.Machine.NumNodes(), sys.Machine.Nodes[0].L3Bytes),
+	}
+	teamCores := make([]numamig.CoreID, cfg.Threads)
+	for i := range teamCores {
+		teamCores[i] = numamig.CoreID(i % sys.Machine.NumCores())
+	}
+	d.team = sys.TeamOn(teamCores...)
+
+	matBytes := int64(cfg.N) * int64(cfg.N) * luElem
+	var start, end sim.Time
+	err := sys.Run(func(t *numamig.Task) {
+		// Initial allocation: interleaved across all nodes (the best
+		// static policy for this bandwidth-bound problem, §4.5).
+		nodes := make([]numamig.NodeID, sys.Machine.NumNodes())
+		for i := range nodes {
+			nodes[i] = numamig.NodeID(i)
+		}
+		buf := numamig.MustAlloc(t, matBytes, numamig.Interleave(nodes...))
+		if err := buf.Prefault(t); err != nil {
+			panic(err)
+		}
+		d.base = buf.Base
+
+		start = t.P.Now()
+		d.factorize(t)
+		end = t.P.Now()
+	})
+	if err != nil {
+		return LUResult{}, err
+	}
+	st := sys.Stats()
+	res := LUResult{
+		Config:       cfg,
+		Duration:     end - start,
+		NTMigrations: st.NTMigrations,
+	}
+	if tot := st.LocalBytes + st.RemoteBytes; tot > 0 {
+		res.RemoteFrac = st.RemoteBytes / tot
+	}
+	return res, nil
+}
+
+// factorize runs the blocked right-looking LU task graph: per iteration
+// k, (optionally) re-mark the trailing submatrix next-touch, factor the
+// panel, then update the block row/column and GEMM-update the trailing
+// blocks in OpenMP parallel-for loops (§4.5).
+func (d *luDriver) factorize(master *kern.Task) {
+	cfg := d.cfg
+	nb := d.nb
+	b := float64(cfg.B)
+	for k := 0; k < nb; k++ {
+		if cfg.Policy == LUNextTouch {
+			// The madvise hook at the beginning of each iteration: mark
+			// everything from the current pivot row down (covers the
+			// whole trailing submatrix).
+			off := int64(k*cfg.B) * int64(cfg.N) * luElem
+			length := int64(cfg.N-k*cfg.B) * int64(cfg.N) * luElem
+			if _, err := master.Madvise(d.base+vm.Addr(off), length, kern.AdvMigrateOnNextTouch); err != nil {
+				panic(err)
+			}
+		}
+		// Panel factorization: pivot block plus the blocks below it,
+		// done by the master (the serial fraction of the algorithm).
+		d.accessBlocks(master, blockRef{k, k, true})
+		d.compute(master, (2.0/3.0)*b*b*b)
+		for i := k + 1; i < nb; i++ {
+			d.accessBlocks(master, blockRef{i, k, true}, blockRef{k, k, false})
+			d.compute(master, b*b*b/2)
+		}
+		if k+1 >= nb {
+			break
+		}
+		// Block-row update (TRSM): U(k,j) for j > k, in parallel.
+		d.team.ParallelFor(master, k+1, nb, omp.Static{}, func(t *kern.Task, j int) {
+			d.accessBlocks(t, blockRef{k, k, false}, blockRef{k, j, true})
+			d.compute(t, b*b*b)
+		})
+		// Trailing update (GEMM): C(i,j) -= L(i,k)*U(k,j), parallel over
+		// block columns (the paper's "for loops" with a parallel-for
+		// pragma). Row-major storage means a 4 KiB page holds
+		// PageSize/(B*4) horizontally-consecutive blocks: below B=1024
+		// neighbouring j-columns share pages, and below ~512 they land
+		// in different threads' chunks — touching one block then
+		// migrates lines of its neighbours too, the ping-pong behind the
+		// paper's 512 block-size threshold. GOMP static chunking over
+		// the shrinking j range also drifts ownership between
+		// iterations, which the next-touch hook repairs.
+		d.team.ParallelFor(master, k+1, nb, omp.Static{}, func(t *kern.Task, j int) {
+			d.accessBlocks(t, blockRef{k, j, false})
+			for i := k + 1; i < nb; i++ {
+				d.accessBlocks(t, blockRef{i, k, false}, blockRef{i, j, true})
+				d.compute(t, 2*b*b*b)
+			}
+		})
+	}
+}

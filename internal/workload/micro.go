@@ -1,0 +1,229 @@
+// Package workload implements the paper's measured workloads on the
+// simulated machine: the synchronous-migration and next-touch
+// microbenchmarks (Figures 4-6), threaded migration scaling (Figure 7),
+// the threaded LU factorization (Table 1), the 16 concurrent BLAS3
+// multiplications (Figure 8), and the BLAS1 non-result (§4.5).
+package workload
+
+import (
+	"fmt"
+
+	"numamig/internal/core"
+	"numamig/internal/kern"
+	"numamig/internal/model"
+	"numamig/internal/sim"
+	"numamig/internal/topology"
+	"numamig/internal/vm"
+
+	numamig "numamig"
+)
+
+// MigMethod selects the Figure 4 curve.
+type MigMethod int
+
+// Figure 4 methods.
+const (
+	Memcpy MigMethod = iota
+	MigratePages
+	MovePagesPatched
+	MovePagesUnpatched
+)
+
+func (m MigMethod) String() string {
+	switch m {
+	case Memcpy:
+		return "memcpy"
+	case MigratePages:
+		return "migrate_pages"
+	case MovePagesPatched:
+		return "move_pages"
+	case MovePagesUnpatched:
+		return "move_pages (no patch)"
+	}
+	return "invalid"
+}
+
+// NTVariant selects the Figure 5 curve.
+type NTVariant int
+
+// Next-touch variants.
+const (
+	UserNTPatched NTVariant = iota
+	UserNTUnpatched
+	KernelNT
+)
+
+func (v NTVariant) String() string {
+	switch v {
+	case UserNTPatched:
+		return "User Next-touch"
+	case UserNTUnpatched:
+		return "User Next-touch (no move_pages patch)"
+	case KernelNT:
+		return "Kernel Next-touch"
+	}
+	return "invalid"
+}
+
+// MBps converts bytes moved in a virtual duration to MB/s.
+func MBps(bytes int64, d sim.Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e6
+}
+
+// SyncMigration measures the Figure 4 throughput of migrating (or
+// copying) `pages` 4 KiB pages from node 0 to node 1, performed by a
+// thread on node 1. Returns MB/s.
+func SyncMigration(pages int, method MigMethod) (float64, error) {
+	sys := numamig.New(numamig.Config{})
+	size := int64(pages) * model.PageSize
+	var dur sim.Time
+	err := sys.RunOn(4, func(t *numamig.Task) { // core 4 = node 1
+		src := numamig.MustAlloc(t, size, numamig.Bind(0))
+		if err := src.Prefault(t); err != nil {
+			panic(err)
+		}
+		var dst *numamig.Buffer
+		if method == Memcpy {
+			dst = numamig.MustAlloc(t, size, numamig.Bind(1))
+			if err := dst.Prefault(t); err != nil {
+				panic(err)
+			}
+		}
+		start := t.P.Now()
+		switch method {
+		case Memcpy:
+			if err := t.Memcpy(dst.Base, src.Base, size); err != nil {
+				panic(err)
+			}
+		case MigratePages:
+			if _, err := t.MigratePages([]topology.NodeID{0}, []topology.NodeID{1}); err != nil {
+				panic(err)
+			}
+		case MovePagesPatched, MovePagesUnpatched:
+			if _, err := t.MovePagesTo(src.Base, size, 1, method == MovePagesPatched); err != nil {
+				panic(err)
+			}
+		}
+		dur = t.P.Now() - start
+	})
+	if err != nil {
+		return 0, err
+	}
+	return MBps(size, dur), nil
+}
+
+// NextTouch measures the Figure 5 next-touch migration throughput for
+// `pages` pages moving node 0 -> node 1, and returns the throughput plus
+// the per-category cost account behind Figures 6(a)/6(b).
+func NextTouch(pages int, variant NTVariant) (float64, *sim.Acct, error) {
+	sys := numamig.New(numamig.Config{})
+	size := int64(pages) * model.PageSize
+	acct := sim.NewAcct()
+	var dur sim.Time
+
+	var userNT *core.UserNT
+	var kernelNT *core.KernelNT
+	switch variant {
+	case UserNTPatched:
+		userNT = sys.NewUserNT(true)
+	case UserNTUnpatched:
+		userNT = sys.NewUserNT(false)
+	case KernelNT:
+		kernelNT = sys.NewKernelNT()
+	}
+
+	err := sys.RunOn(4, func(t *numamig.Task) { // node 1
+		buf := numamig.MustAlloc(t, size, numamig.Bind(0))
+		if err := buf.Prefault(t); err != nil {
+			panic(err)
+		}
+		t.P.SetAcct(acct)
+		start := t.P.Now()
+		// Mark.
+		if userNT != nil {
+			if err := userNT.Mark(t, buf.Region()); err != nil {
+				panic(err)
+			}
+		} else {
+			if _, err := kernelNT.Mark(t, buf.Region()); err != nil {
+				panic(err)
+			}
+		}
+		// Touch: pure fault-driven migration (no application traffic).
+		if _, err := t.FaultIn(buf.Base, size, false); err != nil {
+			panic(err)
+		}
+		dur = t.P.Now() - start
+		t.P.SetAcct(nil)
+
+		// Verify all pages moved.
+		hist, absent := buf.NodeHistogram(t)
+		if absent != 0 || hist[1] != pages {
+			panic(fmt.Sprintf("next-touch left pages behind: %v absent=%d", hist, absent))
+		}
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return MBps(size, dur), acct, nil
+}
+
+// ThreadedMigration measures the Figure 7 aggregate throughput: threads
+// bound to node 1 migrate a `pages`-page buffer from node 0, either
+// synchronously (each thread move_pages on its share) or lazily (kernel
+// next-touch faults on its share). Returns aggregate MB/s.
+func ThreadedMigration(pages, threads int, lazy bool) (float64, error) {
+	if threads < 1 || threads > 4 {
+		return 0, fmt.Errorf("workload: threads must be 1..4 (one node), got %d", threads)
+	}
+	sys := numamig.New(numamig.Config{})
+	size := int64(pages) * model.PageSize
+	ready := sim.NewEvent(sys.Eng)
+	var buf *numamig.Buffer
+	var start, last sim.Time
+
+	sys.Proc.Spawn("setup", 0, func(t *kern.Task) {
+		buf = numamig.MustAlloc(t, size, numamig.Bind(0))
+		if err := buf.Prefault(t); err != nil {
+			panic(err)
+		}
+		if lazy {
+			if _, err := t.Madvise(buf.Base, size, kern.AdvMigrateOnNextTouch); err != nil {
+				panic(err)
+			}
+		}
+		start = t.P.Now()
+		ready.Fire()
+	})
+	chunkPages := pages / threads
+	for i := 0; i < threads; i++ {
+		i := i
+		sys.Proc.Spawn(fmt.Sprintf("mig%d", i), topology.CoreID(4+i), func(t *kern.Task) {
+			ready.Wait(t.P)
+			base := buf.Base + vm.Addr(i*chunkPages)*model.PageSize
+			n := chunkPages
+			if i == threads-1 {
+				n = pages - i*chunkPages
+			}
+			if lazy {
+				if _, err := t.FaultIn(base, int64(n)*model.PageSize, false); err != nil {
+					panic(err)
+				}
+			} else {
+				if _, err := t.MovePagesTo(base, int64(n)*model.PageSize, 1, true); err != nil {
+					panic(err)
+				}
+			}
+			if end := t.P.Now(); end > last {
+				last = end
+			}
+		})
+	}
+	if err := sys.Eng.Run(); err != nil {
+		return 0, err
+	}
+	return MBps(size, last-start), nil
+}

@@ -1,0 +1,357 @@
+package workload
+
+import (
+	"testing"
+
+	"numamig/internal/kern"
+)
+
+// The workload tests assert the paper's qualitative results (who wins,
+// by roughly what factor, where crossovers fall), not absolute numbers.
+
+func TestFigure4Ordering(t *testing.T) {
+	const pages = 4096
+	get := func(m MigMethod) float64 {
+		v, err := SyncMigration(pages, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	memcpy := get(Memcpy)
+	migrate := get(MigratePages)
+	movePatched := get(MovePagesPatched)
+	moveUnpatched := get(MovePagesUnpatched)
+	if !(memcpy > migrate && migrate > movePatched && movePatched > moveUnpatched) {
+		t.Fatalf("ordering wrong: memcpy=%.0f migrate=%.0f move=%.0f unpatched=%.0f",
+			memcpy, migrate, movePatched, moveUnpatched)
+	}
+	// Paper §4.2: ~600 MB/s patched, ~780 MB/s migrate_pages, ~2 GB/s
+	// memcpy, unpatched collapses.
+	if movePatched < 520 || movePatched > 700 {
+		t.Fatalf("move_pages = %.0f MB/s, want ~600", movePatched)
+	}
+	if migrate < 650 || migrate > 850 {
+		t.Fatalf("migrate_pages = %.0f MB/s, want ~780", migrate)
+	}
+	if memcpy < 1700 || memcpy > 2400 {
+		t.Fatalf("memcpy = %.0f MB/s, want ~2100", memcpy)
+	}
+	if moveUnpatched > movePatched/3 {
+		t.Fatalf("unpatched (%.0f) should collapse vs patched (%.0f) at %d pages",
+			moveUnpatched, movePatched, pages)
+	}
+}
+
+func TestFigure4UnpatchedThroughputDropsWithSize(t *testing.T) {
+	small, err := SyncMigration(256, MovePagesUnpatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := SyncMigration(8192, MovePagesUnpatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large >= small/2 {
+		t.Fatalf("unpatched throughput should drop: 256p=%.0f 8192p=%.0f", small, large)
+	}
+	// Patched stays flat (buffer-size independent).
+	ps, _ := SyncMigration(256, MovePagesPatched)
+	pl, _ := SyncMigration(8192, MovePagesPatched)
+	if pl < ps*0.85 {
+		t.Fatalf("patched throughput not flat: 256p=%.0f 8192p=%.0f", ps, pl)
+	}
+}
+
+func TestFigure5KernelNTFastAndFlat(t *testing.T) {
+	small, _, err := NextTouch(16, KernelNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, _, err := NextTouch(4096, KernelNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~800 MB/s even for small buffers (paper Fig. 5).
+	for _, v := range []float64{small, large} {
+		if v < 650 || v > 950 {
+			t.Fatalf("kernel NT = %.0f/%.0f MB/s, want ~800 at both sizes", small, large)
+		}
+	}
+	// User NT approaches move_pages speed only for large buffers.
+	uSmall, _, err := NextTouch(16, UserNTPatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uLarge, _, err := NextTouch(4096, UserNTPatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uSmall > small/2 {
+		t.Fatalf("user NT at 16 pages (%.0f) should be far below kernel NT (%.0f)", uSmall, small)
+	}
+	if uLarge < 450 || uLarge > 700 {
+		t.Fatalf("user NT at 4096 pages = %.0f, want ~600", uLarge)
+	}
+	// Kernel NT is ~30%% faster than the user-space model (paper §4.3).
+	if ratio := large / uLarge; ratio < 1.15 || ratio > 1.6 {
+		t.Fatalf("kernel/user NT ratio = %.2f, want ~1.3", ratio)
+	}
+}
+
+func TestFigure5UnpatchedUserNTCollapses(t *testing.T) {
+	patched, _, err := NextTouch(4096, UserNTPatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpatched, _, err := NextTouch(4096, UserNTUnpatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unpatched > patched/2 {
+		t.Fatalf("user NT unpatched (%.0f) should collapse vs patched (%.0f)", unpatched, patched)
+	}
+}
+
+func TestFigure6aBreakdown(t *testing.T) {
+	_, acct, err := NextTouch(4096, UserNTPatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := acct.Total()
+	if tot == 0 {
+		t.Fatal("empty account")
+	}
+	ctl := acct.Percent(kern.CatMovePagesCtl)
+	cp := acct.Percent(kern.CatMovePagesCopy)
+	// Paper Fig. 6a: control ~38% of move_pages cost at large sizes;
+	// signal/mprotect overhead negligible.
+	if ctl < 30 || ctl > 48 {
+		t.Fatalf("move_pages control share = %.1f%%, want ~38%%", ctl)
+	}
+	if cp < 50 || cp > 70 {
+		t.Fatalf("move_pages copy share = %.1f%%, want ~60%%", cp)
+	}
+	for _, cat := range []string{kern.CatMprotectMark, kern.CatMprotectRest, kern.CatFaultSignal} {
+		if p := acct.Percent(cat); p > 3 {
+			t.Fatalf("%s share = %.1f%%, want negligible", cat, p)
+		}
+	}
+}
+
+func TestFigure6bBreakdown(t *testing.T) {
+	_, acct, err := NextTouch(4096, KernelNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := acct.Percent(kern.CatNTCtl)
+	cp := acct.Percent(kern.CatNTCopy)
+	// Paper Fig. 6b: page-fault + migration control ~20%.
+	if ctl < 14 || ctl > 27 {
+		t.Fatalf("kernel NT control share = %.1f%%, want ~20%%", ctl)
+	}
+	if cp < 70 || cp > 86 {
+		t.Fatalf("kernel NT copy share = %.1f%%, want ~80%%", cp)
+	}
+	// madvise is visible only for small buffers.
+	_, acctSmall, err := NextTouch(4, KernelNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small, large := acctSmall.Percent(kern.CatMadvise), acct.Percent(kern.CatMadvise); small <= large {
+		t.Fatalf("madvise share should shrink with size: %0.1f%% -> %0.1f%%", small, large)
+	}
+}
+
+func TestFigure7ScalingShape(t *testing.T) {
+	const large = 16384
+	s1, err := ThreadedMigration(large, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := ThreadedMigration(large, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := ThreadedMigration(large, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l4, err := ThreadedMigration(large, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §4.4: +50-60% with 4 threads for both strategies.
+	if sp := s4 / s1; sp < 1.35 || sp > 1.85 {
+		t.Fatalf("sync 4-thread speedup = %.2f, want ~1.55", sp)
+	}
+	// Lazy reaches ~1.3 GB/s and beats sync.
+	if l4 < 1150 || l4 > 1600 {
+		t.Fatalf("lazy 4-thread = %.0f MB/s, want ~1300-1450", l4)
+	}
+	if l4 <= s4 {
+		t.Fatalf("lazy aggregate (%.0f) should exceed sync (%.0f)", l4, s4)
+	}
+	if l1 < 650 || l1 > 950 {
+		t.Fatalf("lazy single = %.0f MB/s, want ~800", l1)
+	}
+	// No parallel benefit for small buffers (<1 MB).
+	small1, _ := ThreadedMigration(64, 1, false)
+	small4, _ := ThreadedMigration(64, 4, false)
+	if small4 > small1*1.3 {
+		t.Fatalf("sync small-buffer speedup = %.2f, want none", small4/small1)
+	}
+	lSmall1, _ := ThreadedMigration(64, 1, true)
+	lSmall4, _ := ThreadedMigration(64, 4, true)
+	if lSmall4 > lSmall1*1.3 {
+		t.Fatalf("lazy small-buffer speedup = %.2f, want none", lSmall4/lSmall1)
+	}
+	_ = s1
+}
+
+func TestThreadedMigrationRejectsBadThreadCount(t *testing.T) {
+	if _, err := ThreadedMigration(64, 0, false); err == nil {
+		t.Fatal("0 threads accepted")
+	}
+	if _, err := ThreadedMigration(64, 5, true); err == nil {
+		t.Fatal("5 threads accepted (only 4 cores per node)")
+	}
+}
+
+func TestLUValidatesConfig(t *testing.T) {
+	if _, err := RunLU(LUConfig{N: 100, B: 33}); err == nil {
+		t.Fatal("indivisible block accepted")
+	}
+	if _, err := RunLU(LUConfig{N: 0, B: 8}); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestLUNextTouchLosesOnSmallBlocks(t *testing.T) {
+	// Paper Table 1: with small blocks, pages are shared between
+	// blocks/threads and next-touch ping-pongs; static wins.
+	static, err := RunLU(LUConfig{N: 2048, B: 64, Policy: LUStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, err := RunLU(LUConfig{N: 2048, B: 64, Policy: LUNextTouch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Duration <= static.Duration {
+		t.Fatalf("NT (%v) should lose to static (%v) at B=64", nt.Duration, static.Duration)
+	}
+	if nt.NTMigrations == 0 {
+		t.Fatal("no migrations recorded")
+	}
+}
+
+func TestLUNextTouchWinsOnLargeBlocks(t *testing.T) {
+	// Paper Table 1: at 512-blocks in large matrices, next-touch wins
+	// clearly (+26% at 8k, +86% at 16k).
+	static, err := RunLU(LUConfig{N: 4096, B: 512, Policy: LUStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, err := RunLU(LUConfig{N: 4096, B: 512, Policy: LUNextTouch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := static.Duration.Seconds()/nt.Duration.Seconds() - 1
+	if imp < 0.10 {
+		t.Fatalf("NT improvement at 4k/512 = %.1f%%, want >10%%", imp*100)
+	}
+	// Locality must visibly improve.
+	if nt.RemoteFrac >= static.RemoteFrac {
+		t.Fatalf("remote fraction did not improve: static=%.2f nt=%.2f",
+			static.RemoteFrac, nt.RemoteFrac)
+	}
+}
+
+func TestLUImprovementMonotonicInBlockSize(t *testing.T) {
+	imp := func(b int) float64 {
+		static, err := RunLU(LUConfig{N: 2048, B: b, Policy: LUStatic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nt, err := RunLU(LUConfig{N: 2048, B: b, Policy: LUNextTouch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return static.Duration.Seconds()/nt.Duration.Seconds() - 1
+	}
+	i64, i256, i512 := imp(64), imp(256), imp(512)
+	if !(i64 < i256 && i256 < i512) {
+		t.Fatalf("improvement not monotonic in block size: %.3f %.3f %.3f", i64, i256, i512)
+	}
+}
+
+func TestBLAS3CrossoverAt512(t *testing.T) {
+	run := func(n int, pol BLAS3Policy) float64 {
+		d, err := RunBLAS3(BLAS3Config{N: n, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Seconds()
+	}
+	// Below the crossover (operands L3-resident): static competitive,
+	// NT pays its overhead.
+	s128, k128 := run(128, B3Static), run(128, B3KernelNT)
+	if k128 < s128*0.8 {
+		t.Fatalf("at N=128 NT (%.4f) should not beat static (%.4f) meaningfully", k128, s128)
+	}
+	// At and beyond 512: migration pays off clearly (paper Fig. 8).
+	s512, k512, u512 := run(512, B3Static), run(512, B3KernelNT), run(512, B3UserNT)
+	if s512 < 2*k512 {
+		t.Fatalf("at N=512 static (%.3f) should be >=2x kernel NT (%.3f)", s512, k512)
+	}
+	// User NT close to kernel NT at this granularity (whole matrices).
+	if u512 > k512*1.25 {
+		t.Fatalf("user NT (%.3f) should be close to kernel NT (%.3f) at N=512", u512, k512)
+	}
+}
+
+func TestBLAS1MigrationNeverHelps(t *testing.T) {
+	st, err := RunBLAS1(BLAS1Config{N: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, err := RunBLAS1(BLAS1Config{N: 1 << 20, NextTouch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §4.5: BLAS1 never improves with migration. Allow a small
+	// tolerance band around parity.
+	if ratio := st.Seconds() / nt.Seconds(); ratio > 1.12 {
+		t.Fatalf("BLAS1 NT improvement %.2fx; paper says none", ratio)
+	}
+}
+
+func TestMBpsHelper(t *testing.T) {
+	if MBps(1e6, 0) != 0 {
+		t.Fatal("zero duration should give 0")
+	}
+	if got := MBps(2e6, 1e9); got != 2 {
+		t.Fatalf("MBps = %v", got)
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	if Memcpy.String() == "" || MigratePages.String() == "" ||
+		MovePagesPatched.String() == "" || MovePagesUnpatched.String() == "" {
+		t.Fatal("empty method string")
+	}
+	if MigMethod(99).String() != "invalid" {
+		t.Fatal("invalid method string")
+	}
+	if UserNTPatched.String() == "" || KernelNT.String() == "" || NTVariant(99).String() != "invalid" {
+		t.Fatal("variant strings")
+	}
+	if LUStatic.String() != "static" || LUNextTouch.String() != "next-touch" {
+		t.Fatal("LU policy strings")
+	}
+	if B3Static.String() == "" || B3KernelNT.String() == "" || B3UserNT.String() == "" ||
+		BLAS3Policy(9).String() != "invalid" {
+		t.Fatal("BLAS3 policy strings")
+	}
+}

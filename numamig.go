@@ -1,0 +1,325 @@
+// Package numamig is a library-level reproduction of
+//
+//	Goglin & Furmento, "Enabling High-Performance Memory Migration for
+//	Multithreaded Applications on Linux", MTAAP/IPDPS 2009.
+//
+// It provides a deterministic discrete-event simulation of a cc-NUMA
+// machine (by default the paper's 4-socket quad-core Opteron host) and of
+// the Linux virtual-memory subsystem, on which the paper's contributions
+// are implemented and measurable:
+//
+//   - the patched (linear) vs unpatched (quadratic) move_pages system
+//     call;
+//   - the user-space Next-touch policy (mprotect + SIGSEGV handler);
+//   - the kernel Next-touch policy (madvise mark + fault-time migration);
+//   - Lazy Migration and joint thread/data migration decisions.
+//
+// A minimal program:
+//
+//	sys := numamig.New(numamig.Config{})
+//	err := sys.Run(func(t *numamig.Task) {
+//	    buf, _ := numamig.Alloc(t, 1<<20, numamig.Bind(0))
+//	    buf.Prefault(t)
+//	    nt := sys.NewKernelNT()
+//	    nt.Mark(t, buf.Region())
+//	    t.MigrateTo(12)            // thread moves to node 3
+//	    buf.Access(t, numamig.Stream, false) // pages follow it
+//	})
+package numamig
+
+import (
+	"fmt"
+
+	"numamig/internal/core"
+	"numamig/internal/kern"
+	"numamig/internal/model"
+	"numamig/internal/omp"
+	"numamig/internal/sim"
+	"numamig/internal/topology"
+	"numamig/internal/vm"
+)
+
+// Re-exported simulation types. The aliases make the full internal
+// capability surface (syscalls on Task, DES time, accounting) available
+// to library users without importing internal packages.
+type (
+	// Task is a simulated thread; all system calls hang off it.
+	Task = kern.Task
+	// Process is a simulated process (address space + threads).
+	Process = kern.Process
+	// Kernel is the simulated operating system.
+	Kernel = kern.Kernel
+	// Machine is the static NUMA topology.
+	Machine = topology.Machine
+	// NodeID identifies a NUMA node.
+	NodeID = topology.NodeID
+	// CoreID identifies a core.
+	CoreID = topology.CoreID
+	// Addr is a simulated virtual address.
+	Addr = vm.Addr
+	// Policy is a NUMA allocation policy.
+	Policy = vm.Policy
+	// Prot is a protection mask.
+	Prot = vm.Prot
+	// Region is a byte range used by the next-touch APIs.
+	Region = core.Region
+	// UserNT is the user-space next-touch library.
+	UserNT = core.UserNT
+	// KernelNT is the kernel next-touch driver.
+	KernelNT = core.KernelNT
+	// Manager implements joint thread+data migration decisions.
+	Manager = core.Manager
+	// Mode selects how worksets follow threads (Sync, LazyKernel,
+	// LazyUser).
+	Mode = core.Mode
+	// Team is an OpenMP-style thread team.
+	Team = omp.Team
+	// Time is virtual simulated time in nanoseconds.
+	Time = sim.Time
+	// Acct is a per-category cost account.
+	Acct = sim.Acct
+	// AccessKind describes a bulk access pattern.
+	AccessKind = kern.AccessKind
+	// Params carries the calibrated platform cost model.
+	Params = model.Params
+	// SigInfo describes a delivered SIGSEGV.
+	SigInfo = kern.SigInfo
+)
+
+// Re-exported constants.
+const (
+	// Stream is a prefetch-friendly sequential access pattern.
+	Stream = kern.Stream
+	// Blocked is a reuse-heavy compute access pattern (full NUMA
+	// penalty).
+	Blocked = kern.Blocked
+	// Sync migrates worksets synchronously on thread moves.
+	Sync = core.Sync
+	// LazyKernel marks worksets migrate-on-next-touch in the kernel.
+	LazyKernel = core.LazyKernel
+	// LazyUser marks worksets with the user-space next-touch library.
+	LazyUser = core.LazyUser
+	// PageSize is the simulated page size (4 KiB).
+	PageSize = model.PageSize
+	// ProtRW is read+write protection.
+	ProtRW = vm.ProtRW
+	// ProtRead is read-only protection.
+	ProtRead = vm.ProtRead
+	// ProtNone removes all access.
+	ProtNone = vm.ProtNone
+)
+
+// Madvise advice re-exports.
+const (
+	// AdvMigrateOnNextTouch marks pages migrate-on-next-touch (the
+	// paper's new madvise parameter).
+	AdvMigrateOnNextTouch = kern.AdvMigrateOnNextTouch
+	// AdvNormal clears the mark.
+	AdvNormal = kern.AdvNormal
+)
+
+// NewAcct creates an empty cost account for attaching to a task's proc.
+func NewAcct() *Acct { return sim.NewAcct() }
+
+// FromSeconds converts seconds to virtual time.
+func FromSeconds(s float64) Time { return sim.FromSeconds(s) }
+
+// StaticSchedule returns the GOMP-default static loop schedule.
+func StaticSchedule() omp.Schedule { return omp.Static{} }
+
+// StaticChunked returns a static schedule with an explicit chunk.
+func StaticChunked(chunk int) omp.Schedule { return omp.Static{Chunk: chunk} }
+
+// DynamicSchedule returns a dynamic (work-stealing style) schedule.
+func DynamicSchedule(chunk int) omp.Schedule { return omp.Dynamic{Chunk: chunk} }
+
+// Policy constructors.
+var (
+	// FirstTouch allocates on the faulting thread's node.
+	FirstTouch = vm.DefaultPolicy
+	// Interleave round-robins pages over nodes.
+	Interleave = vm.Interleave
+	// Bind restricts allocation to the given nodes.
+	Bind = vm.Bind
+	// Preferred prefers one node with fallback.
+	Preferred = vm.Preferred
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Nodes is the NUMA node count (1, 2, 4 or 8); 0 means the paper's
+	// host (4).
+	Nodes int
+	// CoresPerNode is cores per node; 0 means 4.
+	CoresPerNode int
+	// MemPerNode is bytes of memory per node; 0 means 8 GiB.
+	MemPerNode int64
+	// L3PerNode is the per-socket shared cache; 0 means 2 MiB.
+	L3PerNode int64
+	// Backed allocates real bytes for every frame so data integrity can
+	// be verified; keep false for large experiments.
+	Backed bool
+	// Seed drives all simulated randomness (default 1).
+	Seed int64
+	// Params overrides the cost model; nil means model.Default().
+	Params *Params
+}
+
+// System is a simulated machine with its kernel and one application
+// process.
+type System struct {
+	Eng     *sim.Engine
+	Machine *Machine
+	Kernel  *Kernel
+	Proc    *Process
+}
+
+// New builds a system from the config.
+func New(cfg Config) *System {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.CoresPerNode == 0 {
+		cfg.CoresPerNode = 4
+	}
+	if cfg.MemPerNode == 0 {
+		cfg.MemPerNode = 8 << 30
+	}
+	if cfg.L3PerNode == 0 {
+		cfg.L3PerNode = 2 << 20
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	p := model.Default()
+	if cfg.Params != nil {
+		p = *cfg.Params
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	m := topology.Grid(cfg.Nodes, cfg.CoresPerNode, cfg.MemPerNode, cfg.L3PerNode)
+	k := kern.New(eng, m, p, cfg.Backed)
+	return &System{Eng: eng, Machine: m, Kernel: k, Proc: k.NewProcess("app")}
+}
+
+// Run spawns the application main thread on core 0 and executes the
+// simulation to completion, returning the engine error (deadlock or
+// panic) if any.
+func (s *System) Run(main func(t *Task)) error {
+	s.Proc.Spawn("main", 0, main)
+	return s.Eng.Run()
+}
+
+// RunOn is Run with an explicit starting core.
+func (s *System) RunOn(core CoreID, main func(t *Task)) error {
+	s.Proc.Spawn("main", core, main)
+	return s.Eng.Run()
+}
+
+// Now returns current virtual time.
+func (s *System) Now() Time { return s.Eng.Now() }
+
+// Stats returns the kernel statistics.
+func (s *System) Stats() kern.Stats { return s.Kernel.Stats }
+
+// NewUserNT creates the user-space next-touch library for the app
+// process (installing its SIGSEGV handler). patched selects the fixed
+// move_pages.
+func (s *System) NewUserNT(patched bool) *UserNT {
+	return core.NewUserNT(s.Proc, patched)
+}
+
+// NewKernelNT creates the kernel next-touch driver.
+func (s *System) NewKernelNT() *KernelNT { return core.NewKernelNT(s.Proc) }
+
+// NewManager creates a joint thread/data migration manager.
+func (s *System) NewManager(mode Mode, patched bool) *Manager {
+	return core.NewManager(s.Proc, mode, patched)
+}
+
+// TeamAll builds a team with one thread per core.
+func (s *System) TeamAll() *Team { return omp.TeamAllCores(s.Proc) }
+
+// TeamOn builds a team on the given cores.
+func (s *System) TeamOn(cores ...CoreID) *Team { return omp.NewTeam(s.Proc, cores) }
+
+// TeamOfNode builds a team over the cores of one node.
+func (s *System) TeamOfNode(n NodeID) *Team {
+	return omp.NewTeam(s.Proc, s.Machine.Nodes[n].Cores)
+}
+
+// Buffer is an allocated simulated memory range.
+type Buffer struct {
+	Base Addr
+	Size int64
+}
+
+// Alloc maps an anonymous buffer with the given policy.
+func Alloc(t *Task, size int64, pol Policy) (*Buffer, error) {
+	a, err := t.Mmap(size, vm.ProtRW, pol, 0, "buffer")
+	if err != nil {
+		return nil, err
+	}
+	return &Buffer{Base: a, Size: size}, nil
+}
+
+// MustAlloc is Alloc that panics on error.
+func MustAlloc(t *Task, size int64, pol Policy) *Buffer {
+	b, err := Alloc(t, size, pol)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Region returns the buffer as a next-touch region.
+func (b *Buffer) Region() Region { return Region{Addr: b.Base, Len: b.Size} }
+
+// Pages returns the page count.
+func (b *Buffer) Pages() int { return vm.PagesIn(b.Base, b.Size) }
+
+// Prefault populates every page (first-touch by the calling thread,
+// honouring the buffer's policy).
+func (b *Buffer) Prefault(t *Task) error {
+	_, err := t.FaultIn(b.Base, b.Size, true)
+	return err
+}
+
+// Access models the calling thread touching the whole buffer with the
+// given pattern.
+func (b *Buffer) Access(t *Task, kind AccessKind, write bool) error {
+	return t.AccessRange(b.Base, b.Size, kind, write)
+}
+
+// MoveTo migrates all resident pages to a node with move_pages.
+func (b *Buffer) MoveTo(t *Task, node NodeID, patched bool) error {
+	_, err := t.MovePagesTo(b.Base, b.Size, node, patched)
+	return err
+}
+
+// NodeHistogram counts resident pages per node (index = node id; -1
+// entries, i.e. non-present pages, are reported in the second return).
+func (b *Buffer) NodeHistogram(t *Task) ([]int, int) {
+	hist := make([]int, t.K().M.NumNodes())
+	absent := 0
+	for i := 0; i < b.Pages(); i++ {
+		n := t.GetNode(b.Base + Addr(i*PageSize))
+		if n < 0 {
+			absent++
+			continue
+		}
+		hist[n]++
+	}
+	return hist, absent
+}
+
+// Free unmaps the buffer.
+func (b *Buffer) Free(t *Task) error { return t.Munmap(b.Base, b.Size) }
+
+// String describes the buffer.
+func (b *Buffer) String() string {
+	return fmt.Sprintf("buffer[%#x +%d]", b.Base, b.Size)
+}
+
+// DefaultParams returns the calibrated cost model of the paper's host so
+// callers can tweak individual constants.
+func DefaultParams() Params { return model.Default() }
