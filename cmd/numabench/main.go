@@ -1,13 +1,22 @@
 // Command numabench regenerates the paper's tables and figures on the
-// simulated platform.
+// simulated platform and runs the scenario grid.
 //
 // Usage:
 //
-//	numabench -exp fig4            # one experiment, full scale
-//	numabench -exp table1 -quick   # reduced sweep
-//	numabench -all -quick          # everything
+//	numabench -exp fig4                   # one experiment, full scale
+//	numabench -exp table1 -quick          # reduced sweep
+//	numabench -all -quick                 # every figure/table
+//	numabench -grid                       # full scenario grid, aligned table
+//	numabench -grid -parallel 8 -quick    # trimmed grid, 8 workers
+//	numabench -grid -format json          # machine-readable output
+//	numabench -grid -families replication # one scenario family
 //
 // Experiments: fig4 fig5 fig6a fig6b fig7 table1 fig8 blas1.
+// Grid families: see -families default (all registered families).
+//
+// Grid output is deterministic: the same -seed produces byte-identical
+// JSON/CSV whatever -parallel is, because every scenario runs its own
+// simulated system.
 package main
 
 import (
@@ -18,23 +27,37 @@ import (
 	"time"
 
 	"numamig/internal/bench"
+	"numamig/internal/exp"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id ("+strings.Join(bench.Experiments(), ", ")+")")
+	expID := flag.String("exp", "", "experiment id ("+strings.Join(bench.Experiments(), ", ")+")")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps (seconds instead of minutes)")
+	grid := flag.Bool("grid", false, "run the scenario grid (internal/exp) instead of one experiment")
+	families := flag.String("families", "", "comma-separated scenario families for -grid (default: all of "+strings.Join(exp.Families(), ", ")+")")
+	parallel := flag.Int("parallel", 0, "grid worker goroutines (0 = GOMAXPROCS)")
+	format := flag.String("format", "table", "grid output format: table, csv or json")
+	seed := flag.Int64("seed", 1, "base deterministic seed for -grid scenarios")
 	flag.Parse()
+
+	if *grid {
+		if err := runGrid(*families, *quick, *parallel, *format, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "numabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	o := bench.Options{Quick: *quick}
 	var ids []string
 	switch {
 	case *all:
 		ids = bench.Experiments()
-	case *exp != "":
-		ids = strings.Split(*exp, ",")
+	case *expID != "":
+		ids = strings.Split(*expID, ",")
 	default:
-		fmt.Fprintln(os.Stderr, "numabench: need -exp <id> or -all; ids:", strings.Join(bench.Experiments(), ", "))
+		fmt.Fprintln(os.Stderr, "numabench: need -exp <id>, -all or -grid; ids:", strings.Join(bench.Experiments(), ", "))
 		os.Exit(2)
 	}
 	for _, id := range ids {
@@ -45,4 +68,48 @@ func main() {
 		}
 		fmt.Printf("# (%s regenerated in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runGrid expands the requested families and executes them through the
+// concurrent runner, rendering in the requested format.
+func runGrid(families string, quick bool, parallel int, format string, seed int64) error {
+	var names []string
+	if families != "" {
+		for _, n := range strings.Split(families, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+	switch format {
+	case "table", "csv", "json":
+	default:
+		return fmt.Errorf("unknown -format %q (want table, csv or json)", format)
+	}
+	scs, err := exp.Scenarios(names, exp.Options{Quick: quick, Seed: seed})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	results := exp.Runner{Parallel: parallel}.Run(scs)
+	failed := 0
+	for _, r := range results {
+		if r.Err != "" {
+			failed++
+		}
+	}
+	switch format {
+	case "json":
+		if err := exp.WriteJSON(os.Stdout, results); err != nil {
+			return err
+		}
+	case "csv":
+		exp.WriteCSV(os.Stdout, results)
+	default: // table
+		exp.Table(results).Write(os.Stdout)
+		fmt.Printf("# (%d scenarios, %d failed, %v wall time)\n",
+			len(results), failed, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", failed, len(results))
+	}
+	return nil
 }

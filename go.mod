@@ -1,0 +1,3 @@
+module numamig
+
+go 1.22

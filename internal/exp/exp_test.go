@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"numamig/internal/report"
+)
+
+func TestFamiliesRegistered(t *testing.T) {
+	fams := Families()
+	want := []string{"migration", "replication"}
+	if len(fams) != len(want) {
+		t.Fatalf("families = %v, want %v", fams, want)
+	}
+	for i, n := range want {
+		if fams[i] != n {
+			t.Fatalf("families = %v, want %v", fams, want)
+		}
+		if Describe(n) == "" {
+			t.Fatalf("family %q has no description", n)
+		}
+	}
+}
+
+func TestScenariosUnknownFamily(t *testing.T) {
+	if _, err := Scenarios([]string{"nope"}, Options{}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestGridCoversAllDimensions(t *testing.T) {
+	scs, err := Scenarios([]string{"migration"}, Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// quick: 2 node counts x 2 sizes x (sync + lazy-user with both
+	// strategies, lazy-kernel once — the patch cannot affect it).
+	if len(scs) != 20 {
+		t.Fatalf("quick migration grid has %d scenarios, want 20", len(scs))
+	}
+	ids := map[string]bool{}
+	modes := map[string]bool{}
+	patched := map[bool]bool{}
+	for _, s := range scs {
+		if ids[s.ID] {
+			t.Fatalf("duplicate scenario id %q", s.ID)
+		}
+		ids[s.ID] = true
+		modes[s.Mode] = true
+		patched[s.Patched] = true
+	}
+	if len(modes) != 3 || len(patched) != 2 {
+		t.Fatalf("grid misses dimensions: modes=%v patched=%v", modes, patched)
+	}
+}
+
+func TestRunScenarioUnknownFamilyAndMode(t *testing.T) {
+	if r := RunScenario(Scenario{Family: "nope"}); r.Err == "" {
+		t.Fatal("unknown family ran")
+	}
+	if r := RunScenario(Scenario{Family: "migration", Mode: "bogus", Pages: 1, Nodes: 2, Seed: 1}); r.Err == "" {
+		t.Fatal("unknown mode ran")
+	}
+}
+
+// TestDeterministicAcrossParallelism is the harness's core guarantee:
+// the same scenarios and seeds produce byte-identical JSON whatever the
+// worker count, because every scenario runs its own simulated system.
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	scs, err := Scenarios(nil, Options{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := Runner{Parallel: 1}.Run(scs)
+	parallel := Runner{Parallel: 8}.Run(scs)
+
+	j1, err := report.JSONString(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j8, err := report.JSONString(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j8 {
+		t.Fatalf("parallel 1 vs 8 outputs differ:\n%s\nvs\n%s", j1, j8)
+	}
+
+	var c1, c8 strings.Builder
+	WriteCSV(&c1, serial)
+	WriteCSV(&c8, parallel)
+	if c1.String() != c8.String() {
+		t.Fatal("parallel 1 vs 8 CSV outputs differ")
+	}
+
+	// And the run actually did something everywhere.
+	for _, r := range serial {
+		if r.Err != "" {
+			t.Fatalf("scenario %s failed: %s", r.ID, r.Err)
+		}
+		if r.SimSeconds <= 0 || r.MBps <= 0 {
+			t.Fatalf("scenario %s has empty metrics: %+v", r.ID, r)
+		}
+	}
+}
+
+func TestMigrationScenarioPhysics(t *testing.T) {
+	base := Scenario{Family: "migration", Pages: 1024, Nodes: 2, Seed: 1}
+
+	syncP := base
+	syncP.Mode = "sync"
+	syncP.Patched = true
+	syncU := syncP
+	syncU.Patched = false
+	lazyK := base
+	lazyK.Mode = "lazy-kernel"
+	lazyK.Patched = true
+
+	rp := RunScenario(syncP)
+	ru := RunScenario(syncU)
+	rk := RunScenario(lazyK)
+	for _, r := range []Result{rp, ru, rk} {
+		if r.Err != "" {
+			t.Fatalf("%s: %s", r.ID, r.Err)
+		}
+		if r.PagesMoved != uint64(base.Pages) {
+			t.Fatalf("%s moved %d pages, want %d", r.ID, r.PagesMoved, base.Pages)
+		}
+	}
+	// The paper's headline: the unpatched syscall is measurably slower,
+	// and the kernel next-touch path does not care about the patch.
+	if ru.SimSeconds <= rp.SimSeconds {
+		t.Fatalf("unpatched sync (%v s) should be slower than patched (%v s)", ru.SimSeconds, rp.SimSeconds)
+	}
+	lazyKU := lazyK
+	lazyKU.Patched = false
+	rku := RunScenario(lazyKU)
+	if rku.SimSeconds != rk.SimSeconds {
+		t.Fatalf("lazy-kernel should ignore the patch flag: %v vs %v", rku.SimSeconds, rk.SimSeconds)
+	}
+}
+
+func TestReplicationScenarioHelps(t *testing.T) {
+	st := RunScenario(Scenario{ID: "s", Family: "replication", Mode: "static", Pages: 256, Nodes: 4, Seed: 1, Patched: true})
+	rp := RunScenario(Scenario{ID: "r", Family: "replication", Mode: "replicated", Pages: 256, Nodes: 4, Seed: 1, Patched: true})
+	if st.Err != "" || rp.Err != "" {
+		t.Fatalf("errs: %q %q", st.Err, rp.Err)
+	}
+	if rp.SimSeconds >= st.SimSeconds {
+		t.Fatalf("replicated sweeps (%v s) should beat static (%v s) with 4 reader nodes", rp.SimSeconds, st.SimSeconds)
+	}
+	if rp.RemoteMB >= st.RemoteMB {
+		t.Fatalf("replication should cut remote traffic: %v MB vs %v MB", rp.RemoteMB, st.RemoteMB)
+	}
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"numamig/internal/report"
+)
+
+// Runner executes scenarios across parallel goroutines. Each scenario
+// builds its own System, so runs share nothing; results land in a slice
+// indexed by scenario position, making the output independent of
+// Parallel: same scenarios and seeds, byte-identical JSON/CSV.
+type Runner struct {
+	// Parallel is the worker-goroutine count; <= 0 means GOMAXPROCS.
+	Parallel int
+}
+
+// Run executes every scenario and returns the results in input order.
+func (r Runner) Run(scs []Scenario) []Result {
+	workers := r.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scs) {
+		workers = len(scs)
+	}
+	out := make([]Result, len(scs))
+	if workers <= 1 {
+		for i, s := range scs {
+			out[i] = RunScenario(s)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = RunScenario(scs[i])
+			}
+		}()
+	}
+	for i := range scs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// Table renders results as an aligned report table (also the CSV shape).
+func Table(results []Result) *report.Table {
+	tbl := report.NewTable("Experiment grid",
+		"id", "patched", "mode", "pages", "nodes", "seed",
+		"sim_seconds", "mbps", "pages_moved", "migrated_mb",
+		"faults", "syscalls", "tlb_shootdowns", "remote_mb", "local_mb", "err")
+	for _, r := range results {
+		tbl.Add(r.ID, r.Patched, r.Mode, r.Pages, r.Nodes, r.Seed,
+			fmt.Sprintf("%.6f", r.SimSeconds), r.MBps, r.PagesMoved, r.MigratedMB,
+			r.Faults, r.Syscalls, r.TLBShootdowns, r.RemoteMB, r.LocalMB, r.Err)
+	}
+	return tbl
+}
+
+// WriteJSON renders results as indented JSON through internal/report.
+func WriteJSON(w io.Writer, results []Result) error {
+	return report.JSON(w, results)
+}
+
+// WriteCSV renders results as CSV through internal/report.
+func WriteCSV(w io.Writer, results []Result) {
+	Table(results).CSV(w)
+}

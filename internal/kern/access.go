@@ -72,9 +72,13 @@ func (t *Task) FaultIn(addr vm.Addr, length int64, write bool) (int, error) {
 			if haveSegv {
 				break
 			}
-			if len(ntPages)+len(absent)+len(stale) > 0 {
-				serviced += len(ntPages) + len(absent) + len(stale)
-				t.serviceChunk(ci, ntPages, absent, stale, write)
+			if len(absent)+len(stale) > 0 {
+				serviced += len(absent) + len(stale)
+				t.serviceChunk(ci, absent, stale)
+			}
+			if len(ntPages) > 0 {
+				serviced += len(ntPages)
+				t.ntServiceFaults(ntPages)
 			}
 			cstart = cend
 		}
@@ -93,10 +97,11 @@ func (t *Task) FaultIn(addr vm.Addr, length int64, write bool) (int, error) {
 	return serviced, fmt.Errorf("kern: FaultIn at %#x did not settle", addr)
 }
 
-// serviceChunk handles the classified faulting pages of one PTE chunk
-// with aggregate costs equivalent to per-page fault handling. Caller
-// holds mmap_sem shared.
-func (t *Task) serviceChunk(ci uint64, ntPages, absent, stale []vm.VPN, write bool) {
+// serviceChunk handles the classified stale and absent pages of one PTE
+// chunk with aggregate costs equivalent to per-page fault handling.
+// Next-touch pages go through ntMigratePages (the shared migration
+// engine) instead. Caller holds mmap_sem shared.
+func (t *Task) serviceChunk(ci uint64, absent, stale []vm.VPN) {
 	k := t.Proc.K
 	sp := t.Proc.Space
 	cl := t.Proc.chunkLock(ci)
@@ -129,71 +134,6 @@ func (t *Task) serviceChunk(ci uint64, ntPages, absent, stale []vm.VPN, write bo
 			pte.SetProt(v.Prot)
 		}
 	}
-	// Kernel next-touch migrations, batched.
-	for i := 0; i < len(ntPages); i += k.P.BatchPages {
-		j := i + k.P.BatchPages
-		if j > len(ntPages) {
-			j = len(ntPages)
-		}
-		t.ntMigrateBatch(ntPages[i:j])
-	}
-}
-
-// ntMigrateBatch migrates a batch of next-touch pages to the toucher's
-// node with the same per-page costs as the single-page path, grouping
-// the copies by source node. Caller holds the chunk lock.
-func (t *Task) ntMigrateBatch(pages []vm.VPN) {
-	k := t.Proc.K
-	sp := t.Proc.Space
-	dst := t.Node()
-	defer t.P.PushCat(CatNTCtl)()
-
-	k.Stats.Faults += uint64(len(pages))
-	t.P.Sleep(sim.Time(len(pages)) * k.P.FaultBase)
-
-	var migrating []vm.VPN
-	for _, p := range pages {
-		pte := sp.PT.Lookup(p)
-		if pte.Frame.Node == dst {
-			k.Stats.NTLocalSkips++
-			pte.Flags &^= vm.PTENextTouch
-			t.P.Sleep(k.P.NTFaultCtl / 2)
-			continue
-		}
-		migrating = append(migrating, p)
-	}
-	if len(migrating) == 0 {
-		return
-	}
-	k.lruLock.Acquire(t.P)
-	t.P.Sleep(sim.Time(len(migrating)) * k.P.NTFaultCtlLocked)
-	k.lruLock.Release()
-	t.P.Sleep(sim.Time(len(migrating)) * (k.P.NTFaultCtl - k.P.NTFaultCtlLocked))
-
-	bytesBySrc := map[topology.NodeID]float64{}
-	var order []topology.NodeID
-	for _, p := range migrating {
-		pte := sp.PT.Lookup(p)
-		src := pte.Frame.Node
-		newF := t.allocFrame(dst)
-		if pte.Frame.Data != nil {
-			copy(newF.Data, pte.Frame.Data)
-		}
-		k.Phys.Free(pte.Frame)
-		k.Phys.NoteMigration(newF.Node)
-		k.Stats.NTMigrations++
-		pte.Frame = newF
-		pte.Flags &^= vm.PTENextTouch
-		if _, ok := bytesBySrc[src]; !ok {
-			order = append(order, src)
-		}
-		bytesBySrc[src] += model.PageSize
-	}
-	t.P.InCat(CatNTCopy, func() {
-		for _, src := range order {
-			k.Net.Transfer(t.P, bytesBySrc[src], k.migPath(t.Core, src, dst, false)...)
-		}
-	})
 }
 
 // AccessRange models the application touching every byte of

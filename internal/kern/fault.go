@@ -4,7 +4,8 @@ import (
 	"fmt"
 
 	"numamig/internal/mem"
-	"numamig/internal/model"
+	"numamig/internal/migrate"
+	"numamig/internal/sim"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
 )
@@ -68,13 +69,16 @@ func (t *Task) fault(addr vm.Addr, write bool) error {
 	cl := t.Proc.chunkLock(vm.ChunkIndex(vpn))
 	cl.Acquire(t.P)
 	pte := sp.PT.Entry(vpn)
+	nextTouch := false
 	switch {
 	case pte.Allows(write):
 		// Raced with another thread that already fixed it.
 	case !pte.Present():
 		t.demandAlloc(v, vpn, pte)
 	case pte.Flags&vm.PTENextTouch != 0:
-		t.ntMigrate(vpn, pte)
+		// Serviced below, after the chunk lock is dropped: the engine
+		// takes the chunk lock itself.
+		nextTouch = true
 	default:
 		// Present but stale permissions (e.g. after mprotect restore):
 		// minor fault, install VMA protection.
@@ -82,6 +86,9 @@ func (t *Task) fault(addr vm.Addr, write bool) error {
 		pte.SetProt(v.Prot)
 	}
 	cl.Release()
+	if nextTouch {
+		t.ntMigratePages([]vm.VPN{vpn})
+	}
 	t.Proc.MmapSem.RUnlock()
 	return nil
 }
@@ -108,70 +115,43 @@ func (t *Task) demandAlloc(v *vm.VMA, vpn vm.VPN, pte *vm.PTE) {
 // allocFrame allocates a frame on target, falling back to other nodes in
 // distance order when the target is full.
 func (t *Task) allocFrame(target topology.NodeID) *mem.Frame {
-	k := t.Proc.K
-	f, err := k.Phys.Alloc(target)
-	if err == nil {
-		return f
-	}
-	// Fallback: nodes by distance from target.
-	type cand struct {
-		n topology.NodeID
-		d int
-	}
-	var cands []cand
-	for n := 0; n < k.M.NumNodes(); n++ {
-		if topology.NodeID(n) == target {
-			continue
-		}
-		cands = append(cands, cand{topology.NodeID(n), k.M.Dist[target][n]})
-	}
-	for i := 0; i < len(cands); i++ {
-		for j := i + 1; j < len(cands); j++ {
-			if cands[j].d < cands[i].d || (cands[j].d == cands[i].d && cands[j].n < cands[i].n) {
-				cands[i], cands[j] = cands[j], cands[i]
-			}
-		}
-	}
-	for _, c := range cands {
-		if f, err := k.Phys.Alloc(c.n); err == nil {
-			return f
-		}
-	}
-	panic("kern: machine out of memory")
+	return t.Proc.K.AllocFrame(target)
 }
 
-// ntMigrate services a Migrate-on-next-touch fault for one page: the
-// paper's kernel next-touch implementation (Fig. 2). Inspired by
-// copy-on-write: allocate on the toucher's node, copy, free the old
-// frame, clear the mark. Caller holds the chunk lock.
-func (t *Task) ntMigrate(vpn vm.VPN, pte *vm.PTE) {
+// ntServiceFaults charges the page faults that delivered a batch of
+// next-touch pages (the bulk fault paths classify without faulting per
+// page), then migrates them through the shared engine.
+func (t *Task) ntServiceFaults(pages []vm.VPN) {
 	k := t.Proc.K
-	src := pte.Frame.Node
+	k.Stats.Faults += uint64(len(pages))
+	t.P.InCat(CatNTCtl, func() {
+		t.P.Sleep(sim.Time(len(pages)) * k.P.FaultBase)
+	})
+	t.ntMigratePages(pages)
+}
+
+// ntMigratePages services Migrate-on-next-touch faults for a set of
+// pages (all within one PTE chunk when called from the bulk fault path):
+// the paper's kernel next-touch implementation (Fig. 2), routed through
+// the shared migration engine on the lazy channel. The engine migrates
+// remote pages to the toucher's node, clears the mark, and restores
+// access; already-local pages only pay the restore cost. Caller holds
+// mmap_sem shared and no chunk locks.
+func (t *Task) ntMigratePages(pages []vm.VPN) {
+	k := t.Proc.K
 	dst := t.Node()
 	defer t.P.PushCat(CatNTCtl)()
-	if src == dst {
-		// Already local: just restore access.
-		k.Stats.NTLocalSkips++
-		pte.Flags &^= vm.PTENextTouch
-		t.P.Sleep(k.P.NTFaultCtl / 2)
-		return
+	ops := make([]migrate.Op, len(pages))
+	for i, p := range pages {
+		ops[i] = migrate.Op{VPN: p, Dst: dst}
 	}
-	k.lruLock.Acquire(t.P)
-	t.P.Sleep(k.P.NTFaultCtlLocked)
-	k.lruLock.Release()
-	t.P.Sleep(k.P.NTFaultCtl - k.P.NTFaultCtlLocked)
-	newF := t.allocFrame(dst)
-	t.P.InCat(CatNTCopy, func() {
-		k.Net.Transfer(t.P, model.PageSize, k.migPath(t.Core, src, newF.Node, false)...)
+	res := k.Migrator(migrate.Patched).Migrate(&migrate.Request{
+		P: t.P, Core: t.Core, Space: t.Proc, Ops: ops,
+		Path: migrate.PathNextTouch, ClearNextTouch: true,
+		CopyCat: CatNTCopy,
 	})
-	if pte.Frame.Data != nil {
-		copy(newF.Data, pte.Frame.Data)
-	}
-	k.Phys.Free(pte.Frame)
-	k.Phys.NoteMigration(newF.Node)
-	k.Stats.NTMigrations++
-	pte.Frame = newF
-	pte.Flags &^= vm.PTENextTouch
+	k.Stats.NTMigrations += uint64(res.Moved)
+	k.Stats.NTLocalSkips += uint64(res.Local)
 }
 
 // raiseSegv delivers SIGSEGV to the process handler, or returns ErrSegv

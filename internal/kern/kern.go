@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"numamig/internal/mem"
+	"numamig/internal/migrate"
 	"numamig/internal/model"
 	"numamig/internal/sim"
 	"numamig/internal/topology"
@@ -66,6 +67,12 @@ type Kernel struct {
 	migLock *sim.Resource // serialized migration setup (pagevec drain etc.)
 	lruLock *sim.Resource // global LRU lock
 
+	// The shared migration engines (internal/migrate): the only place
+	// pages physically move. One per move_pages generation; both run on
+	// the same locks and channels so contention is shared.
+	migPatched   *migrate.Engine
+	migUnpatched *migrate.Engine
+
 	Stats Stats
 }
 
@@ -92,7 +99,77 @@ func New(eng *sim.Engine, m *topology.Machine, p model.Params, backed bool) *Ker
 	for _, l := range m.Links {
 		k.HT = append(k.HT, sim.NewLink(fmt.Sprintf("ht%d-%d", l.A, l.B), p.HTLinkBW))
 	}
+	k.migPatched = migrate.New(k, migrate.Patched)
+	k.migUnpatched = migrate.New(k, migrate.Unpatched)
 	return k
+}
+
+// Migrator returns the shared migration engine for a strategy.
+func (k *Kernel) Migrator(s migrate.Strategy) *migrate.Engine {
+	if s == migrate.Unpatched {
+		return k.migUnpatched
+	}
+	return k.migPatched
+}
+
+// ---- migrate.Env implementation ----
+//
+// The kernel is the engine's environment: it supplies the cost model,
+// the physical allocator, the global migration/LRU locks, and the
+// fluid-network migration channels.
+
+// Params returns the calibrated cost model.
+func (k *Kernel) Params() *model.Params { return &k.P }
+
+// AllocFrame allocates a frame on target, falling back to other nodes
+// in distance order when the target is full.
+func (k *Kernel) AllocFrame(target topology.NodeID) *mem.Frame {
+	f, err := k.Phys.Alloc(target)
+	if err == nil {
+		return f
+	}
+	// Fallback: nodes by distance from target.
+	type cand struct {
+		n topology.NodeID
+		d int
+	}
+	var cands []cand
+	for n := 0; n < k.M.NumNodes(); n++ {
+		if topology.NodeID(n) == target {
+			continue
+		}
+		cands = append(cands, cand{topology.NodeID(n), k.M.Dist[target][n]})
+	}
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].d < cands[i].d || (cands[j].d == cands[i].d && cands[j].n < cands[i].n) {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	for _, c := range cands {
+		if f, err := k.Phys.Alloc(c.n); err == nil {
+			return f
+		}
+	}
+	panic("kern: machine out of memory")
+}
+
+// FreeFrame returns a frame to the physical allocator.
+func (k *Kernel) FreeFrame(f *mem.Frame) { k.Phys.Free(f) }
+
+// NoteMigration records one migrated-in page on dst.
+func (k *Kernel) NoteMigration(dst topology.NodeID) { k.Phys.NoteMigration(dst) }
+
+// MigLock returns the global serialized migration-setup lock.
+func (k *Kernel) MigLock() *sim.Resource { return k.migLock }
+
+// LRULock returns the global LRU lock.
+func (k *Kernel) LRULock() *sim.Resource { return k.lruLock }
+
+// Copy transfers bytes through the kernel page-migration channel.
+func (k *Kernel) Copy(p *sim.Proc, bytes float64, core topology.CoreID, src, dst topology.NodeID, syncChan bool) {
+	k.Net.Transfer(p, bytes, k.migPath(core, src, dst, syncChan)...)
 }
 
 // MigChan returns the page-migration channel between a pair of nodes

@@ -1,0 +1,50 @@
+package kern
+
+import (
+	"fmt"
+
+	"numamig/internal/sim"
+	"numamig/internal/vm"
+)
+
+// Page pinning models elevated page references (get_user_pages, DMA
+// registrations): the migration engine cannot isolate a pinned page, so
+// move_pages retries it with backoff and eventually reports -EBUSY,
+// like the kernel's EAGAIN loop. Tests and workloads use PinRange to
+// provoke the busy path deterministically.
+
+// PinRange pins every resident page of [addr, addr+length), making them
+// non-migratable until unpinned. Returns the number of pages pinned.
+func (t *Task) PinRange(addr vm.Addr, length int64) (int, error) {
+	return t.setPinned(addr, length, true)
+}
+
+// UnpinRange releases the pin on every resident page of the range.
+// Returns the number of pages unpinned.
+func (t *Task) UnpinRange(addr vm.Addr, length int64) (int, error) {
+	return t.setPinned(addr, length, false)
+}
+
+func (t *Task) setPinned(addr vm.Addr, length int64, pinned bool) (int, error) {
+	k := t.Proc.K
+	k.Stats.Syscalls++
+	t.P.Sleep(k.P.SyscallBase)
+	t.Proc.MmapSem.RLock(t.P)
+	defer t.Proc.MmapSem.RUnlock()
+	if t.Proc.Space.Find(addr) == nil {
+		return 0, fmt.Errorf("kern: pin of unmapped address %#x", addr)
+	}
+	first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
+	n := 0
+	t.Proc.Space.PT.ForEach(first, last, func(_ vm.VPN, pte *vm.PTE) {
+		if pinned {
+			pte.Flags |= vm.PTEPinned
+		} else {
+			pte.Flags &^= vm.PTEPinned
+		}
+		n++
+	})
+	// Page-table walk plus per-page reference bump.
+	t.P.Sleep(sim.Time(n) * k.P.MadvisePage)
+	return n, nil
+}

@@ -95,9 +95,13 @@ func (t *Task) FaultInRect(r Rect, write bool) (int, error) {
 			if haveSegv {
 				break
 			}
-			if len(nt)+len(absent)+len(stale) > 0 {
-				serviced += len(nt) + len(absent) + len(stale)
-				t.serviceChunk(ci, nt, absent, stale, write)
+			if len(absent)+len(stale) > 0 {
+				serviced += len(absent) + len(stale)
+				t.serviceChunk(ci, absent, stale)
+			}
+			if len(nt) > 0 {
+				serviced += len(nt)
+				t.ntServiceFaults(nt)
 			}
 			i = j
 		}

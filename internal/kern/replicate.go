@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"numamig/internal/mem"
+	"numamig/internal/migrate"
 	"numamig/internal/model"
 	"numamig/internal/sim"
 	"numamig/internal/topology"
@@ -64,7 +65,6 @@ func (t *Task) ReplicateRange(addr vm.Addr, length int64) (int, error) {
 		pr.replicas = map[vm.VPN]*replicaSet{}
 	}
 
-	created := 0
 	first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
 	var copies []vm.VPN
 	sp.PT.ForEach(first, last, func(p vm.VPN, pte *vm.PTE) {
@@ -73,51 +73,64 @@ func (t *Task) ReplicateRange(addr vm.Addr, length int64) (int, error) {
 		}
 		copies = append(copies, p)
 	})
-	// Copy costs, batched per chunk like the migration paths.
-	for i := 0; i < len(copies); i += k.P.BatchPages {
-		j := i + k.P.BatchPages
-		if j > len(copies) {
-			j = len(copies)
-		}
-		batch := copies[i:j]
-		cl := pr.chunkLock(vm.ChunkIndex(batch[0]))
-		cl.Acquire(t.P)
-		for _, p := range batch {
-			pte := sp.PT.Lookup(p)
-			home := pte.Frame.Node
-			rs := &replicaSet{frames: make([]*mem.Frame, k.M.NumNodes())}
-			rs.frames[home] = pte.Frame
-			for n := 0; n < k.M.NumNodes(); n++ {
-				node := topology.NodeID(n)
-				if node == home {
-					continue
-				}
-				f := t.allocFrame(node)
-				if pte.Frame.Data != nil {
-					copy(f.Data, pte.Frame.Data)
-				}
-				rs.frames[node] = f
-				pr.replicaStats.PagesReplicated++
-				created++
-			}
-			pr.replicas[p] = rs
-			// Write-protect so stores fault and collapse.
-			pte.Flags &^= vm.PTEWrite
-		}
-		cl.Release()
-		// One bulk copy per destination node through the migration
-		// channels.
-		pte := sp.PT.Lookup(batch[0])
-		home := pte.Frame.Node
-		for n := 0; n < k.M.NumNodes(); n++ {
+
+	// Physical copies run through the shared migration engine: one op
+	// per (page, remote node), batched per chunk with one bulk transfer
+	// per node pair on the lazy channel. Replica registration and write
+	// protection happen in the OnCopied hook, under the same chunk-lock
+	// hold as the copy itself, so a page is never copied-but-writable
+	// across a simulated yield; the TLB flush comes last (COW-break
+	// ordering).
+	nodes := k.M.NumNodes()
+	ops := make([]migrate.Op, 0, len(copies)*(nodes-1))
+	expect := map[vm.VPN]int{}
+	for _, p := range copies {
+		home := sp.PT.Lookup(p).Frame.Node
+		for n := 0; n < nodes; n++ {
 			if topology.NodeID(n) == home {
 				continue
 			}
-			k.Net.Transfer(t.P, float64(len(batch))*model.PageSize,
-				k.migPath(t.Core, home, topology.NodeID(n), false)...)
+			ops = append(ops, migrate.Op{VPN: p, Dst: topology.NodeID(n)})
+			expect[p]++
 		}
-		t.P.Sleep(sim.Time(len(batch)) * k.P.NTFaultCtl)
 	}
+	type repState struct {
+		rs   *replicaSet
+		done int
+	}
+	states := map[vm.VPN]*repState{}
+	created := 0
+	k.Migrator(migrate.Patched).Replicate(&migrate.Request{
+		P: t.P, Core: t.Core, Space: pr, Ops: ops,
+		OnCopied: func(x int, f *mem.Frame) {
+			p := ops[x].VPN
+			st := states[p]
+			if st == nil {
+				st = &repState{rs: &replicaSet{frames: make([]*mem.Frame, nodes)}}
+				states[p] = st
+			}
+			if f != nil {
+				// Index by the intended node: under memory pressure the
+				// frame may physically live elsewhere (AllocFrame
+				// fallback), but the slot keying must stay collision-free.
+				st.rs.frames[ops[x].Dst] = f
+				pr.replicaStats.PagesReplicated++
+				created++
+			}
+			st.done++
+			if st.done < expect[p] {
+				return
+			}
+			// Last copy of this page: register the set and write-protect
+			// while still holding the chunk lock.
+			if pte := sp.PT.Lookup(p); pte.Present() {
+				st.rs.frames[pte.Frame.Node] = pte.Frame
+				pr.replicas[p] = st.rs
+				pte.Flags &^= vm.PTEWrite
+			}
+		},
+	})
+	t.P.Sleep(sim.Time(len(copies)) * k.P.NTFaultCtl)
 	t.tlbShootdown()
 	return created, nil
 }

@@ -3,7 +3,7 @@ package kern
 import (
 	"fmt"
 
-	"numamig/internal/model"
+	"numamig/internal/migrate"
 	"numamig/internal/sim"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
@@ -23,9 +23,11 @@ const (
 	AdvNormal
 )
 
-// Page-status codes returned by MovePages, mirroring Linux.
+// Page-status codes returned by MovePages, mirroring Linux. Defined by
+// the shared migration engine.
 const (
-	StatusNoEnt = -2 // page not present (-ENOENT)
+	StatusNoEnt = migrate.StatusNoEnt // page not present (-ENOENT)
+	StatusBusy  = migrate.StatusBusy  // page pinned through every retry (-EBUSY)
 )
 
 // Mmap creates an anonymous mapping.
@@ -223,122 +225,49 @@ func (t *Task) GetNode(addr vm.Addr) int {
 // The returned status slice holds, per page, the resulting node or a
 // negative errno-style code.
 func (t *Task) MovePages(addrs []vm.Addr, nodes []topology.NodeID, patched bool) ([]int, error) {
+	return t.MovePagesStrategy(addrs, nodes, migrate.StrategyFor(patched))
+}
+
+// MovePagesStrategy is MovePages with an explicit engine strategy. The
+// syscall is a thin shell: argument checking, syscall entry cost, and
+// mmap_sem; the batched per-node pipeline lives in internal/migrate.
+func (t *Task) MovePagesStrategy(addrs []vm.Addr, nodes []topology.NodeID, s migrate.Strategy) ([]int, error) {
 	k := t.Proc.K
 	if len(addrs) != len(nodes) {
 		return nil, fmt.Errorf("kern: move_pages: %d addrs vs %d nodes", len(addrs), len(nodes))
 	}
 	k.Stats.Syscalls++
 	k.Stats.MovePagesCalls++
+	ops := make([]migrate.Op, len(addrs))
+	for i := range addrs {
+		ops[i] = migrate.Op{VPN: vm.PageOf(addrs[i]), Dst: nodes[i]}
+	}
 	status := make([]int, len(addrs))
 
 	defer t.P.PushCat(CatMovePagesCtl)()
 	t.P.Sleep(k.P.SyscallBase)
-	// Serialized setup: task lookup, per-CPU pagevec drains. This is the
-	// dominant fixed cost (~160us) and does not parallelize (§4.2, §4.4).
-	k.migLock.Acquire(t.P)
-	t.P.Sleep(k.P.MovePagesBaseLocked)
-	k.migLock.Release()
-	t.P.Sleep(k.P.MovePagesBase - k.P.MovePagesBaseLocked)
-
+	eng := k.Migrator(s)
+	eng.Setup(t.P, migrate.PathMovePages)
 	t.Proc.MmapSem.RLock(t.P)
 	defer t.Proc.MmapSem.RUnlock()
-
-	// Process in batches bounded by the PTE-chunk (lock) granularity.
-	i := 0
-	for i < len(addrs) {
-		// Batch: consecutive entries within one PTE chunk.
-		ci := vm.ChunkIndex(vm.PageOf(addrs[i]))
-		j := i + 1
-		for j < len(addrs) && j-i < k.P.BatchPages && vm.ChunkIndex(vm.PageOf(addrs[j])) == ci {
-			j++
-		}
-		t.movePagesBatch(addrs[i:j], nodes[i:j], status[i:j], ci, patched, len(nodes))
-		i = j
-	}
-	t.tlbShootdown()
-	return status, nil
-}
-
-// movePagesBatch migrates one batch of pages sharing a PTE chunk.
-// Control costs are charged under the chunk and LRU locks; copies go
-// through the migration channel afterwards, grouped by (src, dst).
-func (t *Task) movePagesBatch(addrs []vm.Addr, nodes []topology.NodeID, status []int, ci uint64, patched bool, totalEntries int) {
-	k := t.Proc.K
-	sp := t.Proc.Space
-	if !patched {
-		// The quadratic bug: for every page, scan the entire
-		// destination-node array.
-		t.P.Sleep(sim.Time(len(addrs)) * sim.Time(totalEntries) * k.P.UnpatchedScanEntry)
-	}
-
-	cl := t.Proc.chunkLock(ci)
-	cl.Acquire(t.P)
-
-	type migOp struct {
-		pte *vm.PTE
-		dst topology.NodeID
-	}
-	var ops []migOp
-	for x, a := range addrs {
-		pte := sp.PT.Lookup(vm.PageOf(a))
-		if !pte.Present() {
-			status[x] = StatusNoEnt
-			continue
-		}
-		if pte.Frame.Node == nodes[x] {
-			status[x] = int(nodes[x])
-			continue
-		}
-		ops = append(ops, migOp{pte: pte, dst: nodes[x]})
-		status[x] = int(nodes[x])
-	}
-	// Control: page isolation, PTE updates. Partially under the global
-	// LRU lock — the serialized fraction that limits threaded scaling.
-	k.lruLock.Acquire(t.P)
-	t.P.Sleep(sim.Time(len(addrs)) * k.P.MovePagesCtlLocked)
-	k.lruLock.Release()
-	t.P.Sleep(sim.Time(len(addrs)) * (k.P.MovePagesCtl - k.P.MovePagesCtlLocked))
-
-	// Allocate destinations and update PTEs while the chunk is locked.
-	type copyGroup struct {
-		src, dst topology.NodeID
-		bytes    float64
-	}
-	groups := map[[2]topology.NodeID]*copyGroup{}
-	var order [][2]topology.NodeID
-	for _, op := range ops {
-		src := op.pte.Frame.Node
-		newF := t.allocFrame(op.dst)
-		if op.pte.Frame.Data != nil {
-			copy(newF.Data, op.pte.Frame.Data)
-		}
-		k.Phys.Free(op.pte.Frame)
-		k.Phys.NoteMigration(newF.Node)
-		k.Stats.MovePagesPages++
-		op.pte.Frame = newF
-		key := [2]topology.NodeID{src, newF.Node}
-		g := groups[key]
-		if g == nil {
-			g = &copyGroup{src: src, dst: newF.Node}
-			groups[key] = g
-			order = append(order, key)
-		}
-		g.bytes += model.PageSize
-	}
-	cl.Release()
-
-	// Data copies: outside the PTE lock, through the migration channel.
-	t.P.InCat(CatMovePagesCopy, func() {
-		for _, key := range order {
-			g := groups[key]
-			k.Net.Transfer(t.P, g.bytes, k.migPath(t.Core, g.src, g.dst, true)...)
-		}
+	res := eng.Migrate(&migrate.Request{
+		P: t.P, Core: t.Core, Space: t.Proc,
+		Ops: ops, Status: status,
+		Path: migrate.PathMovePages, Flush: true,
+		CopyCat: CatMovePagesCopy,
 	})
+	k.Stats.MovePagesPages += uint64(res.Moved)
+	return status, nil
 }
 
 // MovePagesTo migrates every page of [addr, addr+length) to one node:
 // the common pattern of the user-space next-touch handler.
 func (t *Task) MovePagesTo(addr vm.Addr, length int64, node topology.NodeID, patched bool) ([]int, error) {
+	return t.MovePagesRegion(addr, length, node, migrate.StrategyFor(patched))
+}
+
+// MovePagesRegion is MovePagesTo with an explicit engine strategy.
+func (t *Task) MovePagesRegion(addr vm.Addr, length int64, node topology.NodeID, s migrate.Strategy) ([]int, error) {
 	n := vm.PagesIn(addr, length)
 	addrs := make([]vm.Addr, n)
 	nodes := make([]topology.NodeID, n)
@@ -347,13 +276,14 @@ func (t *Task) MovePagesTo(addr vm.Addr, length int64, node topology.NodeID, pat
 		addrs[i] = (base + vm.VPN(i)).Base()
 		nodes[i] = node
 	}
-	return t.MovePages(addrs, nodes, patched)
+	return t.MovePagesStrategy(addrs, nodes, s)
 }
 
 // MigratePages is the migrate_pages(2) system call: move every page of
 // the whole process that resides on a node in from to the corresponding
 // node in to. The address space is traversed in order, which locks less
-// per page than move_pages' arbitrary page sets (§4.2).
+// per page than move_pages' arbitrary page sets (§4.2); the gathered
+// orders run through the shared migration engine in one request.
 func (t *Task) MigratePages(from, to []topology.NodeID) (int, error) {
 	k := t.Proc.K
 	if len(from) != len(to) {
@@ -367,90 +297,34 @@ func (t *Task) MigratePages(from, to []topology.NodeID) (int, error) {
 
 	defer t.P.PushCat(CatMovePagesCtl)()
 	t.P.Sleep(k.P.SyscallBase)
-	k.migLock.Acquire(t.P)
-	t.P.Sleep(k.P.MigratePagesBase)
-	k.migLock.Release()
-
+	eng := k.Migrator(migrate.Patched)
+	eng.Setup(t.P, migrate.PathMigratePages)
 	t.Proc.MmapSem.RLock(t.P)
 	defer t.Proc.MmapSem.RUnlock()
 
-	moved := 0
+	// Gather: in-order walk of the address space for misplaced pages.
+	var ops []migrate.Op
 	for _, v := range t.Proc.Space.VMAs() {
 		first, last := vm.PageOf(v.Start), vm.PageOf(v.End-1)+1
-		// Collect per chunk, then process batch-wise.
-		var batch []vm.VPN
-		var batchChunk uint64
-		flush := func() {
-			if len(batch) == 0 {
-				return
-			}
-			t.migratePagesBatch(batch, batchChunk, dst)
-			moved += len(batch)
-			batch = batch[:0]
-		}
 		t.Proc.Space.PT.ForEach(first, last, func(p vm.VPN, pte *vm.PTE) {
 			d, ok := dst[pte.Frame.Node]
 			if !ok || d == pte.Frame.Node {
 				return
 			}
-			ci := vm.ChunkIndex(p)
-			if len(batch) > 0 && (ci != batchChunk || len(batch) >= k.P.BatchPages) {
-				flush()
-			}
-			batchChunk = ci
-			batch = append(batch, p)
+			ops = append(ops, migrate.Op{VPN: p, Dst: d})
 		})
-		flush()
 	}
-	t.tlbShootdown()
-	k.Stats.MigratePages += uint64(moved)
-	return moved, nil
-}
-
-func (t *Task) migratePagesBatch(vpns []vm.VPN, ci uint64, dst map[topology.NodeID]topology.NodeID) {
-	k := t.Proc.K
-	sp := t.Proc.Space
-	cl := t.Proc.chunkLock(ci)
-	cl.Acquire(t.P)
-	k.lruLock.Acquire(t.P)
-	t.P.Sleep(sim.Time(len(vpns)) * k.P.MigratePagesCtlLocked)
-	k.lruLock.Release()
-	t.P.Sleep(sim.Time(len(vpns)) * (k.P.MigratePagesCtl - k.P.MigratePagesCtlLocked))
-
-	type copyGroup struct{ bytes float64 }
-	groups := map[[2]topology.NodeID]*copyGroup{}
-	var order [][2]topology.NodeID
-	for _, p := range vpns {
-		pte := sp.PT.Lookup(p)
-		if !pte.Present() {
-			continue
-		}
-		src := pte.Frame.Node
-		d, ok := dst[src]
-		if !ok || d == src {
-			continue
-		}
-		newF := t.allocFrame(d)
-		if pte.Frame.Data != nil {
-			copy(newF.Data, pte.Frame.Data)
-		}
-		k.Phys.Free(pte.Frame)
-		k.Phys.NoteMigration(newF.Node)
-		pte.Frame = newF
-		key := [2]topology.NodeID{src, newF.Node}
-		g := groups[key]
-		if g == nil {
-			g = &copyGroup{}
-			groups[key] = g
-			order = append(order, key)
-		}
-		g.bytes += model.PageSize
-	}
-	cl.Release()
-	t.P.InCat(CatMovePagesCopy, func() {
-		for _, key := range order {
-			g := groups[key]
-			k.Net.Transfer(t.P, g.bytes, k.migPath(t.Core, key[0], key[1], true)...)
-		}
+	res := eng.Migrate(&migrate.Request{
+		P: t.P, Core: t.Core, Space: t.Proc, Ops: ops,
+		Path: migrate.PathMigratePages, Flush: true,
+		CopyCat: CatMovePagesCopy,
+		// The gather walk above ran under mmap_sem only; re-check the
+		// source mask under the chunk lock in case a page moved since.
+		Revalidate: func(op migrate.Op, src topology.NodeID) bool {
+			d, ok := dst[src]
+			return ok && d == op.Dst
+		},
 	})
+	k.Stats.MigratePages += uint64(res.Moved)
+	return res.Moved, nil
 }

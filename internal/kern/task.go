@@ -52,6 +52,29 @@ func (pr *Process) chunkLock(ci uint64) *sim.Resource {
 	return l
 }
 
+// ---- migrate.Space implementation ----
+//
+// The process is the address-space surface the migration engine
+// mutates: its page table, PTE locks, and TLB-shootdown accounting.
+
+// PageTable returns the process page table.
+func (pr *Process) PageTable() *vm.PageTable { return pr.Space.PT }
+
+// ChunkLock returns the PTE lock covering one 2 MiB chunk.
+func (pr *Process) ChunkLock(ci uint64) *sim.Resource { return pr.chunkLock(ci) }
+
+// TLBFlush charges a TLB shootdown across all cores running this
+// process's threads, executed by p.
+func (pr *Process) TLBFlush(p *sim.Proc) {
+	k := pr.K
+	k.Stats.TLBShootdowns++
+	others := len(pr.tasks) - 1
+	if others < 0 {
+		others = 0
+	}
+	p.Sleep(k.P.TLBShootBase + sim.Time(others)*k.P.TLBShootCore)
+}
+
 // Task is one thread of a process, bound to a core.
 type Task struct {
 	P    *sim.Proc
@@ -111,12 +134,4 @@ func (t *Task) MigrateTo(core topology.CoreID) {
 
 // tlbShootdown charges a TLB flush across all cores running this
 // process's threads.
-func (t *Task) tlbShootdown() {
-	k := t.Proc.K
-	k.Stats.TLBShootdowns++
-	others := len(t.Proc.tasks) - 1
-	if others < 0 {
-		others = 0
-	}
-	t.P.Sleep(k.P.TLBShootBase + sim.Time(others)*k.P.TLBShootCore)
-}
+func (t *Task) tlbShootdown() { t.Proc.TLBFlush(t.P) }

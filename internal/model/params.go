@@ -109,6 +109,15 @@ type Params struct {
 	NTFaultCtl       sim.Time
 	NTFaultCtlLocked sim.Time // portion under the global LRU lock
 
+	// ---- Migration engine retry policy ----
+
+	// MigrateRetries is how many extra passes the migration engine makes
+	// over busy (pinned) pages before reporting EBUSY, mirroring the
+	// kernel's EAGAIN loop in migrate_pages().
+	MigrateRetries int
+	// MigrateRetryDelay is the backoff slept between retry passes.
+	MigrateRetryDelay sim.Time
+
 	// ---- Application cost model ----
 
 	// ComputeRate is per-core useful flop rate for the LU/BLAS drivers
@@ -166,6 +175,9 @@ func Default() Params {
 
 		NTFaultCtl:       sim.Micros(0.70),
 		NTFaultCtlLocked: sim.Micros(0.35),
+
+		MigrateRetries:    4,
+		MigrateRetryDelay: sim.Micros(25),
 
 		ComputeRate:   1.15e9,
 		L3Bytes:       2 << 20,

@@ -1,9 +1,10 @@
 // Package report renders experiment results as aligned ASCII tables,
-// gnuplot-style data series, and CSV, for the bench harness and
-// cmd/numabench.
+// gnuplot-style data series, CSV, and JSON, for the bench and exp
+// harnesses and cmd/numabench.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -106,6 +107,25 @@ func (t *Table) CSV(w io.Writer) {
 	for _, r := range t.Rows {
 		writeCSVRow(w, r)
 	}
+}
+
+// JSON writes v as indented JSON followed by a newline. Struct fields
+// marshal in declaration order and maps in sorted-key order, so equal
+// values always produce byte-identical output — the property the
+// parallel experiment runner's determinism guarantee rests on.
+func JSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// JSONString renders v as indented JSON, for tests and diffing.
+func JSONString(v interface{}) (string, error) {
+	var sb strings.Builder
+	if err := JSON(&sb, v); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
 }
 
 func writeCSVRow(w io.Writer, cells []string) {

@@ -82,3 +82,32 @@ func TestFigureSeriesAlignment(t *testing.T) {
 		t.Fatalf("unexpected row: %q", last)
 	}
 }
+
+func TestJSONDeterministicAndIndented(t *testing.T) {
+	type row struct {
+		Name string  `json:"name"`
+		V    float64 `json:"v"`
+	}
+	in := []row{{"a", 1.5}, {"b", 2}}
+	s1, err := JSONString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := JSONString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("JSONString not deterministic")
+	}
+	if !strings.Contains(s1, "\n  {") || !strings.HasSuffix(s1, "\n") {
+		t.Fatalf("unexpected JSON shape:\n%s", s1)
+	}
+	var sb strings.Builder
+	if err := JSON(&sb, map[string]int{"z": 1, "a": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "{\n  \"a\": 2,\n  \"z\": 1\n}\n" {
+		t.Fatalf("map keys not sorted: %q", sb.String())
+	}
+}

@@ -13,6 +13,7 @@ const (
 	PTENextTouch                   // migrate-on-next-touch mark
 	PTEDirty
 	PTEAccessed
+	PTEPinned // page has elevated references (DMA / get_user_pages); not migratable
 )
 
 // PTE is one page-table entry.

@@ -25,6 +25,40 @@
 //	    t.MigrateTo(12)            // thread moves to node 3
 //	    buf.Access(t, numamig.Stream, false) // pages follow it
 //	})
+//
+// # Migration engine architecture
+//
+// All page movement runs through one batched per-node pipeline,
+// internal/migrate.Engine — the single place in the repository where
+// pages physically change nodes. The pipeline implements the paper's
+// batching insight end to end: gather the requested pages into
+// PTE-chunk batches, classify them under the chunk lock, charge
+// isolation/control costs partially under the global LRU lock, rewrite
+// the PTEs, bulk-copy once per (source, destination) node pair through
+// the fluid-modelled migration channels, retry busy (pinned) pages with
+// backoff, then flush the TLBs once. Two strategies share the pipeline
+// behind one interface: Patched (the linear 2.6.29 implementation) and
+// Unpatched (the quadratic pre-2.6.29 one). Every consumer is a thin
+// shell over the engine:
+//
+//   - move_pages / migrate_pages / mbind(MPOL_MF_MOVE)  (internal/kern/syscalls.go)
+//   - the kernel next-touch fault path                  (internal/kern/fault.go, access.go, rect.go)
+//   - the user-space next-touch SIGSEGV handler         (internal/core/nexttouch.go)
+//   - read-only page replication copies                 (internal/kern/replicate.go)
+//
+// # Experiment grid workflow
+//
+// internal/exp holds a registry of scenario families (the paper's
+// patched/unpatched x sync/lazy-kernel/lazy-user x buffer-size x
+// node-count grid, plus the replication extension) and a concurrent
+// runner. Every scenario builds its own deterministic System, so the
+// grid parallelizes perfectly and the same seeds always produce
+// byte-identical output:
+//
+//	numabench -grid                         # full grid, aligned table
+//	numabench -grid -quick -parallel 8      # trimmed grid, 8 workers
+//	numabench -grid -format json > grid.json
+//	numabench -grid -families replication -format csv
 package numamig
 
 import (
@@ -32,6 +66,7 @@ import (
 
 	"numamig/internal/core"
 	"numamig/internal/kern"
+	"numamig/internal/migrate"
 	"numamig/internal/model"
 	"numamig/internal/omp"
 	"numamig/internal/sim"
@@ -84,6 +119,9 @@ type (
 	Params = model.Params
 	// SigInfo describes a delivered SIGSEGV.
 	SigInfo = kern.SigInfo
+	// Strategy selects the move_pages generation of the migration
+	// engine (Patched or Unpatched).
+	Strategy = migrate.Strategy
 )
 
 // Re-exported constants.
@@ -107,6 +145,10 @@ const (
 	ProtRead = vm.ProtRead
 	// ProtNone removes all access.
 	ProtNone = vm.ProtNone
+	// Patched is the paper's linear move_pages implementation.
+	Patched = migrate.Patched
+	// Unpatched is the quadratic pre-2.6.29 move_pages.
+	Unpatched = migrate.Unpatched
 )
 
 // Madvise advice re-exports.
@@ -220,6 +262,19 @@ func (s *System) Now() Time { return s.Eng.Now() }
 
 // Stats returns the kernel statistics.
 func (s *System) Stats() kern.Stats { return s.Kernel.Stats }
+
+// Migrator returns the shared migration engine for a strategy; its
+// Stats expose pipeline-level counters (pages moved, retries, busy
+// pages, bytes copied).
+func (s *System) Migrator(st Strategy) *migrate.Engine { return s.Kernel.Migrator(st) }
+
+// MigratedBytes returns the bytes physically copied between nodes by
+// both migration engines, for migrations and replications alike.
+func (s *System) MigratedBytes() float64 {
+	p := s.Kernel.Migrator(Patched).Stats
+	u := s.Kernel.Migrator(Unpatched).Stats
+	return p.BytesMoved + p.BytesReplicated + u.BytesMoved + u.BytesReplicated
+}
 
 // NewUserNT creates the user-space next-touch library for the app
 // process (installing its SIGSEGV handler). patched selects the fixed
