@@ -10,9 +10,10 @@
 //	numabench -grid -parallel 8 -quick    # trimmed grid, 8 workers
 //	numabench -grid -format json          # machine-readable output
 //	numabench -grid -families replication # one scenario family
+//	numabench -list                       # enumerate families + counts
 //
 // Experiments: fig4 fig5 fig6a fig6b fig7 table1 fig8 blas1.
-// Grid families: see -families default (all registered families).
+// Grid families: see -list (all registered families).
 //
 // Grid output is deterministic: the same -seed produces byte-identical
 // JSON/CSV whatever -parallel is, because every scenario runs its own
@@ -22,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -35,12 +37,20 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps (seconds instead of minutes)")
 	grid := flag.Bool("grid", false, "run the scenario grid (internal/exp) instead of one experiment")
+	list := flag.Bool("list", false, "list registered scenario families with counts and descriptions")
 	families := flag.String("families", "", "comma-separated scenario families for -grid (default: all of "+strings.Join(exp.Families(), ", ")+")")
 	parallel := flag.Int("parallel", 0, "grid worker goroutines (0 = GOMAXPROCS)")
 	format := flag.String("format", "table", "grid output format: table, csv or json")
 	seed := flag.Int64("seed", 1, "base deterministic seed for -grid scenarios")
 	flag.Parse()
 
+	if *list {
+		if err := listFamilies(os.Stdout, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "numabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *grid {
 		if err := runGrid(*families, *quick, *parallel, *format, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "numabench:", err)
@@ -68,6 +78,29 @@ func main() {
 		}
 		fmt.Printf("# (%s regenerated in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// listFamilies enumerates the registered scenario families with their
+// scenario counts (full and -quick) and one-line descriptions, so the
+// grid is discoverable without reading internal/exp.
+func listFamilies(w io.Writer, seed int64) error {
+	total, totalQuick := 0, 0
+	for _, name := range exp.Families() {
+		full, err := exp.Scenarios([]string{name}, exp.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		trimmed, err := exp.Scenarios([]string{name}, exp.Options{Quick: true, Seed: seed})
+		if err != nil {
+			return err
+		}
+		total += len(full)
+		totalQuick += len(trimmed)
+		fmt.Fprintf(w, "%-13s %4d scenarios (%3d quick)  %s\n",
+			name, len(full), len(trimmed), exp.Describe(name))
+	}
+	fmt.Fprintf(w, "%-13s %4d scenarios (%3d quick)\n", "total", total, totalQuick)
+	return nil
 }
 
 // runGrid expands the requested families and executes them through the

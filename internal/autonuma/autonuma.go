@@ -1,0 +1,265 @@
+// Package autonuma is a simulated automatic-NUMA-balancing subsystem:
+// the transparent counterpart of the paper's explicit next-touch
+// policies, modelled after the mechanism Linux adopted after the
+// paper's era (CONFIG_NUMA_BALANCING: periodic PROT_NONE hinting-fault
+// sampling plus fault-driven page promotion).
+//
+// Three cooperating parts:
+//
+//   - A per-process scanner daemon — a simulated kernel thread on the
+//     DES engine — periodically walks the mapped address space and arms
+//     PTE ranges with hinting marks (vm.PTENumaHint, protection
+//     stripped like change_prot_numa), through
+//     kern.Process.ArmNumaHints. The scan period adapts between
+//     configured bounds: remote faults shrink it, all-local ticks back
+//     it off, mirroring numa_scan_period.
+//
+//   - The hinting-fault path in internal/kern (fault.go / access.go)
+//     restores access and reports each faulted (page, node) batch to
+//     the Balancer, which maintains per-task × per-node fault
+//     statistics with exponential decay.
+//
+//   - The placement policy promotes pages toward their accessor once
+//     the task's decayed fault count on the page's home node passes a
+//     threshold (filtering one-off touches, like the kernel's
+//     two-stage migration filter), and can optionally migrate the
+//     *thread* toward its memory instead when most of its faults hit
+//     one remote node. All page movement is issued through the shared
+//     migration engine (internal/migrate, PathNumaHint), so pinned
+//     pages, busy retry and batching behave identically to the manual
+//     migration paths.
+//
+// Unlike the paper's policies, no application or runtime hint is ever
+// required: locality is discovered from the faults alone. The autonuma
+// scenario family in internal/exp quantifies the resulting trade-off
+// (transparent balancing pays sampling overhead and reaction latency;
+// explicit next-touch pays API intrusiveness).
+package autonuma
+
+import (
+	"fmt"
+
+	"numamig/internal/kern"
+	"numamig/internal/migrate"
+	"numamig/internal/model"
+	"numamig/internal/sim"
+	"numamig/internal/topology"
+	"numamig/internal/vm"
+)
+
+// Config tunes the balancer. Zero values fall back to the kernel's
+// model.Params (NumaScan*/NumaFault* knobs).
+type Config struct {
+	// ScanPeriod is the initial delay between scanner ticks.
+	ScanPeriod sim.Time
+	// ScanPeriodMin/Max bound the adaptive period.
+	ScanPeriodMin sim.Time
+	ScanPeriodMax sim.Time
+	// ScanPages is the soft bound on pages examined per tick.
+	ScanPages int
+	// FaultThreshold is the decayed per-node fault count a task must
+	// reach on a node's memory before pages are promoted off it.
+	FaultThreshold float64
+	// FaultDecay multiplies the fault counters once per tick.
+	FaultDecay float64
+	// FollowThreshold, when positive, enables thread-follows-memory: if
+	// a task's decayed fault share on one remote node exceeds the
+	// threshold (0..1], the thread migrates to that node instead of
+	// pulling the memory over. Off by default.
+	FollowThreshold float64
+}
+
+func (c Config) withDefaults(p *model.Params) Config {
+	if c.ScanPeriod == 0 {
+		c.ScanPeriod = p.NumaScanPeriod
+	}
+	if c.ScanPeriodMin == 0 {
+		c.ScanPeriodMin = p.NumaScanPeriodMin
+	}
+	if c.ScanPeriodMax == 0 {
+		c.ScanPeriodMax = p.NumaScanPeriodMax
+	}
+	if c.ScanPages == 0 {
+		c.ScanPages = p.NumaScanPages
+	}
+	if c.FaultThreshold == 0 {
+		c.FaultThreshold = p.NumaFaultThreshold
+	}
+	if c.FaultDecay == 0 {
+		c.FaultDecay = p.NumaFaultDecay
+	}
+	if c.ScanPeriod < c.ScanPeriodMin {
+		c.ScanPeriod = c.ScanPeriodMin
+	}
+	if c.ScanPeriod > c.ScanPeriodMax {
+		c.ScanPeriod = c.ScanPeriodMax
+	}
+	return c
+}
+
+// Stats counts balancer activity.
+type Stats struct {
+	ScanTicks     uint64 // scanner wake-ups that did work
+	PagesArmed    uint64 // hinting marks installed
+	LocalFaults   uint64 // hinting faults on already-local pages
+	RemoteFaults  uint64 // hinting faults on remote pages
+	PagesPromoted uint64 // migration orders issued (engine may EBUSY some)
+	ThreadMoves   uint64 // thread-follows-memory migrations
+	Backoffs      uint64 // ticks that doubled the scan period
+}
+
+// taskStats is one task's decayed locality history: hinting-fault
+// counts indexed by the node the faulted page resided on.
+type taskStats struct {
+	memFaults []float64
+	total     float64
+}
+
+// Balancer is the per-process automatic NUMA balancing policy plus its
+// scanner daemon. Create with Enable; it registers itself as the
+// process's kern.NumaBalancer and starts scanning immediately.
+type Balancer struct {
+	Proc *kern.Process
+	Cfg  Config
+
+	period  sim.Time
+	cursor  vm.VPN
+	tasks   map[int]*taskStats
+	remote  uint64 // remote faults since the last tick
+	stopped bool
+
+	Stats Stats
+}
+
+// Enable builds a balancer for the process, registers its fault hook,
+// and spawns the scanner daemon on the DES engine. The daemon retires
+// itself on the first tick after the process's last thread exits.
+func Enable(proc *kern.Process, cfg Config) *Balancer {
+	b := &Balancer{
+		Proc:  proc,
+		Cfg:   cfg.withDefaults(&proc.K.P),
+		tasks: map[int]*taskStats{},
+	}
+	b.period = b.Cfg.ScanPeriod
+	proc.SetNumaBalancer(b)
+	proc.K.Eng.Spawn(fmt.Sprintf("%s.numa_scand", proc.Name), b.daemon)
+	return b
+}
+
+// Stop makes the daemon exit at its next wake-up and unregisters the
+// fault hook immediately.
+func (b *Balancer) Stop() {
+	b.stopped = true
+	if b.Proc.NumaBalancer() == kern.NumaBalancer(b) {
+		b.Proc.SetNumaBalancer(nil)
+	}
+}
+
+// Period returns the current adaptive scan period.
+func (b *Balancer) Period() sim.Time { return b.period }
+
+// daemon is the scanner kernel thread: decay statistics, adapt the
+// period to the fault traffic of the last window, arm the next window
+// of pages, sleep.
+func (b *Balancer) daemon(p *sim.Proc) {
+	for {
+		p.Sleep(b.period)
+		if b.stopped || b.Proc.NumThreads() == 0 {
+			return
+		}
+		b.decay()
+		// Adapt to the fault traffic of the last window — but only once
+		// a window has actually been sampled: before the first arming
+		// pass, zero remote faults says nothing.
+		if b.Stats.ScanTicks > 0 {
+			if b.remote == 0 {
+				// Quiet window: everything local, back off
+				// (numa_scan_period growth) so a converged workload stops
+				// paying for sampling.
+				if b.period < b.Cfg.ScanPeriodMax {
+					b.period *= 2
+					if b.period > b.Cfg.ScanPeriodMax {
+						b.period = b.Cfg.ScanPeriodMax
+					}
+					b.Stats.Backoffs++
+				}
+			} else {
+				// Remote traffic: rescan aggressively.
+				b.period /= 2
+				if b.period < b.Cfg.ScanPeriodMin {
+					b.period = b.Cfg.ScanPeriodMin
+				}
+			}
+		}
+		b.remote = 0
+		armed, next := b.Proc.ArmNumaHints(p, b.cursor, b.Cfg.ScanPages)
+		b.cursor = next
+		b.Stats.ScanTicks++
+		b.Stats.PagesArmed += uint64(armed)
+	}
+}
+
+// decay ages every task's fault history by one tick.
+func (b *Balancer) decay() {
+	for _, ts := range b.tasks {
+		ts.total = 0
+		for i := range ts.memFaults {
+			ts.memFaults[i] *= b.Cfg.FaultDecay
+			ts.total += ts.memFaults[i]
+		}
+	}
+}
+
+// HintFaults implements kern.NumaBalancer: record the fault batch in
+// the task's locality history and return promotion orders for the
+// remote pages whose home node has accumulated enough faults.
+func (b *Balancer) HintFaults(t *kern.Task, pages []vm.VPN, src []topology.NodeID) []migrate.Op {
+	ts := b.tasks[t.TID]
+	if ts == nil {
+		ts = &taskStats{memFaults: make([]float64, b.Proc.K.M.NumNodes())}
+		b.tasks[t.TID] = ts
+	}
+	dst := t.Node()
+	var ops []migrate.Op
+	for i, pg := range pages {
+		ts.memFaults[src[i]]++
+		ts.total++
+		if src[i] == dst {
+			b.Stats.LocalFaults++
+			continue
+		}
+		b.Stats.RemoteFaults++
+		b.remote++
+		if ts.memFaults[src[i]] >= b.Cfg.FaultThreshold {
+			ops = append(ops, migrate.Op{VPN: pg, Dst: dst})
+		}
+	}
+	if node, ok := b.shouldFollow(ts, dst); ok {
+		// Most of this task's recent faults hit memory on one remote
+		// node: move the thread to its memory instead of the reverse.
+		b.Stats.ThreadMoves++
+		t.MigrateTo(b.Proc.K.M.Nodes[node].Cores[0])
+		return nil
+	}
+	b.Stats.PagesPromoted += uint64(len(ops))
+	return ops
+}
+
+// shouldFollow reports the remote node holding the largest share of the
+// task's fault history, when thread-follows-memory is enabled and that
+// share clears the threshold.
+func (b *Balancer) shouldFollow(ts *taskStats, here topology.NodeID) (topology.NodeID, bool) {
+	if b.Cfg.FollowThreshold <= 0 || ts.total < b.Cfg.FaultThreshold {
+		return 0, false
+	}
+	best, bestF := topology.NodeID(0), 0.0
+	for n, f := range ts.memFaults {
+		if topology.NodeID(n) != here && f > bestF {
+			best, bestF = topology.NodeID(n), f
+		}
+	}
+	if bestF/ts.total > b.Cfg.FollowThreshold {
+		return best, true
+	}
+	return 0, false
+}

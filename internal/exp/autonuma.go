@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"fmt"
+
+	"numamig/internal/workload"
+)
+
+// The autonuma family quantifies the paper's central trade-off the way
+// history resolved it: explicit next-touch (application-driven marks)
+// against automatic NUMA balancing (transparent hinting-fault
+// sampling), against doing nothing at all, on workloads whose access
+// locus moves between nodes.
+//
+// Two workload shapes share the grid:
+//
+//   - rotate1: the paper's single-rotation scenario — one thread move
+//     to the farthest node, then repeated whole-buffer sweeps. Manual
+//     next-touch is near-optimal here (one mark, one migration pass);
+//     autonuma must first discover the shift, so its gap on rotate1 is
+//     the pure price of transparency.
+//   - phases: a full rotation visiting every non-home node. Each phase
+//     shift needs a fresh hint under the manual policies but is
+//     re-discovered for free by the scanner, while static placement
+//     decays to all-remote.
+
+func init() {
+	Register(Family{
+		Name: "autonuma",
+		Desc: "manual sync/lazy next-touch vs automatic NUMA balancing vs static, on single-rotation and phase-shifting sweeps",
+		Generate: func(o Options) []Scenario {
+			var out []Scenario
+			for _, nodes := range o.nodes() {
+				for _, pages := range o.pages() {
+					for _, wl := range []string{"rotate1", "phases"} {
+						for _, pol := range workload.PhasePolicies() {
+							out = append(out, Scenario{
+								ID:       fmt.Sprintf("autonuma/%s/%s/p%d/n%d", wl, pol, pages, nodes),
+								Family:   "autonuma",
+								Patched:  true,
+								Mode:     pol.String(),
+								Pages:    pages,
+								Nodes:    nodes,
+								Seed:     o.seed(),
+								Workload: wl,
+							})
+						}
+					}
+				}
+			}
+			return out
+		},
+		Run: runAutoNUMA,
+	})
+}
+
+// runAutoNUMA executes one scenario through the phase-shifting
+// workload driver.
+func runAutoNUMA(s Scenario) Result {
+	res := Result{Scenario: s}
+	pol, err := workload.PhasePolicyOf(s.Mode)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	hops := 0 // full rotation
+	if s.Workload == "rotate1" {
+		hops = 1
+	} else if s.Workload != "phases" {
+		res.Err = fmt.Sprintf("exp: unknown autonuma workload %q", s.Workload)
+		return res
+	}
+	r, err := workload.PhaseShift(workload.PhaseShiftConfig{
+		Nodes:  s.Nodes,
+		Pages:  s.Pages,
+		Hops:   hops,
+		Seed:   s.Seed,
+		Policy: pol,
+	})
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if r.Absent != 0 {
+		res.Err = fmt.Sprintf("phase-shift left %d pages absent", r.Absent)
+		return res
+	}
+	fillStats(&res, r.Stats, r.MigratedMB, r.Bytes, r.Dur)
+	return res
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"numamig/internal/core"
+	"numamig/internal/kern"
 	"numamig/internal/model"
 	"numamig/internal/sim"
 	"numamig/internal/topology"
@@ -31,25 +32,29 @@ type Scenario struct {
 	ID      string `json:"id"`
 	Family  string `json:"family"`
 	Patched bool   `json:"patched"`
-	Mode    string `json:"mode"`  // sync | lazy-kernel | lazy-user | static | replicated
+	Mode    string `json:"mode"`  // sync | lazy-kernel | lazy-user | static | replicated | autonuma | off
 	Pages   int    `json:"pages"` // buffer size in 4 KiB pages
 	Nodes   int    `json:"nodes"` // machine size in NUMA nodes
 	Seed    int64  `json:"seed"`
+	// Workload selects the driver for families with more than one
+	// (autonuma: "rotate1" single rotation, "phases" full rotation).
+	Workload string `json:"workload,omitempty"`
 }
 
 // Result is the outcome of one scenario: the virtual-time metrics and
 // kernel counters the paper reports.
 type Result struct {
 	Scenario
-	SimSeconds    float64 `json:"sim_seconds"`    // virtual duration of the measured phase
-	MBps          float64 `json:"mbps"`           // buffer bytes over the measured phase
-	PagesMoved    uint64  `json:"pages_moved"`    // pages physically migrated
-	MigratedMB    float64 `json:"migrated_mb"`    // bytes moved by the engine
-	Faults        uint64  `json:"faults"`         // page faults taken
-	Syscalls      uint64  `json:"syscalls"`       // syscalls issued
-	TLBShootdowns uint64  `json:"tlb_shootdowns"` // process-wide TLB flushes
-	RemoteMB      float64 `json:"remote_mb"`      // application bytes served remotely
-	LocalMB       float64 `json:"local_mb"`       // application bytes served locally
+	SimSeconds    float64 `json:"sim_seconds"`          // virtual duration of the measured phase
+	MBps          float64 `json:"mbps"`                 // buffer bytes over the measured phase
+	PagesMoved    uint64  `json:"pages_moved"`          // pages physically migrated
+	MigratedMB    float64 `json:"migrated_mb"`          // bytes moved by the engine
+	Faults        uint64  `json:"faults"`               // page faults taken
+	Syscalls      uint64  `json:"syscalls"`             // syscalls issued
+	TLBShootdowns uint64  `json:"tlb_shootdowns"`       // process-wide TLB flushes
+	RemoteMB      float64 `json:"remote_mb"`            // application bytes served remotely
+	LocalMB       float64 `json:"local_mb"`             // application bytes served locally
+	NumaHints     uint64  `json:"numa_hints,omitempty"` // AutoNUMA hinting faults taken
 	Err           string  `json:"err,omitempty"`
 }
 
@@ -320,16 +325,23 @@ func runReplication(s Scenario) Result {
 
 // fill populates the shared metrics from the system's kernel counters.
 func fill(res *Result, sys *numamig.System, bytes int64, dur sim.Time) {
-	st := sys.Stats()
+	fillStats(res, sys.Stats(), sys.MigratedBytes()/1e6, bytes, dur)
+}
+
+// fillStats populates the shared metrics from a kernel-stats snapshot;
+// the single place the Result columns are derived, shared by every
+// family runner.
+func fillStats(res *Result, st kern.Stats, migratedMB float64, bytes int64, dur sim.Time) {
 	res.SimSeconds = dur.Seconds()
 	if dur > 0 {
 		res.MBps = float64(bytes) / dur.Seconds() / 1e6
 	}
-	res.PagesMoved = st.MovePagesPages + st.NTMigrations + st.MigratePages
-	res.MigratedMB = sys.MigratedBytes() / 1e6
+	res.PagesMoved = st.MovePagesPages + st.NTMigrations + st.MigratePages + st.NumaPagesPromoted
+	res.MigratedMB = migratedMB
 	res.Faults = st.Faults
 	res.Syscalls = st.Syscalls
 	res.TLBShootdowns = st.TLBShootdowns
 	res.RemoteMB = st.RemoteBytes / 1e6
 	res.LocalMB = st.LocalBytes / 1e6
+	res.NumaHints = st.NumaHintFaults
 }

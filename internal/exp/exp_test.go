@@ -9,7 +9,7 @@ import (
 
 func TestFamiliesRegistered(t *testing.T) {
 	fams := Families()
-	want := []string{"migration", "replication"}
+	want := []string{"autonuma", "migration", "replication"}
 	if len(fams) != len(want) {
 		t.Fatalf("families = %v, want %v", fams, want)
 	}
@@ -138,6 +138,52 @@ func TestMigrationScenarioPhysics(t *testing.T) {
 	rku := RunScenario(lazyKU)
 	if rku.SimSeconds != rk.SimSeconds {
 		t.Fatalf("lazy-kernel should ignore the patch flag: %v vs %v", rku.SimSeconds, rk.SimSeconds)
+	}
+}
+
+// TestAutoNUMAScenarioTradeoffs checks the acceptance envelope of the
+// autonuma family: transparent balancing must clearly beat static
+// placement on the phase-shifting workload, and stay within ~10% of
+// the best manual next-touch policy on the paper's single-rotation
+// scenario (the pure price of transparency).
+func TestAutoNUMAScenarioTradeoffs(t *testing.T) {
+	run := func(mode, wl string) Result {
+		r := RunScenario(Scenario{
+			ID: mode + "/" + wl, Family: "autonuma", Patched: true,
+			Mode: mode, Pages: 1024, Nodes: 4, Seed: 1, Workload: wl,
+		})
+		if r.Err != "" {
+			t.Fatalf("%s on %s: %s", mode, wl, r.Err)
+		}
+		return r
+	}
+
+	// Phase-shifting: autonuma beats static placement decisively.
+	auto := run("autonuma", "phases")
+	static := run("off", "phases")
+	if auto.SimSeconds >= static.SimSeconds {
+		t.Fatalf("autonuma (%v s) should beat static (%v s) on the phase-shifting workload",
+			auto.SimSeconds, static.SimSeconds)
+	}
+	if auto.NumaHints == 0 || auto.PagesMoved == 0 {
+		t.Fatalf("autonuma did not balance: hints=%d moved=%d", auto.NumaHints, auto.PagesMoved)
+	}
+	if static.NumaHints != 0 || static.PagesMoved != 0 {
+		t.Fatalf("static run shows balancing activity: hints=%d moved=%d",
+			static.NumaHints, static.PagesMoved)
+	}
+
+	// Single rotation: within ~10% of the best manual policy.
+	autoRot := run("autonuma", "rotate1")
+	best := run("sync", "rotate1").SimSeconds
+	for _, mode := range []string{"lazy-kernel", "lazy-user"} {
+		if s := run(mode, "rotate1").SimSeconds; s < best {
+			best = s
+		}
+	}
+	if autoRot.SimSeconds > best*1.10 {
+		t.Fatalf("autonuma rotate1 (%v s) is %.1f%% over best manual (%v s), want <= 10%%",
+			autoRot.SimSeconds, (autoRot.SimSeconds/best-1)*100, best)
 	}
 }
 

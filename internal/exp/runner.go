@@ -56,13 +56,13 @@ func (r Runner) Run(scs []Scenario) []Result {
 // Table renders results as an aligned report table (also the CSV shape).
 func Table(results []Result) *report.Table {
 	tbl := report.NewTable("Experiment grid",
-		"id", "patched", "mode", "pages", "nodes", "seed",
+		"id", "patched", "mode", "workload", "pages", "nodes", "seed",
 		"sim_seconds", "mbps", "pages_moved", "migrated_mb",
-		"faults", "syscalls", "tlb_shootdowns", "remote_mb", "local_mb", "err")
+		"faults", "syscalls", "tlb_shootdowns", "remote_mb", "local_mb", "numa_hints", "err")
 	for _, r := range results {
-		tbl.Add(r.ID, r.Patched, r.Mode, r.Pages, r.Nodes, r.Seed,
+		tbl.Add(r.ID, r.Patched, r.Mode, r.Workload, r.Pages, r.Nodes, r.Seed,
 			fmt.Sprintf("%.6f", r.SimSeconds), r.MBps, r.PagesMoved, r.MigratedMB,
-			r.Faults, r.Syscalls, r.TLBShootdowns, r.RemoteMB, r.LocalMB, r.Err)
+			r.Faults, r.Syscalls, r.TLBShootdowns, r.RemoteMB, r.LocalMB, r.NumaHints, r.Err)
 	}
 	return tbl
 }

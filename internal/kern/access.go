@@ -49,6 +49,7 @@ func (t *Task) FaultIn(addr vm.Addr, length int64, write bool) (int, error) {
 			}
 			// Classify pages of this chunk.
 			var ntPages []vm.VPN
+			var numaPages []vm.VPN
 			var absent []vm.VPN
 			var stale []vm.VPN
 			for p := cstart; p < cend; p++ {
@@ -65,6 +66,8 @@ func (t *Task) FaultIn(addr vm.Addr, length int64, write bool) (int, error) {
 					absent = append(absent, p)
 				case pte.Flags&vm.PTENextTouch != 0:
 					ntPages = append(ntPages, p)
+				case pte.Flags&vm.PTENumaHint != 0:
+					numaPages = append(numaPages, p)
 				default:
 					stale = append(stale, p)
 				}
@@ -79,6 +82,10 @@ func (t *Task) FaultIn(addr vm.Addr, length int64, write bool) (int, error) {
 			if len(ntPages) > 0 {
 				serviced += len(ntPages)
 				t.ntServiceFaults(ntPages)
+			}
+			if len(numaPages) > 0 {
+				serviced += len(numaPages)
+				t.numaServiceFaults(numaPages)
 			}
 			cstart = cend
 		}

@@ -70,6 +70,7 @@ func (t *Task) fault(addr vm.Addr, write bool) error {
 	cl.Acquire(t.P)
 	pte := sp.PT.Entry(vpn)
 	nextTouch := false
+	numaHint := false
 	switch {
 	case pte.Allows(write):
 		// Raced with another thread that already fixed it.
@@ -79,6 +80,10 @@ func (t *Task) fault(addr vm.Addr, write bool) error {
 		// Serviced below, after the chunk lock is dropped: the engine
 		// takes the chunk lock itself.
 		nextTouch = true
+	case pte.Flags&vm.PTENumaHint != 0:
+		// AutoNUMA hinting fault: serviced below (the service path
+		// takes the chunk lock itself).
+		numaHint = true
 	default:
 		// Present but stale permissions (e.g. after mprotect restore):
 		// minor fault, install VMA protection.
@@ -88,6 +93,9 @@ func (t *Task) fault(addr vm.Addr, write bool) error {
 	cl.Release()
 	if nextTouch {
 		t.ntMigratePages([]vm.VPN{vpn})
+	}
+	if numaHint {
+		t.numaHintFaults([]vm.VPN{vpn})
 	}
 	t.Proc.MmapSem.RUnlock()
 	return nil

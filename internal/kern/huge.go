@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"numamig/internal/mem"
+	"numamig/internal/migrate"
 	"numamig/internal/model"
 	"numamig/internal/sim"
 	"numamig/internal/topology"
@@ -92,79 +93,58 @@ func (t *Task) TouchHuge(addr vm.Addr, length int64) (int, error) {
 // allocHugeFrame reserves 512 contiguous frames' worth of memory on the
 // node and returns a frame representing the 2 MiB unit.
 func (t *Task) allocHugeFrame(target topology.NodeID) *mem.Frame {
-	k := t.Proc.K
-	if err := k.Phys.AllocFootprint(target, model.PTEChunkPages-1); err != nil {
-		panic("kern: node out of memory for huge page")
-	}
-	f, err := k.Phys.Alloc(target)
-	if err != nil {
-		panic("kern: node out of memory for huge page")
-	}
-	return f
+	return t.Proc.K.AllocHugeFrame(target)
 }
 
 // MoveHugeRange migrates the huge pages of [addr, addr+length) to node.
 // One lock round and one bulk copy per 2 MiB page: the per-page control
 // cost that dominates 4 KiB migration (Fig. 6) is paid once per 512
-// pages. Returns the number of huge pages migrated.
+// pages. The request runs through the shared migration engine as huge
+// ops, so pinned units are retried with backoff and reported -EBUSY
+// (left in place) exactly like pinned 4 KiB pages. Returns the number
+// of huge pages migrated and, when any unit stayed pinned, the per-unit
+// status slice.
 func (t *Task) MoveHugeRange(addr vm.Addr, length int64, node topology.NodeID) (int, error) {
+	moved, _, err := t.MoveHugeRangeStatus(addr, length, node)
+	return moved, err
+}
+
+// MoveHugeRangeStatus is MoveHugeRange returning the per-unit status
+// (resulting node, StatusNoEnt, or StatusBusy for units that stayed
+// pinned through every retry pass), parallel to the 2 MiB units of the
+// range.
+func (t *Task) MoveHugeRangeStatus(addr vm.Addr, length int64, node topology.NodeID) (int, []int, error) {
 	k := t.Proc.K
 	sp := t.Proc.Space
 	v := sp.Find(addr)
 	if v == nil || v.Flags&vm.VMAHuge == 0 {
-		return 0, fmt.Errorf("kern: MoveHugeRange outside a huge mapping at %#x", addr)
+		return 0, nil, fmt.Errorf("kern: MoveHugeRange outside a huge mapping at %#x", addr)
 	}
 	first, last, err := hugeChunks(addr, length)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	k.Stats.Syscalls++
 	defer t.P.PushCat(CatMovePagesCtl)()
 	t.P.Sleep(k.P.SyscallBase)
-	k.migLock.Acquire(t.P)
-	t.P.Sleep(k.P.MovePagesBaseLocked)
-	k.migLock.Release()
-	t.P.Sleep(k.P.MovePagesBase - k.P.MovePagesBaseLocked)
+	eng := k.Migrator(migrate.Patched)
+	eng.Setup(t.P, migrate.PathMovePages)
 
+	ops := make([]migrate.Op, 0, last-first+1)
+	for ci := first; ci <= last; ci++ {
+		ops = append(ops, migrate.Op{VPN: vm.VPN(ci * model.PTEChunkPages), Dst: node, Huge: true})
+	}
+	status := make([]int, len(ops))
 	t.Proc.MmapSem.RLock(t.P)
 	defer t.Proc.MmapSem.RUnlock()
-	moved := 0
-	for ci := first; ci <= last; ci++ {
-		c := sp.PT.Chunk(vm.VPN(ci * model.PTEChunkPages))
-		if c == nil || !c.Huge || c.HugeFrame == nil || c.HugeFrame.Node == node {
-			continue
-		}
-		cl := t.Proc.chunkLock(ci)
-		cl.Acquire(t.P)
-		src := c.HugeFrame.Node
-		// One control round for the whole 2 MiB unit.
-		k.lruLock.Acquire(t.P)
-		t.P.Sleep(k.P.MovePagesCtlLocked)
-		k.lruLock.Release()
-		t.P.Sleep(k.P.MovePagesCtl - k.P.MovePagesCtlLocked)
-		// Release and re-allocate the footprint on the target node.
-		t.freeHugeFootprint(c.HugeFrame)
-		c.HugeFrame = t.allocHugeFrame(node)
-		cl.Release()
-		t.P.InCat(CatMovePagesCopy, func() {
-			k.Net.Transfer(t.P, model.HugePageSize, k.migPath(t.Core, src, node, true)...)
-		})
-		k.Phys.NoteMigration(node)
-		k.Stats.MovePagesPages += model.PTEChunkPages
-		moved++
-	}
-	t.tlbShootdown()
-	return moved, nil
-}
-
-// freeHugeFootprint returns a huge unit's 512-frame footprint. The
-// representative frame is freed first; the remaining accounting frames
-// are synthesized because mem.Phys tracks counts, not identity, for the
-// footprint.
-func (t *Task) freeHugeFootprint(f *mem.Frame) {
-	k := t.Proc.K
-	k.Phys.Free(f)
-	k.Phys.ReleaseFootprint(f.Node, model.PTEChunkPages-1)
+	res := eng.Migrate(&migrate.Request{
+		P: t.P, Core: t.Core, Space: t.Proc,
+		Ops: ops, Status: status,
+		Path: migrate.PathMovePages, Flush: true,
+		CopyCat: CatMovePagesCopy,
+	})
+	k.Stats.MovePagesPages += uint64(res.Moved) * model.PTEChunkPages
+	return res.Moved, status, nil
 }
 
 // HugeNode returns the node holding the huge page at addr, or -1.

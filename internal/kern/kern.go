@@ -29,6 +29,9 @@ const (
 	CatMprotectMark  = "mprotect mark"
 	CatMprotectRest  = "mprotect restore"
 	CatFaultSignal   = "page-fault+signal"
+	CatNumaScan      = "numa scan"
+	CatNumaHint      = "numa hint fault"
+	CatNumaCopy      = "numa copy page"
 )
 
 // Stats aggregates kernel-wide event counters.
@@ -46,6 +49,12 @@ type Stats struct {
 	Syscalls       uint64
 	LocalBytes     float64 // application bytes served from local node
 	RemoteBytes    float64 // application bytes served from remote nodes
+
+	// Automatic NUMA balancing (internal/autonuma).
+	NumaPtesScanned   uint64 // PTEs examined by the scanner daemon
+	NumaPtesArmed     uint64 // PTEs armed with the hinting mark
+	NumaHintFaults    uint64 // hinting faults taken
+	NumaPagesPromoted uint64 // pages migrated by the balancer
 }
 
 // Kernel is the simulated operating system instance for one machine.
@@ -157,6 +166,26 @@ func (k *Kernel) AllocFrame(target topology.NodeID) *mem.Frame {
 
 // FreeFrame returns a frame to the physical allocator.
 func (k *Kernel) FreeFrame(f *mem.Frame) { k.Phys.Free(f) }
+
+// AllocHugeFrame reserves a 2 MiB unit on the node: 511 footprint
+// frames plus one representative frame for the unit.
+func (k *Kernel) AllocHugeFrame(target topology.NodeID) *mem.Frame {
+	if err := k.Phys.AllocFootprint(target, model.PTEChunkPages-1); err != nil {
+		panic("kern: node out of memory for huge page")
+	}
+	f, err := k.Phys.Alloc(target)
+	if err != nil {
+		panic("kern: node out of memory for huge page")
+	}
+	return f
+}
+
+// FreeHugeFrame releases a huge unit's representative frame and its
+// 511-frame footprint.
+func (k *Kernel) FreeHugeFrame(f *mem.Frame) {
+	k.Phys.Free(f)
+	k.Phys.ReleaseFootprint(f.Node, model.PTEChunkPages-1)
+}
 
 // NoteMigration records one migrated-in page on dst.
 func (k *Kernel) NoteMigration(dst topology.NodeID) { k.Phys.NoteMigration(dst) }

@@ -3,6 +3,7 @@ package kern
 import (
 	"fmt"
 
+	"numamig/internal/model"
 	"numamig/internal/sim"
 	"numamig/internal/vm"
 )
@@ -14,7 +15,9 @@ import (
 // provoke the busy path deterministically.
 
 // PinRange pins every resident page of [addr, addr+length), making them
-// non-migratable until unpinned. Returns the number of pages pinned.
+// non-migratable until unpinned. A 2 MiB huge page whose chunk overlaps
+// the range is pinned as a unit and counts model.PTEChunkPages pages.
+// Returns the number of pages pinned.
 func (t *Task) PinRange(addr vm.Addr, length int64) (int, error) {
 	return t.setPinned(addr, length, true)
 }
@@ -29,6 +32,9 @@ func (t *Task) setPinned(addr vm.Addr, length int64, pinned bool) (int, error) {
 	k := t.Proc.K
 	k.Stats.Syscalls++
 	t.P.Sleep(k.P.SyscallBase)
+	if length <= 0 {
+		return 0, nil
+	}
 	t.Proc.MmapSem.RLock(t.P)
 	defer t.Proc.MmapSem.RUnlock()
 	if t.Proc.Space.Find(addr) == nil {
@@ -44,6 +50,20 @@ func (t *Task) setPinned(addr vm.Addr, length int64, pinned bool) (int, error) {
 		}
 		n++
 	})
+	// Huge units overlapping the range pin as a whole (ForEach skips
+	// huge chunks).
+	for ci := vm.ChunkIndex(first); ci <= vm.ChunkIndex(last-1); ci++ {
+		c := t.Proc.Space.PT.Chunk(vm.VPN(ci * model.PTEChunkPages))
+		if c == nil || !c.Huge || c.HugeFrame == nil {
+			continue
+		}
+		if pinned {
+			c.HugeFlags |= vm.PTEPinned
+		} else {
+			c.HugeFlags &^= vm.PTEPinned
+		}
+		n += model.PTEChunkPages
+	}
 	// Page-table walk plus per-page reference bump.
 	t.P.Sleep(sim.Time(n) * k.P.MadvisePage)
 	return n, nil

@@ -72,7 +72,7 @@ func (t *Task) FaultInRect(r Rect, write bool) (int, error) {
 		for i < len(pages) && !haveSegv {
 			ci := vm.ChunkIndex(pages[i])
 			j := i
-			var nt, absent, stale []vm.VPN
+			var nt, numa, absent, stale []vm.VPN
 			for ; j < len(pages) && vm.ChunkIndex(pages[j]) == ci; j++ {
 				p := pages[j]
 				v := sp.Find(p.Base())
@@ -88,6 +88,8 @@ func (t *Task) FaultInRect(r Rect, write bool) (int, error) {
 					absent = append(absent, p)
 				case pte.Flags&vm.PTENextTouch != 0:
 					nt = append(nt, p)
+				case pte.Flags&vm.PTENumaHint != 0:
+					numa = append(numa, p)
 				default:
 					stale = append(stale, p)
 				}
@@ -102,6 +104,10 @@ func (t *Task) FaultInRect(r Rect, write bool) (int, error) {
 			if len(nt) > 0 {
 				serviced += len(nt)
 				t.ntServiceFaults(nt)
+			}
+			if len(numa) > 0 {
+				serviced += len(numa)
+				t.numaServiceFaults(numa)
 			}
 			i = j
 		}

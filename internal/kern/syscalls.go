@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"numamig/internal/migrate"
+	"numamig/internal/model"
 	"numamig/internal/sim"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
@@ -216,6 +217,41 @@ func (t *Task) GetNode(addr vm.Addr) int {
 		return -1
 	}
 	return int(pte.Frame.Node)
+}
+
+// GetNodes returns the backing node of every page of [addr, addr+length)
+// (-1 for non-present pages) in one bulk query: a single syscall charge
+// and one mmap_sem round for the whole range, where a GetNode loop pays
+// per page. Huge pages report their unit's node for each covered page.
+func (t *Task) GetNodes(addr vm.Addr, length int64) []int {
+	k := t.Proc.K
+	k.Stats.Syscalls++
+	t.P.Sleep(k.P.SyscallBase)
+	t.Proc.MmapSem.RLock(t.P)
+	defer t.Proc.MmapSem.RUnlock()
+	n := vm.PagesIn(addr, length)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	base := vm.PageOf(addr)
+	t.Proc.Space.PT.ForEach(base, base+vm.VPN(n), func(p vm.VPN, pte *vm.PTE) {
+		out[p-base] = int(pte.Frame.Node)
+	})
+	for ci := vm.ChunkIndex(base); ci <= vm.ChunkIndex(base+vm.VPN(n)-1); ci++ {
+		c := t.Proc.Space.PT.Chunk(vm.VPN(ci * model.PTEChunkPages))
+		if c == nil || !c.Huge || c.HugeFrame == nil {
+			continue
+		}
+		for p := vm.VPN(ci * model.PTEChunkPages); p < vm.VPN((ci+1)*model.PTEChunkPages); p++ {
+			if p >= base && p < base+vm.VPN(n) {
+				out[p-base] = int(c.HugeFrame.Node)
+			}
+		}
+	}
+	// One page-table walk, no locking beyond mmap_sem.
+	t.P.Sleep(sim.Time(n) * k.P.MadvisePage)
+	return out
 }
 
 // MovePages is the move_pages(2) system call: migrate the pages holding

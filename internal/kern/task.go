@@ -26,10 +26,11 @@ type Process struct {
 	Space   *vm.Space
 	MmapSem *sim.RWLock
 
-	chunkLocks map[uint64]*sim.Resource
-	sigHandler SigHandler
-	tasks      []*Task
-	nextTID    int
+	chunkLocks   map[uint64]*sim.Resource
+	sigHandler   SigHandler
+	numaBalancer NumaBalancer
+	tasks        []*Task
+	nextTID      int
 
 	// Read-only replication state (the §6 extension; see replicate.go).
 	replicas     map[vm.VPN]*replicaSet

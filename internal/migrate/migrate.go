@@ -10,7 +10,9 @@
 // The seed codebase implemented that pipeline three separate times (the
 // move_pages syscall, the kernel next-touch fault path, and the
 // user-space next-touch handler); this package hosts the one shared
-// implementation behind the Engine type, with two strategies:
+// implementation behind the Engine type — also serving huge-page moves
+// (Op.Huge: one control round and one 2 MiB copy per unit) and AutoNUMA
+// hinting-fault promotion (PathNumaHint) — with two strategies:
 //
 //   - Patched: the paper's linear implementation (2.6.29), one pass per
 //     target node;
@@ -93,6 +95,11 @@ const (
 	// PathNextTouch is fault-time lazy migration (kernel next-touch,
 	// §3.3): no syscall setup, per-fault control costs, lazy channel.
 	PathNextTouch
+	// PathNumaHint is AutoNUMA promotion after a hinting fault
+	// (internal/autonuma): fault-path control costs on the lazy channel,
+	// no syscall setup, copy outside the PTE lock (the kernel restores
+	// access before migrate_misplaced_page runs).
+	PathNumaHint
 )
 
 // Page-status codes, mirroring Linux errno conventions.
@@ -115,6 +122,11 @@ type Env interface {
 	AllocFrame(target topology.NodeID) *mem.Frame
 	// FreeFrame returns a frame to the physical allocator.
 	FreeFrame(f *mem.Frame)
+	// AllocHugeFrame reserves a 2 MiB unit (one representative frame
+	// plus its 511-frame footprint) on target.
+	AllocHugeFrame(target topology.NodeID) *mem.Frame
+	// FreeHugeFrame releases a 2 MiB unit and its footprint.
+	FreeHugeFrame(f *mem.Frame)
 	// NoteMigration records one migrated-in page on dst.
 	NoteMigration(dst topology.NodeID)
 	// MigLock is the global serialized migration-setup lock (task
@@ -140,10 +152,13 @@ type Space interface {
 	TLBFlush(p *sim.Proc)
 }
 
-// Op orders the page at VPN onto node Dst.
+// Op orders the page at VPN onto node Dst. Huge marks a 2 MiB huge-page
+// op: VPN is the chunk base and the whole chunk-backed unit moves as one
+// (one control round, one 2 MiB bulk copy).
 type Op struct {
-	VPN vm.VPN
-	Dst topology.NodeID
+	VPN  vm.VPN
+	Dst  topology.NodeID
+	Huge bool
 }
 
 // Request is one migration order: a set of page moves executed by the
@@ -186,21 +201,24 @@ func (r *Request) setStatus(i, v int) {
 	}
 }
 
-// Result summarises one request.
+// Result summarises one request. Ops are the unit: a huge op counts one
+// toward Moved/Local/Busy like a 4 KiB op (Bytes tells them apart).
 type Result struct {
-	Moved   int     // pages physically migrated
-	Local   int     // pages already on their target node
-	Absent  int     // pages without a present PTE
-	Busy    int     // pages still pinned after every retry pass
-	Raced   int     // next-touch pages another thread serviced first
-	Retries int     // retry passes taken for pinned pages
-	Bytes   float64 // bytes copied between nodes
+	Moved     int     // ops physically migrated
+	HugeMoved int     // the subset of Moved that were 2 MiB units
+	Local     int     // ops already on their target node
+	Absent    int     // ops without a present PTE
+	Busy      int     // ops still pinned after every retry pass
+	Raced     int     // next-touch pages another thread serviced first
+	Retries   int     // retry passes taken for pinned pages
+	Bytes     float64 // bytes copied between nodes
 }
 
 // Stats aggregates engine activity across requests.
 type Stats struct {
 	Requests        uint64
-	PagesMoved      uint64
+	PagesMoved      uint64 // ops moved (huge ops count once; see HugePagesMoved)
+	HugePagesMoved  uint64
 	PagesLocal      uint64
 	PagesAbsent     uint64
 	PagesBusy       uint64
@@ -257,6 +275,14 @@ func (e *Engine) costs(path Path) pathCosts {
 			localCost:  p.NTFaultCtl / 2,
 			syncChan:   false,
 			copyLocked: true,
+		}
+	case PathNumaHint:
+		// AutoNUMA restores the PTE before migrating, so the copy runs
+		// outside the PTE lock, but it shares the lazy channel and
+		// per-fault control costs with the next-touch path.
+		return pathCosts{
+			ctl: p.NumaHintCtl, ctlLocked: p.NumaHintCtlLocked,
+			syncChan: false,
 		}
 	default: // PathMovePages
 		return pathCosts{
@@ -327,6 +353,7 @@ func (e *Engine) Migrate(req *Request) Result {
 		req.Space.TLBFlush(req.P)
 	}
 	e.Stats.PagesMoved += uint64(res.Moved)
+	e.Stats.HugePagesMoved += uint64(res.HugeMoved)
 	e.Stats.PagesLocal += uint64(res.Local)
 	e.Stats.PagesAbsent += uint64(res.Absent)
 	e.Stats.PagesBusy += uint64(res.Busy)
@@ -338,12 +365,16 @@ func (e *Engine) Migrate(req *Request) Result {
 
 // batchSpan returns the end of the batch starting at idx[i] —
 // consecutive entries within one PTE chunk, bounded by the pagevec
-// size — plus that chunk's index.
+// size — plus that chunk's index. A huge op is always its own batch (it
+// owns its whole chunk).
 func (e *Engine) batchSpan(ops []Op, idx []int, i int) (int, uint64) {
-	batchPages := e.env.Params().BatchPages
 	ci := vm.ChunkIndex(ops[idx[i]].VPN)
+	if ops[idx[i]].Huge {
+		return i + 1, ci
+	}
+	batchPages := e.env.Params().BatchPages
 	j := i + 1
-	for j < len(idx) && j-i < batchPages && vm.ChunkIndex(ops[idx[j]].VPN) == ci {
+	for j < len(idx) && j-i < batchPages && vm.ChunkIndex(ops[idx[j]].VPN) == ci && !ops[idx[j]].Huge {
 		j++
 	}
 	return j, ci
@@ -356,7 +387,7 @@ type copyGroups struct {
 	order [][2]topology.NodeID
 }
 
-func (g *copyGroups) add(src, dst topology.NodeID) {
+func (g *copyGroups) add(src, dst topology.NodeID, bytes float64) {
 	if g.bytes == nil {
 		g.bytes = map[[2]topology.NodeID]float64{}
 	}
@@ -364,7 +395,7 @@ func (g *copyGroups) add(src, dst topology.NodeID) {
 	if _, ok := g.bytes[key]; !ok {
 		g.order = append(g.order, key)
 	}
-	g.bytes[key] += model.PageSize
+	g.bytes[key] += bytes
 }
 
 // flushCopies issues one migration-channel transfer per accumulated
@@ -413,6 +444,7 @@ func (e *Engine) batch(req *Request, c pathCosts, idx []int, ci uint64, res *Res
 	// Classify: movable / local / absent / busy.
 	type mov struct {
 		pte  *vm.PTE
+		huge *vm.Chunk
 		dst  topology.NodeID
 		slot int
 	}
@@ -420,6 +452,27 @@ func (e *Engine) batch(req *Request, c pathCosts, idx []int, ci uint64, res *Res
 	var busy []int
 	for _, x := range idx {
 		op := req.Ops[x]
+		if op.Huge {
+			hc := pt.Chunk(op.VPN)
+			switch {
+			case hc == nil || !hc.Huge || hc.HugeFrame == nil:
+				req.setStatus(x, StatusNoEnt)
+				res.Absent++
+			case hc.HugeFrame.Node == op.Dst:
+				res.Local++
+				if c.localCost > 0 {
+					req.P.Sleep(c.localCost)
+				}
+				req.setStatus(x, int(op.Dst))
+			case hc.HugeFlags&vm.PTEPinned != 0:
+				// The unit has elevated references: retry, then EBUSY,
+				// exactly like a pinned 4 KiB page.
+				busy = append(busy, x)
+			default:
+				movs = append(movs, mov{huge: hc, dst: op.Dst, slot: x})
+			}
+			continue
+		}
 		pte := pt.Lookup(op.VPN)
 		if !pte.Present() {
 			req.setStatus(x, StatusNoEnt)
@@ -481,6 +534,20 @@ func (e *Engine) batch(req *Request, c pathCosts, idx []int, ci uint64, res *Res
 	// chunk is locked, accumulating bytes per (src, dst) node pair.
 	var groups copyGroups
 	for _, m := range movs {
+		if m.huge != nil {
+			// Whole 2 MiB unit: release the source footprint first so a
+			// nearly-full node can swap units in place.
+			src := m.huge.HugeFrame.Node
+			e.env.FreeHugeFrame(m.huge.HugeFrame)
+			m.huge.HugeFrame = e.env.AllocHugeFrame(m.dst)
+			e.env.NoteMigration(m.huge.HugeFrame.Node)
+			req.setStatus(m.slot, int(m.huge.HugeFrame.Node))
+			groups.add(src, m.huge.HugeFrame.Node, model.HugePageSize)
+			res.Moved++
+			res.HugeMoved++
+			res.Bytes += model.HugePageSize
+			continue
+		}
 		src := m.pte.Frame.Node
 		newF := e.env.AllocFrame(m.dst)
 		if m.pte.Frame.Data != nil {
@@ -493,7 +560,7 @@ func (e *Engine) batch(req *Request, c pathCosts, idx []int, ci uint64, res *Res
 			m.pte.Flags &^= vm.PTENextTouch
 		}
 		req.setStatus(m.slot, int(newF.Node))
-		groups.add(src, newF.Node)
+		groups.add(src, newF.Node, model.PageSize)
 		res.Moved++
 		res.Bytes += model.PageSize
 	}
@@ -553,7 +620,7 @@ func (e *Engine) Replicate(req *Request) {
 			if pte.Frame.Data != nil {
 				copy(f.Data, pte.Frame.Data)
 			}
-			groups.add(src, f.Node)
+			groups.add(src, f.Node, model.PageSize)
 			e.Stats.PagesReplicated++
 			e.Stats.BytesReplicated += model.PageSize
 			if req.OnCopied != nil {

@@ -109,6 +109,46 @@ type Params struct {
 	NTFaultCtl       sim.Time
 	NTFaultCtlLocked sim.Time // portion under the global LRU lock
 
+	// ---- Automatic NUMA balancing (internal/autonuma) ----
+	//
+	// The AutoNUMA scanner is the transparent counterpart of the paper's
+	// explicit next-touch policies: a per-process kernel thread
+	// periodically strips access from mapped pages (like
+	// change_prot_numa's PROT_NONE hinting marks) so the next touch
+	// faults, reveals who uses the page, and lets the balancer promote
+	// it toward its accessor through the shared migration engine.
+
+	// NumaScanPeriod is the initial delay between scanner ticks. The
+	// scanner adapts within [NumaScanPeriodMin, NumaScanPeriodMax]:
+	// ticks that surface remote faults shrink the period, all-local
+	// ticks back off, mirroring Linux's numa_scan_period adjustment.
+	NumaScanPeriod    sim.Time
+	NumaScanPeriodMin sim.Time
+	NumaScanPeriodMax sim.Time
+	// NumaScanPages bounds the pages examined per scanner tick (soft
+	// bound, rounded up to the enclosing PTE chunk).
+	NumaScanPages int
+	// NumaScanBase is the fixed per-tick walk setup cost.
+	NumaScanBase sim.Time
+	// NumaScanPage is the per-examined-PTE arming cost (PTE walk plus
+	// protection strip).
+	NumaScanPage sim.Time
+	// NumaHintFault is the per-page hinting-fault service cost (fault
+	// entry, PTE restore, statistics update).
+	NumaHintFault sim.Time
+	// NumaHintCtl is the per-page migration control cost on the hinting
+	// fault path; NumaHintCtlLocked is the fraction under the global LRU
+	// lock.
+	NumaHintCtl       sim.Time
+	NumaHintCtlLocked sim.Time
+	// NumaFaultThreshold is the decayed per-node fault count a task must
+	// accumulate on a node's memory before its pages are promoted;
+	// filters one-off touches like Linux's two-stage migration filter.
+	NumaFaultThreshold float64
+	// NumaFaultDecay multiplies every task's per-node fault counters
+	// once per scanner tick (exponential decay of locality history).
+	NumaFaultDecay float64
+
 	// ---- Migration engine retry policy ----
 
 	// MigrateRetries is how many extra passes the migration engine makes
@@ -175,6 +215,18 @@ func Default() Params {
 
 		NTFaultCtl:       sim.Micros(0.70),
 		NTFaultCtlLocked: sim.Micros(0.35),
+
+		NumaScanPeriod:     sim.Micros(250),
+		NumaScanPeriodMin:  sim.Micros(125),
+		NumaScanPeriodMax:  sim.Micros(8000),
+		NumaScanPages:      256,
+		NumaScanBase:       sim.Micros(2.0),
+		NumaScanPage:       sim.Micros(0.05),
+		NumaHintFault:      sim.Micros(0.45),
+		NumaHintCtl:        sim.Micros(0.70),
+		NumaHintCtlLocked:  sim.Micros(0.35),
+		NumaFaultThreshold: 4,
+		NumaFaultDecay:     0.5,
 
 		MigrateRetries:    4,
 		MigrateRetryDelay: sim.Micros(25),

@@ -13,7 +13,8 @@ const (
 	PTENextTouch                   // migrate-on-next-touch mark
 	PTEDirty
 	PTEAccessed
-	PTEPinned // page has elevated references (DMA / get_user_pages); not migratable
+	PTEPinned   // page has elevated references (DMA / get_user_pages); not migratable
+	PTENumaHint // AutoNUMA hinting mark: protection stripped so the next touch faults
 )
 
 // PTE is one page-table entry.
@@ -26,10 +27,10 @@ type PTE struct {
 func (p *PTE) Present() bool { return p != nil && p.Flags&PTEPresent != 0 }
 
 // Allows reports whether the hardware bits permit the access. A
-// next-touch-marked PTE never allows access (the kernel cleared its
-// permission bits so the touch faults).
+// next-touch-marked or NUMA-hint-marked PTE never allows access (the
+// kernel cleared its permission bits so the touch faults).
 func (p *PTE) Allows(write bool) bool {
-	if p == nil || p.Flags&PTEPresent == 0 || p.Flags&PTENextTouch != 0 {
+	if p == nil || p.Flags&PTEPresent == 0 || p.Flags&(PTENextTouch|PTENumaHint) != 0 {
 		return false
 	}
 	if write {

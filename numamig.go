@@ -45,25 +45,60 @@
 //   - the kernel next-touch fault path                  (internal/kern/fault.go, access.go, rect.go)
 //   - the user-space next-touch SIGSEGV handler         (internal/core/nexttouch.go)
 //   - read-only page replication copies                 (internal/kern/replicate.go)
+//   - 2 MiB huge-page moves (huge ops, one batch each)  (internal/kern/huge.go)
+//   - AutoNUMA hinting-fault promotion                  (internal/kern/numahint.go)
+//
+// # Automatic NUMA balancing (AutoNUMA)
+//
+// internal/autonuma adds the transparent counterpart of the paper's
+// explicit policies: the automatic NUMA balancing design Linux adopted
+// afterwards. Enabling it on a System starts a per-process scanner
+// daemon (a simulated kernel thread on the DES engine) that
+// periodically arms PTE ranges with hinting marks (vm.PTENumaHint,
+// protection stripped like change_prot_numa). The next touch of an
+// armed page takes a hinting fault — hooked into the kernel fault
+// paths — which restores access and feeds per-task x per-node fault
+// statistics with exponential decay. Once a task's decayed fault count
+// on a remote node passes a threshold, its pages there are promoted to
+// the toucher's node; optionally the thread migrates toward its memory
+// instead. All promotion runs through the shared migration engine
+// (PathNumaHint, lazy channel), so pinned pages, busy retry and
+// batching behave identically to the manual paths. The scan period
+// adapts: remote faults shrink it, all-local windows back it off.
+//
+//	sys := numamig.New(numamig.Config{})
+//	bal := sys.EnableAutoNUMA(autonuma.Config{})  // defaults from Params
+//	err := sys.Run(func(t *numamig.Task) {
+//	    buf := numamig.MustAlloc(t, 1<<22, numamig.Bind(0))
+//	    buf.Prefault(t)
+//	    t.MigrateTo(12)                    // no hints, no marks:
+//	    for i := 0; i < 8; i++ {           // pages follow the faults
+//	        buf.Access(t, numamig.Blocked, false)
+//	    }
+//	})
+//	_ = bal.Stats.PagesPromoted
 //
 // # Experiment grid workflow
 //
 // internal/exp holds a registry of scenario families (the paper's
 // patched/unpatched x sync/lazy-kernel/lazy-user x buffer-size x
-// node-count grid, plus the replication extension) and a concurrent
-// runner. Every scenario builds its own deterministic System, so the
-// grid parallelizes perfectly and the same seeds always produce
-// byte-identical output:
+// node-count grid, the replication extension, plus the autonuma family
+// comparing manual against automatic placement on phase-shifting
+// workloads) and a concurrent runner. Every scenario builds its own
+// deterministic System, so the grid parallelizes perfectly and the
+// same seeds always produce byte-identical output:
 //
 //	numabench -grid                         # full grid, aligned table
 //	numabench -grid -quick -parallel 8      # trimmed grid, 8 workers
 //	numabench -grid -format json > grid.json
-//	numabench -grid -families replication -format csv
+//	numabench -grid -families autonuma -format csv
+//	numabench -list                         # enumerate families
 package numamig
 
 import (
 	"fmt"
 
+	"numamig/internal/autonuma"
 	"numamig/internal/core"
 	"numamig/internal/kern"
 	"numamig/internal/migrate"
@@ -119,6 +154,8 @@ type (
 	Params = model.Params
 	// SigInfo describes a delivered SIGSEGV.
 	SigInfo = kern.SigInfo
+	// Rect is a strided 2D region for block-granular fault/access.
+	Rect = kern.Rect
 	// Strategy selects the move_pages generation of the migration
 	// engine (Patched or Unpatched).
 	Strategy = migrate.Strategy
@@ -286,6 +323,19 @@ func (s *System) NewUserNT(patched bool) *UserNT {
 // NewKernelNT creates the kernel next-touch driver.
 func (s *System) NewKernelNT() *KernelNT { return core.NewKernelNT(s.Proc) }
 
+// AutoNUMAConfig tunes EnableAutoNUMA; the zero value takes every knob
+// from the system's Params (NumaScan*/NumaFault*).
+type AutoNUMAConfig = autonuma.Config
+
+// EnableAutoNUMA turns on automatic NUMA balancing for the app process:
+// it registers the balancer's hinting-fault hook and starts the scanner
+// daemon. No application hints are needed afterwards; pages (and, with
+// cfg.FollowThreshold set, threads) follow the observed access pattern.
+// The returned balancer exposes knobs and Stats.
+func (s *System) EnableAutoNUMA(cfg AutoNUMAConfig) *autonuma.Balancer {
+	return autonuma.Enable(s.Proc, cfg)
+}
+
 // NewManager creates a joint thread/data migration manager.
 func (s *System) NewManager(mode Mode, patched bool) *Manager {
 	return core.NewManager(s.Proc, mode, patched)
@@ -353,11 +403,12 @@ func (b *Buffer) MoveTo(t *Task, node NodeID, patched bool) error {
 
 // NodeHistogram counts resident pages per node (index = node id; -1
 // entries, i.e. non-present pages, are reported in the second return).
+// One bulk GetNodes query: a single syscall and mmap_sem round for the
+// whole buffer.
 func (b *Buffer) NodeHistogram(t *Task) ([]int, int) {
 	hist := make([]int, t.K().M.NumNodes())
 	absent := 0
-	for i := 0; i < b.Pages(); i++ {
-		n := t.GetNode(b.Base + Addr(i*PageSize))
+	for _, n := range t.GetNodes(b.Base, b.Size) {
 		if n < 0 {
 			absent++
 			continue
