@@ -10,6 +10,8 @@
 //	numabench -grid -parallel 8 -quick    # trimmed grid, 8 workers
 //	numabench -grid -format json          # machine-readable output
 //	numabench -grid -families replication # one scenario family
+//	numabench -grid -nodes 1,2,4,8        # sweep machine sizes explicitly
+//	numabench -grid -cores-per-node 2     # narrower sockets
 //	numabench -list                       # enumerate families + counts
 //
 // Experiments: fig4 fig5 fig6a fig6b fig7 table1 fig8 blas1.
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,17 +45,30 @@ func main() {
 	parallel := flag.Int("parallel", 0, "grid worker goroutines (0 = GOMAXPROCS)")
 	format := flag.String("format", "table", "grid output format: table, csv or json")
 	seed := flag.Int64("seed", 1, "base deterministic seed for -grid scenarios")
+	nodes := flag.String("nodes", "", "comma-separated topology.Grid node counts to sweep for -grid/-list (subset of 1,2,4,8; default per family)")
+	coresPerNode := flag.Int("cores-per-node", 0, "cores per node for -grid/-list scenarios (0 = the Opteron host's 4)")
 	flag.Parse()
 
+	nodeList, err := parseNodeList(*nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "numabench:", err)
+		os.Exit(2)
+	}
+	if *coresPerNode < 0 {
+		fmt.Fprintln(os.Stderr, "numabench: -cores-per-node must be >= 0")
+		os.Exit(2)
+	}
+	opts := exp.Options{Quick: *quick, Seed: *seed, NodeList: nodeList, CoresPerNode: *coresPerNode}
+
 	if *list {
-		if err := listFamilies(os.Stdout, *seed); err != nil {
+		if err := listFamilies(os.Stdout, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "numabench:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *grid {
-		if err := runGrid(*families, *quick, *parallel, *format, *seed); err != nil {
+		if err := runGrid(*families, *parallel, *format, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "numabench:", err)
 			os.Exit(1)
 		}
@@ -80,24 +96,48 @@ func main() {
 	}
 }
 
+// parseNodeList parses the -nodes sweep flag into topology.Grid node
+// counts, rejecting sizes the grid generator cannot build.
+func parseNodeList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -nodes entry %q", part)
+		}
+		if n != 1 && n != 2 && n != 4 && n != 8 {
+			return nil, fmt.Errorf("-nodes entry %d unsupported (topology.Grid builds 1, 2, 4 or 8 nodes)", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // listFamilies enumerates the registered scenario families with their
 // scenario counts (full and -quick) and one-line descriptions, so the
 // grid is discoverable without reading internal/exp.
-func listFamilies(w io.Writer, seed int64) error {
+func listFamilies(w io.Writer, opts exp.Options) error {
 	total, totalQuick := 0, 0
 	for _, name := range exp.Families() {
-		full, err := exp.Scenarios([]string{name}, exp.Options{Seed: seed})
+		full := opts
+		full.Quick = false
+		fullScs, err := exp.Scenarios([]string{name}, full)
 		if err != nil {
 			return err
 		}
-		trimmed, err := exp.Scenarios([]string{name}, exp.Options{Quick: true, Seed: seed})
+		trim := opts
+		trim.Quick = true
+		trimmed, err := exp.Scenarios([]string{name}, trim)
 		if err != nil {
 			return err
 		}
-		total += len(full)
+		total += len(fullScs)
 		totalQuick += len(trimmed)
 		fmt.Fprintf(w, "%-13s %4d scenarios (%3d quick)  %s\n",
-			name, len(full), len(trimmed), exp.Describe(name))
+			name, len(fullScs), len(trimmed), exp.Describe(name))
 	}
 	fmt.Fprintf(w, "%-13s %4d scenarios (%3d quick)\n", "total", total, totalQuick)
 	return nil
@@ -105,7 +145,7 @@ func listFamilies(w io.Writer, seed int64) error {
 
 // runGrid expands the requested families and executes them through the
 // concurrent runner, rendering in the requested format.
-func runGrid(families string, quick bool, parallel int, format string, seed int64) error {
+func runGrid(families string, parallel int, format string, opts exp.Options) error {
 	var names []string
 	if families != "" {
 		for _, n := range strings.Split(families, ",") {
@@ -117,9 +157,12 @@ func runGrid(families string, quick bool, parallel int, format string, seed int6
 	default:
 		return fmt.Errorf("unknown -format %q (want table, csv or json)", format)
 	}
-	scs, err := exp.Scenarios(names, exp.Options{Quick: quick, Seed: seed})
+	scs, err := exp.Scenarios(names, opts)
 	if err != nil {
 		return err
+	}
+	if len(scs) == 0 {
+		return fmt.Errorf("no scenarios generated (the requested -families need more than the given -nodes)")
 	}
 	start := time.Now()
 	results := exp.Runner{Parallel: parallel}.Run(scs)

@@ -24,7 +24,12 @@
 //     threshold (filtering one-off touches, like the kernel's
 //     two-stage migration filter), and can optionally migrate the
 //     *thread* toward its memory instead when most of its faults hit
-//     one remote node. All page movement is issued through the shared
+//     one remote node. Two further gates damp harmful promotion: the
+//     last-toucher filter requires two consecutive faults from the
+//     same task before a page moves (damping shared-page ping-pong,
+//     like the kernel's last-CPU/PID check), and the placement
+//     layer's pressure gate withholds promotion into nodes at their
+//     low watermark. All page movement is issued through the shared
 //     migration engine (internal/migrate, PathNumaHint), so pinned
 //     pages, busy retry and batching behave identically to the manual
 //     migration paths.
@@ -67,6 +72,13 @@ type Config struct {
 	// threshold (0..1], the thread migrates to that node instead of
 	// pulling the memory over. Off by default.
 	FollowThreshold float64
+	// NoLastToucher disables the last-toucher filter. By default the
+	// balancer records the last task that took a hinting fault on each
+	// page and promotes only after two consecutive faults from the same
+	// task — damping the ping-pong of pages shared by tasks on
+	// different nodes, like the kernel's last-CPU/PID check in
+	// should_numa_migrate_memory.
+	NoLastToucher bool
 }
 
 func (c Config) withDefaults(p *model.Params) Config {
@@ -106,6 +118,8 @@ type Stats struct {
 	PagesPromoted uint64 // migration orders issued (engine may EBUSY some)
 	ThreadMoves   uint64 // thread-follows-memory migrations
 	Backoffs      uint64 // ticks that doubled the scan period
+	PingPongSkips uint64 // promotions withheld by the last-toucher filter
+	PressureSkips uint64 // promotions withheld because the target is pressured
 }
 
 // taskStats is one task's decayed locality history: hinting-fault
@@ -113,6 +127,13 @@ type Stats struct {
 type taskStats struct {
 	memFaults []float64
 	total     float64
+}
+
+// lastTouch is a page's recent toucher history: the task that took the
+// last hinting fault on it and its run of consecutive faults.
+type lastTouch struct {
+	tid    int
+	streak uint8
 }
 
 // Balancer is the per-process automatic NUMA balancing policy plus its
@@ -125,7 +146,8 @@ type Balancer struct {
 	period  sim.Time
 	cursor  vm.VPN
 	tasks   map[int]*taskStats
-	remote  uint64 // remote faults since the last tick
+	last    map[vm.VPN]lastTouch // last-toucher filter state
+	remote  uint64               // remote faults since the last tick
 	stopped bool
 
 	Stats Stats
@@ -139,6 +161,7 @@ func Enable(proc *kern.Process, cfg Config) *Balancer {
 		Proc:  proc,
 		Cfg:   cfg.withDefaults(&proc.K.P),
 		tasks: map[int]*taskStats{},
+		last:  map[vm.VPN]lastTouch{},
 	}
 	b.period = b.Cfg.ScanPeriod
 	proc.SetNumaBalancer(b)
@@ -212,7 +235,13 @@ func (b *Balancer) decay() {
 
 // HintFaults implements kern.NumaBalancer: record the fault batch in
 // the task's locality history and return promotion orders for the
-// remote pages whose home node has accumulated enough faults.
+// remote pages whose home node has accumulated enough faults. Two
+// gates damp harmful promotion: the last-toucher filter requires two
+// consecutive faults from the same task before a page moves (shared
+// pages touched alternately from different nodes never promote), and
+// the placement layer's pressure gate withholds promotion into nodes
+// at or below their low watermark (pulling pages into a pressured node
+// would only force kswapd to demote something right back out).
 func (b *Balancer) HintFaults(t *kern.Task, pages []vm.VPN, src []topology.NodeID) []migrate.Op {
 	ts := b.tasks[t.TID]
 	if ts == nil {
@@ -220,8 +249,20 @@ func (b *Balancer) HintFaults(t *kern.Task, pages []vm.VPN, src []topology.NodeI
 		b.tasks[t.TID] = ts
 	}
 	dst := t.Node()
+	allowDst := b.Proc.K.Placer.AllowPromotion(dst)
 	var ops []migrate.Op
 	for i, pg := range pages {
+		// Last-toucher history: every hinting fault extends or resets
+		// the page's consecutive-toucher streak.
+		lt := b.last[pg]
+		if lt.tid == t.TID {
+			if lt.streak < ^uint8(0) {
+				lt.streak++
+			}
+		} else {
+			lt = lastTouch{tid: t.TID, streak: 1}
+		}
+		b.last[pg] = lt
 		ts.memFaults[src[i]]++
 		ts.total++
 		if src[i] == dst {
@@ -230,9 +271,18 @@ func (b *Balancer) HintFaults(t *kern.Task, pages []vm.VPN, src []topology.NodeI
 		}
 		b.Stats.RemoteFaults++
 		b.remote++
-		if ts.memFaults[src[i]] >= b.Cfg.FaultThreshold {
-			ops = append(ops, migrate.Op{VPN: pg, Dst: dst})
+		if ts.memFaults[src[i]] < b.Cfg.FaultThreshold {
+			continue
 		}
+		if !b.Cfg.NoLastToucher && lt.streak < 2 {
+			b.Stats.PingPongSkips++
+			continue
+		}
+		if !allowDst {
+			b.Stats.PressureSkips++
+			continue
+		}
+		ops = append(ops, migrate.Op{VPN: pg, Dst: dst})
 	}
 	if node, ok := b.shouldFollow(ts, dst); ok {
 		// Most of this task's recent faults hit memory on one remote

@@ -1,6 +1,7 @@
 package autonuma_test
 
 import (
+	"fmt"
 	"testing"
 
 	"numamig/internal/autonuma"
@@ -180,6 +181,92 @@ func TestDaemonRetires(t *testing.T) {
 	bal.Stop()
 	if sys.Proc.NumaBalancer() != nil {
 		t.Fatal("Stop left the balancer registered")
+	}
+}
+
+// pingPong runs two threads on different nodes alternately sweeping
+// one shared buffer homed on node 0 and returns the balancer stats:
+// the canonical shared-page ping-pong that the last-toucher filter is
+// meant to damp.
+func pingPong(t *testing.T, cfg autonuma.Config) autonuma.Stats {
+	t.Helper()
+	sys := numamig.New(numamig.Config{Seed: 11})
+	bal := sys.EnableAutoNUMA(cfg)
+	const pages = 128
+	var buf *numamig.Buffer
+	ready := sim.NewEvent(sys.Eng)
+	sys.Proc.Spawn("setup", 0, func(tk *numamig.Task) {
+		buf = numamig.MustAlloc(tk, pages*pg, numamig.Bind(0))
+		if err := buf.Prefault(tk); err != nil {
+			t.Fatal(err)
+		}
+		ready.Fire()
+	})
+	for i, node := range []numamig.NodeID{1, 2} {
+		core := sys.Machine.Nodes[node].Cores[0]
+		sys.Proc.Spawn(fmt.Sprintf("pingpong%d", i), core, func(tk *numamig.Task) {
+			ready.Wait(tk.P)
+			deadline := tk.P.Now() + 24*bal.Cfg.ScanPeriodMax
+			for tk.P.Now() < deadline {
+				sweep(t, tk, buf)
+			}
+		})
+	}
+	if err := sys.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return bal.Stats
+}
+
+// TestLastToucherDampsPingPong: with the filter on (default), a page
+// alternately touched from two nodes never builds the two-consecutive-
+// fault streak, so promotions are damped by an order of magnitude
+// against the unfiltered balancer chasing every toucher.
+func TestLastToucherDampsPingPong(t *testing.T) {
+	filtered := pingPong(t, autonuma.Config{})
+	unfiltered := pingPong(t, autonuma.Config{NoLastToucher: true})
+	if unfiltered.PagesPromoted == 0 {
+		t.Fatal("unfiltered ping-pong promoted nothing; the workload is not contending")
+	}
+	if filtered.PingPongSkips == 0 {
+		t.Fatal("filter never withheld a promotion")
+	}
+	if filtered.PagesPromoted*4 > unfiltered.PagesPromoted {
+		t.Fatalf("filter barely damped the ping-pong: %d promotions filtered vs %d unfiltered",
+			filtered.PagesPromoted, unfiltered.PagesPromoted)
+	}
+	if unfiltered.PingPongSkips != 0 {
+		t.Fatalf("disabled filter still skipped %d promotions", unfiltered.PingPongSkips)
+	}
+}
+
+// TestSingleOwnerStillConverges: the filter must not starve the
+// common case — a page with one consistent toucher builds its streak
+// on the second fault and promotes (TestConvergence covers the full
+// guarantee; this pins the streak bookkeeping directly).
+func TestSingleOwnerStillConverges(t *testing.T) {
+	sys := numamig.New(numamig.Config{})
+	bal := sys.EnableAutoNUMA(autonuma.Config{})
+	err := sys.Run(func(tk *numamig.Task) {
+		buf := numamig.MustAlloc(tk, 64*pg, numamig.Bind(0))
+		if err := buf.Prefault(tk); err != nil {
+			t.Fatal(err)
+		}
+		tk.MigrateTo(sys.Machine.Nodes[3].Cores[0])
+		deadline := tk.P.Now() + 16*bal.Cfg.ScanPeriodMax
+		for tk.P.Now() < deadline {
+			sweep(t, tk, buf)
+		}
+		hist, _ := buf.NodeHistogram(tk)
+		if hist[3] < 64*9/10 {
+			t.Fatalf("single owner did not converge under the filter: hist=%v", hist)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal.Stats.PagesPromoted == 0 {
+		t.Fatal("no promotions despite a single consistent toucher")
 	}
 }
 

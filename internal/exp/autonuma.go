@@ -31,6 +31,9 @@ func init() {
 		Generate: func(o Options) []Scenario {
 			var out []Scenario
 			for _, nodes := range o.nodes() {
+				if nodes < 2 {
+					continue // the rotation workload needs a remote node
+				}
 				for _, pages := range o.pages() {
 					for _, wl := range []string{"rotate1", "phases"} {
 						for _, pol := range workload.PhasePolicies() {
@@ -42,6 +45,7 @@ func init() {
 								Pages:    pages,
 								Nodes:    nodes,
 								Seed:     o.seed(),
+								Cores:    o.CoresPerNode,
 								Workload: wl,
 							})
 						}
@@ -72,6 +76,7 @@ func runAutoNUMA(s Scenario) Result {
 	}
 	r, err := workload.PhaseShift(workload.PhaseShiftConfig{
 		Nodes:  s.Nodes,
+		Cores:  s.Cores,
 		Pages:  s.Pages,
 		Hops:   hops,
 		Seed:   s.Seed,

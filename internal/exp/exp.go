@@ -36,25 +36,36 @@ type Scenario struct {
 	Pages   int    `json:"pages"` // buffer size in 4 KiB pages
 	Nodes   int    `json:"nodes"` // machine size in NUMA nodes
 	Seed    int64  `json:"seed"`
+	// Cores is cores per node (0: the Opteron host's 4). Set by the
+	// -cores-per-node sweep flag.
+	Cores int `json:"cores,omitempty"`
 	// Workload selects the driver for families with more than one
 	// (autonuma: "rotate1" single rotation, "phases" full rotation).
 	Workload string `json:"workload,omitempty"`
+	// Pressure-family dimensions: total allocation as a multiple of one
+	// node's capacity, the fraction of the cold set aimed at node 0,
+	// and whether the kswapd-style demotion daemons run.
+	Overcommit float64 `json:"overcommit,omitempty"`
+	Imbalance  float64 `json:"imbalance,omitempty"`
+	Demotion   bool    `json:"demotion,omitempty"`
 }
 
 // Result is the outcome of one scenario: the virtual-time metrics and
 // kernel counters the paper reports.
 type Result struct {
 	Scenario
-	SimSeconds    float64 `json:"sim_seconds"`          // virtual duration of the measured phase
-	MBps          float64 `json:"mbps"`                 // buffer bytes over the measured phase
-	PagesMoved    uint64  `json:"pages_moved"`          // pages physically migrated
-	MigratedMB    float64 `json:"migrated_mb"`          // bytes moved by the engine
-	Faults        uint64  `json:"faults"`               // page faults taken
-	Syscalls      uint64  `json:"syscalls"`             // syscalls issued
-	TLBShootdowns uint64  `json:"tlb_shootdowns"`       // process-wide TLB flushes
-	RemoteMB      float64 `json:"remote_mb"`            // application bytes served remotely
-	LocalMB       float64 `json:"local_mb"`             // application bytes served locally
-	NumaHints     uint64  `json:"numa_hints,omitempty"` // AutoNUMA hinting faults taken
+	SimSeconds    float64 `json:"sim_seconds"`             // virtual duration of the measured phase
+	MBps          float64 `json:"mbps"`                    // buffer bytes over the measured phase
+	PagesMoved    uint64  `json:"pages_moved"`             // pages physically migrated
+	MigratedMB    float64 `json:"migrated_mb"`             // bytes moved by the engine
+	Faults        uint64  `json:"faults"`                  // page faults taken
+	Syscalls      uint64  `json:"syscalls"`                // syscalls issued
+	TLBShootdowns uint64  `json:"tlb_shootdowns"`          // process-wide TLB flushes
+	RemoteMB      float64 `json:"remote_mb"`               // application bytes served remotely
+	LocalMB       float64 `json:"local_mb"`                // application bytes served locally
+	NumaHints     uint64  `json:"numa_hints,omitempty"`    // AutoNUMA hinting faults taken
+	Demoted       uint64  `json:"pages_demoted,omitempty"` // pages demoted by the kswapd daemons
+	HotLocal      float64 `json:"hot_local,omitempty"`     // pressure family: final hot-set locality fraction
 	Err           string  `json:"err,omitempty"`
 }
 
@@ -64,6 +75,13 @@ type Options struct {
 	Quick bool
 	// Seed is the base deterministic seed (default 1).
 	Seed int64
+	// NodeList overrides the machine-size sweep with explicit
+	// topology.Grid node counts (subset of 1, 2, 4, 8); empty keeps the
+	// per-family defaults.
+	NodeList []int
+	// CoresPerNode sets cores per node for every generated scenario
+	// (0: the Opteron host's 4).
+	CoresPerNode int
 }
 
 func (o Options) seed() int64 {
@@ -81,6 +99,9 @@ func (o Options) pages() []int {
 }
 
 func (o Options) nodes() []int {
+	if len(o.NodeList) > 0 {
+		return o.NodeList
+	}
 	if o.Quick {
 		return []int{2, 4}
 	}
@@ -175,6 +196,7 @@ func init() {
 								Pages:   pages,
 								Nodes:   nodes,
 								Seed:    o.seed(),
+								Cores:   o.CoresPerNode,
 							})
 						}
 					}
@@ -207,7 +229,7 @@ func runMigration(s Scenario) Result {
 		res.Err = err.Error()
 		return res
 	}
-	sys := numamig.New(numamig.Config{Nodes: s.Nodes, Seed: s.Seed})
+	sys := numamig.New(numamig.Config{Nodes: s.Nodes, CoresPerNode: s.Cores, Seed: s.Seed})
 	mgr := sys.NewManager(mode, s.Patched)
 	size := int64(s.Pages) * model.PageSize
 	target := topology.NodeID(s.Nodes - 1)
@@ -260,6 +282,7 @@ func init() {
 							Pages:   pages,
 							Nodes:   nodes,
 							Seed:    o.seed(),
+							Cores:   o.CoresPerNode,
 						})
 					}
 				}
@@ -276,7 +299,7 @@ func init() {
 func runReplication(s Scenario) Result {
 	const sweeps = 4
 	res := Result{Scenario: s}
-	sys := numamig.New(numamig.Config{Nodes: s.Nodes, Seed: s.Seed})
+	sys := numamig.New(numamig.Config{Nodes: s.Nodes, CoresPerNode: s.Cores, Seed: s.Seed})
 	size := int64(s.Pages) * model.PageSize
 	ready := sim.NewEvent(sys.Eng)
 	var buf *numamig.Buffer
@@ -336,7 +359,7 @@ func fillStats(res *Result, st kern.Stats, migratedMB float64, bytes int64, dur 
 	if dur > 0 {
 		res.MBps = float64(bytes) / dur.Seconds() / 1e6
 	}
-	res.PagesMoved = st.MovePagesPages + st.NTMigrations + st.MigratePages + st.NumaPagesPromoted
+	res.PagesMoved = st.MovePagesPages + st.NTMigrations + st.MigratePages + st.NumaPagesPromoted + st.PagesDemoted
 	res.MigratedMB = migratedMB
 	res.Faults = st.Faults
 	res.Syscalls = st.Syscalls
@@ -344,4 +367,5 @@ func fillStats(res *Result, st kern.Stats, migratedMB float64, bytes int64, dur 
 	res.RemoteMB = st.RemoteBytes / 1e6
 	res.LocalMB = st.LocalBytes / 1e6
 	res.NumaHints = st.NumaHintFaults
+	res.Demoted = st.PagesDemoted
 }

@@ -9,7 +9,7 @@ import (
 
 func TestFamiliesRegistered(t *testing.T) {
 	fams := Families()
-	want := []string{"autonuma", "migration", "replication"}
+	want := []string{"autonuma", "migration", "pressure", "replication"}
 	if len(fams) != len(want) {
 		t.Fatalf("families = %v, want %v", fams, want)
 	}
@@ -173,7 +173,11 @@ func TestAutoNUMAScenarioTradeoffs(t *testing.T) {
 			static.NumaHints, static.PagesMoved)
 	}
 
-	// Single rotation: within ~10% of the best manual policy.
+	// Single rotation: within ~25% of the best manual policy. The
+	// last-toucher filter costs one extra scan round per page here (a
+	// page's first fault only records history; the second consecutive
+	// fault promotes), which is the price of damping shared-page
+	// ping-pong on workloads that alternate touchers.
 	autoRot := run("autonuma", "rotate1")
 	best := run("sync", "rotate1").SimSeconds
 	for _, mode := range []string{"lazy-kernel", "lazy-user"} {
@@ -181,9 +185,43 @@ func TestAutoNUMAScenarioTradeoffs(t *testing.T) {
 			best = s
 		}
 	}
-	if autoRot.SimSeconds > best*1.10 {
-		t.Fatalf("autonuma rotate1 (%v s) is %.1f%% over best manual (%v s), want <= 10%%",
+	if autoRot.SimSeconds > best*1.25 {
+		t.Fatalf("autonuma rotate1 (%v s) is %.1f%% over best manual (%v s), want <= 25%%",
 			autoRot.SimSeconds, (autoRot.SimSeconds/best-1)*100, best)
+	}
+}
+
+// TestPressureScenarioPhysics pins the pressure family's acceptance
+// envelope: with demotion the hot set localizes on the overcommitted
+// node; without it the hot set stays remote; allocation exhaustion
+// never surfaces as an error in either cell.
+func TestPressureScenarioPhysics(t *testing.T) {
+	run := func(mode string, demotion bool) Result {
+		r := RunScenario(Scenario{
+			ID: "p", Family: "pressure", Patched: true, Mode: mode,
+			Pages: 1024, Nodes: 4, Seed: 1,
+			Overcommit: 1.5, Imbalance: 1.0, Demotion: demotion,
+		})
+		if r.Err != "" {
+			t.Fatalf("%s demotion=%v: %s", mode, demotion, r.Err)
+		}
+		return r
+	}
+	with := run("sync", true)
+	without := run("sync", false)
+	if with.HotLocal < 0.9 || without.HotLocal > 0.2 {
+		t.Fatalf("demotion should gate hot locality: with=%.2f without=%.2f",
+			with.HotLocal, without.HotLocal)
+	}
+	if with.Demoted == 0 || without.Demoted != 0 {
+		t.Fatalf("demotion counters wrong: with=%d without=%d", with.Demoted, without.Demoted)
+	}
+	if with.SimSeconds >= without.SimSeconds {
+		t.Fatalf("demotion should beat churn: %v vs %v s", with.SimSeconds, without.SimSeconds)
+	}
+	off := run("off", true)
+	if off.HotLocal > 0.2 {
+		t.Fatalf("demotion alone localized the hot set: %.2f", off.HotLocal)
 	}
 }
 

@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"fmt"
+
+	"numamig/internal/workload"
+)
+
+// The pressure family exercises the memory-pressure subsystem on
+// overcommitted, imbalanced machines: per-node watermarks, the
+// kswapd-style demotion daemons, and the placement layer's
+// watermark-aware fallback, crossed with the hot-set migration
+// policies. The grid separates three regimes:
+//
+//   - no policy (off): the hot set stays remote whether or not
+//     demotion frees room — demotion alone does not localize;
+//   - policy without demotion: sync and lazy-kernel churn (migration
+//     into a node at its watermarks falls back to a remote node),
+//     while AutoNUMA's pressure gate skips the promotions outright
+//     and avoids the wasted copies;
+//   - policy with demotion: cold pages are demoted off node 0, the
+//     hot set lands in the freed room, and locality converges.
+//
+// Throughout, ErrNoMemory never reaches the workload: the placement
+// layer always finds a frame somewhere on the machine.
+
+func init() {
+	Register(Family{
+		Name: "pressure",
+		Desc: "overcommit x imbalance x {off,sync,lazy-kernel,autonuma} x demotion on/off: hot-set locality on an overcommitted node",
+		Generate: func(o Options) []Scenario {
+			overcommits := []float64{1.25, 1.5}
+			imbalances := []float64{0.6, 1.0}
+			if o.Quick {
+				overcommits = []float64{1.5}
+				imbalances = []float64{1.0}
+			}
+			policies := []workload.PhasePolicy{
+				workload.PhaseStatic, workload.PhaseSync,
+				workload.PhaseLazyKernel, workload.PhaseAutoNUMA,
+			}
+			var out []Scenario
+			for _, nodes := range o.nodes() {
+				if nodes < 2 {
+					continue
+				}
+				for _, oc := range overcommits {
+					for _, imb := range imbalances {
+						for _, pol := range policies {
+							for _, dem := range []bool{false, true} {
+								suffix := "nodemote"
+								if dem {
+									suffix = "demote"
+								}
+								out = append(out, Scenario{
+									ID: fmt.Sprintf("pressure/%s/oc%.0f/im%.0f/n%d/%s",
+										pol, oc*100, imb*100, nodes, suffix),
+									Family:     "pressure",
+									Patched:    true,
+									Mode:       pol.String(),
+									Pages:      1024, // per-node capacity in frames
+									Nodes:      nodes,
+									Seed:       o.seed(),
+									Cores:      o.CoresPerNode,
+									Overcommit: oc,
+									Imbalance:  imb,
+									Demotion:   dem,
+								})
+							}
+						}
+					}
+				}
+			}
+			return out
+		},
+		Run: runPressure,
+	})
+}
+
+// runPressure executes one scenario through the pressure workload
+// driver. Scenario.Pages is the per-node capacity; the hot set is a
+// quarter of it.
+func runPressure(s Scenario) Result {
+	res := Result{Scenario: s}
+	pol, err := workload.PhasePolicyOf(s.Mode)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	r, err := workload.Pressure(workload.PressureConfig{
+		Nodes:      s.Nodes,
+		Cores:      s.Cores,
+		NodePages:  s.Pages,
+		Overcommit: s.Overcommit,
+		Imbalance:  s.Imbalance,
+		Seed:       s.Seed,
+		Policy:     pol,
+		Demotion:   s.Demotion,
+	})
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if r.Absent != 0 {
+		// The acceptance invariant: allocation exhaustion must never
+		// surface to the workload as missing pages.
+		res.Err = fmt.Sprintf("pressure run left %d hot pages absent", r.Absent)
+		return res
+	}
+	fillStats(&res, r.Stats, r.MigratedMB, r.Bytes, r.Dur)
+	res.HotLocal = r.HotLocal
+	return res
+}

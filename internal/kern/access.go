@@ -132,11 +132,7 @@ func (t *Task) serviceChunk(ci uint64, absent, stale []vm.VPN) {
 		for _, p := range absent {
 			v := sp.Find(p.Base())
 			pte := sp.PT.Entry(p)
-			pol := v.Pol
-			if pol.Kind == vm.PolDefault {
-				pol = sp.DefaultPol
-			}
-			pte.Frame = t.allocFrame(pol.Target(p, t.Node()))
+			pte.Frame = t.allocFrame(t.placeTarget(v, p))
 			pte.Flags = vm.PTEPresent | vm.PTEAccessed
 			pte.SetProt(v.Prot)
 		}

@@ -106,12 +106,7 @@ func (t *Task) fault(addr vm.Addr, write bool) error {
 func (t *Task) demandAlloc(v *vm.VMA, vpn vm.VPN, pte *vm.PTE) {
 	k := t.Proc.K
 	k.Stats.DemandAllocs++
-	pol := v.Pol
-	if pol.Kind == vm.PolDefault {
-		pol = t.Proc.Space.DefaultPol
-	}
-	target := pol.Target(vpn, t.Node())
-	f := t.allocFrame(target)
+	f := t.allocFrame(t.placeTarget(v, vpn))
 	t.P.Sleep(k.P.DemandZero)
 	pte.Frame = f
 	pte.Flags = vm.PTEPresent | vm.PTEAccessed
@@ -120,8 +115,15 @@ func (t *Task) demandAlloc(v *vm.VMA, vpn vm.VPN, pte *vm.PTE) {
 	// first-touch already places them locally.
 }
 
-// allocFrame allocates a frame on target, falling back to other nodes in
-// distance order when the target is full.
+// placeTarget resolves a page's effective mempolicy (VMA policy, then
+// the process default) to its preferred node through the placement
+// layer: the one policy-resolution entry point for every fault path.
+func (t *Task) placeTarget(v *vm.VMA, p vm.VPN) topology.NodeID {
+	return t.Proc.K.Placer.Place(v.Pol, t.Proc.Space.DefaultPol, p, t.Node())
+}
+
+// allocFrame allocates a frame on target through the placement layer,
+// which falls back along the zonelist when the target cannot take it.
 func (t *Task) allocFrame(target topology.NodeID) *mem.Frame {
 	return t.Proc.K.AllocFrame(target)
 }

@@ -3,7 +3,6 @@ package kern
 import (
 	"fmt"
 
-	"numamig/internal/mem"
 	"numamig/internal/migrate"
 	"numamig/internal/model"
 	"numamig/internal/sim"
@@ -48,7 +47,11 @@ func hugeChunks(addr vm.Addr, length int64) (first, last uint64, err error) {
 
 // TouchHuge faults in every huge page of [addr, addr+length). Each fault
 // allocates one 2 MiB frame on the policy target (first-touch local by
-// default). Returns the number of huge pages faulted.
+// default), falling back along the zonelist under pressure. When no node
+// can host a whole contiguous unit, the fault is served with 512 base
+// pages instead — like a failed THP allocation — and the chunk stays a
+// normal 4 KiB chunk (MoveHugeRange reports such chunks -ENOENT).
+// Returns the number of huge pages faulted (base-page fallbacks count).
 func (t *Task) TouchHuge(addr vm.Addr, length int64) (int, error) {
 	k := t.Proc.K
 	sp := t.Proc.Space
@@ -62,27 +65,40 @@ func (t *Task) TouchHuge(addr vm.Addr, length int64) (int, error) {
 	}
 	t.Proc.MmapSem.RLock(t.P)
 	defer t.Proc.MmapSem.RUnlock()
+	// populated reports whether the chunk is already served, as a huge
+	// unit or by a completed exhaustion fallback. Checked once
+	// lock-free for the common skip, re-checked under the chunk lock
+	// before faulting (a concurrent toucher may have populated it
+	// between the check and the lock).
+	populated := func(c *vm.Chunk) bool {
+		return (c.Huge && c.HugeFrame != nil) || c.HugeFallback
+	}
 	n := 0
 	for ci := first; ci <= last; ci++ {
-		c := sp.PT.ChunkOrCreate(vm.VPN(ci * model.PTEChunkPages))
-		if c.Huge && c.HugeFrame != nil {
+		base := vm.VPN(ci * model.PTEChunkPages)
+		c := sp.PT.ChunkOrCreate(base)
+		if populated(c) {
 			continue
 		}
 		cl := t.Proc.chunkLock(ci)
 		cl.Acquire(t.P)
-		if !(c.Huge && c.HugeFrame != nil) {
+		if !populated(c) {
 			k.Stats.Faults++
 			t.P.Sleep(k.P.FaultBase)
-			pol := v.Pol
-			if pol.Kind == vm.PolDefault {
-				pol = sp.DefaultPol
+			// Key policy interleaving on the huge-unit index, not the
+			// base VPN: chunk bases are multiples of 512, so a VPN key
+			// would collapse every interleave onto the node set's first
+			// entry.
+			target := t.placeTarget(v, vm.VPN(ci))
+			if hf := k.Placer.AllocHugePage(target); hf != nil {
+				c.Huge = true
+				c.HugeFrame = hf
+				c.HugeFlags = vm.PTEPresent | vm.PTEAccessed
+				// Zeroing 2 MiB.
+				t.P.Sleep(sim.Time(model.PTEChunkPages) * k.P.DemandZero / 4)
+			} else {
+				t.hugeFallback(v, base)
 			}
-			target := pol.Target(vm.VPN(ci*model.PTEChunkPages), t.Node())
-			c.Huge = true
-			c.HugeFrame = t.allocHugeFrame(target)
-			c.HugeFlags = vm.PTEPresent | vm.PTEAccessed
-			// Zeroing 2 MiB.
-			t.P.Sleep(sim.Time(model.PTEChunkPages) * k.P.DemandZero / 4)
 			n++
 		}
 		cl.Release()
@@ -90,10 +106,24 @@ func (t *Task) TouchHuge(addr vm.Addr, length int64) (int, error) {
 	return n, nil
 }
 
-// allocHugeFrame reserves 512 contiguous frames' worth of memory on the
-// node and returns a frame representing the 2 MiB unit.
-func (t *Task) allocHugeFrame(target topology.NodeID) *mem.Frame {
-	return t.Proc.K.AllocHugeFrame(target)
+// hugeFallback serves one huge fault with 512 base pages when no node
+// can host a contiguous 2 MiB unit: each page allocates through the
+// normal placement path (so the pages may spread over several nodes),
+// at per-page demand-zero cost and without the huge unit's TLB win.
+// Caller holds the chunk lock.
+func (t *Task) hugeFallback(v *vm.VMA, base vm.VPN) {
+	k := t.Proc.K
+	k.Stats.HugeFallbacks++
+	k.Stats.DemandAllocs += model.PTEChunkPages
+	sp := t.Proc.Space
+	for p := base; p < base+model.PTEChunkPages; p++ {
+		pte := sp.PT.Entry(p)
+		pte.Frame = t.allocFrame(t.placeTarget(v, p))
+		pte.Flags = vm.PTEPresent | vm.PTEAccessed
+		pte.SetProt(v.Prot)
+	}
+	sp.PT.Chunk(base).HugeFallback = true
+	t.P.Sleep(sim.Time(model.PTEChunkPages) * k.P.DemandZero)
 }
 
 // MoveHugeRange migrates the huge pages of [addr, addr+length) to node.

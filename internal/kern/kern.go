@@ -14,6 +14,7 @@ import (
 	"numamig/internal/mem"
 	"numamig/internal/migrate"
 	"numamig/internal/model"
+	"numamig/internal/placement"
 	"numamig/internal/sim"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
@@ -32,6 +33,8 @@ const (
 	CatNumaScan      = "numa scan"
 	CatNumaHint      = "numa hint fault"
 	CatNumaCopy      = "numa copy page"
+	CatKswapd        = "kswapd scan"
+	CatDemotionCopy  = "demotion copy page"
 )
 
 // Stats aggregates kernel-wide event counters.
@@ -55,6 +58,13 @@ type Stats struct {
 	NumaPtesArmed     uint64 // PTEs armed with the hinting mark
 	NumaHintFaults    uint64 // hinting faults taken
 	NumaPagesPromoted uint64 // pages migrated by the balancer
+
+	// Memory pressure (watermarks + demotion daemon).
+	KswapdWakeups     uint64 // daemon wake-ups that found pressure
+	KswapdPtesScanned uint64 // PTEs examined by the cold-page scan
+	PagesAged         uint64 // accessed bits cleared by the scan
+	PagesDemoted      uint64 // pages demoted off pressured nodes
+	HugeFallbacks     uint64 // huge faults served with base pages (exhaustion)
 }
 
 // Kernel is the simulated operating system instance for one machine.
@@ -64,6 +74,10 @@ type Kernel struct {
 	Phys *mem.Phys
 	P    model.Params
 	Net  *sim.Fluid
+
+	// Placer owns every node-selection decision: policy resolution,
+	// watermark-aware allocation fallback, demotion/replica targets.
+	Placer *placement.Placer
 
 	// Fluid links modelling the memory system.
 	KernEng  []*sim.Link // per-core kernel copy engine
@@ -81,6 +95,11 @@ type Kernel struct {
 	// the same locks and channels so contention is shared.
 	migPatched   *migrate.Engine
 	migUnpatched *migrate.Engine
+
+	// Memory-pressure daemons (kswapd.go).
+	procs    []*Process // every process, for the demotion daemons' walks
+	kswapds  []*kswapd
+	demotion bool
 
 	Stats Stats
 }
@@ -108,6 +127,7 @@ func New(eng *sim.Engine, m *topology.Machine, p model.Params, backed bool) *Ker
 	for _, l := range m.Links {
 		k.HT = append(k.HT, sim.NewLink(fmt.Sprintf("ht%d-%d", l.A, l.B), p.HTLinkBW))
 	}
+	k.Placer = placement.New(m, k.Phys, &k.P)
 	k.migPatched = migrate.New(k, migrate.Patched)
 	k.migUnpatched = migrate.New(k, migrate.Unpatched)
 	return k
@@ -130,52 +150,26 @@ func (k *Kernel) Migrator(s migrate.Strategy) *migrate.Engine {
 // Params returns the calibrated cost model.
 func (k *Kernel) Params() *model.Params { return &k.P }
 
-// AllocFrame allocates a frame on target, falling back to other nodes
-// in distance order when the target is full.
+// AllocFrame allocates a frame on target through the placement layer,
+// which falls back along the target's zonelist (skipping pressured
+// nodes first) when the target cannot take the page.
 func (k *Kernel) AllocFrame(target topology.NodeID) *mem.Frame {
-	f, err := k.Phys.Alloc(target)
-	if err == nil {
-		return f
+	f := k.Placer.AllocPage(target)
+	if f == nil {
+		panic("kern: machine out of memory")
 	}
-	// Fallback: nodes by distance from target.
-	type cand struct {
-		n topology.NodeID
-		d int
-	}
-	var cands []cand
-	for n := 0; n < k.M.NumNodes(); n++ {
-		if topology.NodeID(n) == target {
-			continue
-		}
-		cands = append(cands, cand{topology.NodeID(n), k.M.Dist[target][n]})
-	}
-	for i := 0; i < len(cands); i++ {
-		for j := i + 1; j < len(cands); j++ {
-			if cands[j].d < cands[i].d || (cands[j].d == cands[i].d && cands[j].n < cands[i].n) {
-				cands[i], cands[j] = cands[j], cands[i]
-			}
-		}
-	}
-	for _, c := range cands {
-		if f, err := k.Phys.Alloc(c.n); err == nil {
-			return f
-		}
-	}
-	panic("kern: machine out of memory")
+	return f
 }
 
 // FreeFrame returns a frame to the physical allocator.
 func (k *Kernel) FreeFrame(f *mem.Frame) { k.Phys.Free(f) }
 
-// AllocHugeFrame reserves a 2 MiB unit on the node: 511 footprint
-// frames plus one representative frame for the unit.
+// AllocHugeFrame reserves a 2 MiB unit (511 footprint frames plus one
+// representative frame) as near target as the placement layer allows.
 func (k *Kernel) AllocHugeFrame(target topology.NodeID) *mem.Frame {
-	if err := k.Phys.AllocFootprint(target, model.PTEChunkPages-1); err != nil {
-		panic("kern: node out of memory for huge page")
-	}
-	f, err := k.Phys.Alloc(target)
-	if err != nil {
-		panic("kern: node out of memory for huge page")
+	f := k.Placer.AllocHugePage(target)
+	if f == nil {
+		panic("kern: no node can host a huge page")
 	}
 	return f
 }
@@ -280,13 +274,26 @@ func dedupLinks(ls []*sim.Link) []*sim.Link {
 	return out
 }
 
-// NewProcess creates a process with an empty address space.
+// NewProcess creates a process with an empty address space and
+// registers it for the demotion daemons' cold-page walks.
 func (k *Kernel) NewProcess(name string) *Process {
-	return &Process{
+	pr := &Process{
 		K:          k,
 		Name:       name,
 		Space:      vm.NewSpace(k.Phys),
 		MmapSem:    sim.NewRWLock(k.Eng, name+".mmap_sem"),
 		chunkLocks: map[uint64]*sim.Resource{},
 	}
+	k.procs = append(k.procs, pr)
+	return pr
+}
+
+// liveThreads returns the number of live tasks across every process;
+// the kernel daemons retire once it reaches zero.
+func (k *Kernel) liveThreads() int {
+	n := 0
+	for _, pr := range k.procs {
+		n += pr.NumThreads()
+	}
+	return n
 }

@@ -1,0 +1,226 @@
+package kern
+
+import (
+	"fmt"
+
+	"numamig/internal/migrate"
+	"numamig/internal/model"
+	"numamig/internal/sim"
+	"numamig/internal/topology"
+	"numamig/internal/vm"
+)
+
+// Kswapd-style background demotion: the memory-pressure half of the
+// placement layer. One daemon per node (a simulated kernel thread on
+// the DES engine, like the AutoNUMA scanner) periodically checks its
+// node's watermarks; when free frames sink to or below the low
+// watermark it runs a clock-style cold-page scan — resident pages on
+// the node get their accessed bit cleared on the first encounter
+// (aging) and are demoted on the second if still unreferenced — and
+// moves the cold pages to the least-pressured nearby node (chosen by
+// placement.DemotionTarget) through the shared migration engine on
+// PathDemotion, until the node recovers above its high watermark.
+// Routing through the engine gives demotion the same batching,
+// pinned-page retry/EBUSY and TLB-flush semantics as every other
+// mover; hot pages survive because the workload re-sets their
+// accessed bits between daemon wake-ups.
+
+// kswapd is one node's demotion daemon.
+type kswapd struct {
+	k    *Kernel
+	node topology.NodeID
+	core topology.CoreID // the node's first core: where engine work is charged
+
+	// cursors resumes the clock hand per process across wake-ups.
+	cursors map[*Process]vm.VPN
+}
+
+// EnableDemotion starts one kswapd-style demotion daemon per node.
+// Each daemon retires itself on the first wake-up after the last
+// thread of every process has exited, so the engine drains normally.
+// Idempotent; typically called before Run (numamig.Config.Demotion).
+func (k *Kernel) EnableDemotion() {
+	if k.demotion {
+		return
+	}
+	k.demotion = true
+	for n := range k.M.Nodes {
+		d := &kswapd{
+			k:       k,
+			node:    topology.NodeID(n),
+			core:    k.M.Nodes[n].Cores[0],
+			cursors: map[*Process]vm.VPN{},
+		}
+		k.kswapds = append(k.kswapds, d)
+		k.Eng.Spawn(fmt.Sprintf("kswapd%d", n), d.daemon)
+	}
+}
+
+// DemotionEnabled reports whether the demotion daemons are running.
+func (k *Kernel) DemotionEnabled() bool { return k.demotion }
+
+// daemon is the per-node kswapd loop: sleep, retire after the last
+// application thread, reclaim when the node is under pressure.
+func (d *kswapd) daemon(p *sim.Proc) {
+	for {
+		p.Sleep(d.k.P.KswapdPeriod)
+		if d.k.liveThreads() == 0 {
+			return
+		}
+		if !d.k.Phys.UnderPressure(d.node) {
+			continue
+		}
+		d.k.Stats.KswapdWakeups++
+		d.reclaim(p)
+	}
+}
+
+// reclaim demotes cold pages off the daemon's node until free frames
+// recover above the high watermark, every other node is pressured too,
+// or a full scan pass finds nothing demotable (everything hot, pinned
+// or replicated). The second no-progress pass distinguishes "all pages
+// freshly aged" from "truly nothing to demote": aging clears accessed
+// bits, so the next pass can still collect.
+func (d *kswapd) reclaim(p *sim.Proc) {
+	k := d.k
+	defer p.PushCat(CatKswapd)()
+	noProgress := 0
+	for !k.Phys.Reclaimed(d.node) && noProgress < 2 {
+		dst, ok := k.Placer.DemotionTarget(d.node)
+		if !ok {
+			return
+		}
+		demoted := 0
+		for _, pr := range k.procs {
+			demoted += d.shrink(p, pr, dst)
+		}
+		if demoted == 0 {
+			noProgress++
+		} else {
+			noProgress = 0
+		}
+	}
+}
+
+// shrink runs one clock pass over a process: scan resident pages on
+// the daemon's node from the saved cursor, aging accessed pages and
+// collecting up to KswapdBatch cold ones, then demote the batch to dst
+// through the shared engine. Returns the number of pages demoted.
+func (d *kswapd) shrink(p *sim.Proc, pr *Process, dst topology.NodeID) int {
+	k := d.k
+	batch := k.P.KswapdBatch
+	if batch <= 0 {
+		batch = 64
+	}
+	// Cap the batch so the destination stays strictly above its low
+	// watermark afterwards: a larger batch would push dst into pressure
+	// itself — cascading the cold pages onward next period — and the
+	// engine's allocation fallback would land the overflow right back
+	// on this (pressured) node, a wasted copy rather than a demotion.
+	if headroom := int(k.Phys.FreeFrames(dst)-k.Phys.WatermarksOf(dst).Low) - 1; headroom < batch {
+		batch = headroom
+	}
+	if batch <= 0 {
+		return 0
+	}
+	pr.MmapSem.RLock(p)
+	defer pr.MmapSem.RUnlock()
+
+	vmas := pr.Space.VMAs()
+	if len(vmas) == 0 {
+		return 0
+	}
+	cursor := d.cursors[pr]
+	start := len(vmas)
+	for i, v := range vmas {
+		if vm.PageOf(v.End-1)+1 > cursor {
+			start = i
+			break
+		}
+	}
+	if start == len(vmas) { // cursor past the last mapping: wrap
+		start, cursor = 0, 0
+	}
+
+	var cold []vm.VPN
+	next := cursor
+	for step := 0; step < len(vmas) && len(cold) < batch; step++ {
+		v := vmas[(start+step)%len(vmas)]
+		if step > 0 || vm.PageOf(v.Start) > cursor {
+			cursor = vm.PageOf(v.Start)
+		}
+		last := vm.PageOf(v.End-1) + 1
+		for cstart := cursor; cstart < last && len(cold) < batch; {
+			ci := vm.ChunkIndex(cstart)
+			cend := vm.VPN((ci + 1) * model.PTEChunkPages)
+			if cend > last {
+				cend = last
+			}
+			cl := pr.chunkLock(ci)
+			cl.Acquire(p)
+			n := 0
+			pr.Space.PT.ForEach(cstart, cend, func(pv vm.VPN, pte *vm.PTE) {
+				if pte.Frame.Node != d.node {
+					return
+				}
+				if len(cold) >= batch {
+					return // batch full mid-chunk: stop examining
+				}
+				n++
+				// NUMA-hint-armed pages stay demotable (the mark rides
+				// along with the frame swap, like PROT_NONE pages staying
+				// on the LRU); pinned and next-touch-marked pages do not —
+				// the next-touch contract promises migration toward the
+				// toucher, not away.
+				if pte.Flags&(vm.PTEPinned|vm.PTENextTouch) != 0 {
+					return
+				}
+				if _, replicated := pr.replicas[pv]; replicated {
+					return
+				}
+				if pte.Flags&vm.PTEAccessed != 0 {
+					// First clock hand: age the page; a page still
+					// unreferenced at the next encounter is cold.
+					pte.Flags &^= vm.PTEAccessed
+					k.Stats.PagesAged++
+					return
+				}
+				cold = append(cold, pv)
+			})
+			cl.Release()
+			k.Stats.KswapdPtesScanned += uint64(n)
+			p.Sleep(sim.Time(n) * k.P.KswapdScanPage)
+			cstart = cend
+			next = cend
+		}
+	}
+	if next >= vm.PageOf(vmas[len(vmas)-1].End-1)+1 {
+		next = 0 // full pass complete: wrap
+	}
+	d.cursors[pr] = next
+
+	if len(cold) == 0 {
+		return 0
+	}
+	ops := make([]migrate.Op, len(cold))
+	for i, pv := range cold {
+		ops[i] = migrate.Op{VPN: pv, Dst: dst}
+	}
+	status := make([]int, len(ops))
+	k.Migrator(migrate.Patched).Migrate(&migrate.Request{
+		P: p, Core: d.core, Space: pr, Ops: ops, Status: status,
+		Path: migrate.PathDemotion, Flush: true,
+		CopyCat: CatDemotionCopy,
+	})
+	// Count (and report as progress) only the pages that actually left
+	// this node: a racing allocation can still exhaust dst mid-batch
+	// and bounce the engine's fallback right back here.
+	demoted := 0
+	for _, s := range status {
+		if s >= 0 && topology.NodeID(s) != d.node {
+			demoted++
+		}
+	}
+	k.Stats.PagesDemoted += uint64(demoted)
+	return demoted
+}

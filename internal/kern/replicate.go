@@ -75,22 +75,21 @@ func (t *Task) ReplicateRange(addr vm.Addr, length int64) (int, error) {
 	})
 
 	// Physical copies run through the shared migration engine: one op
-	// per (page, remote node), batched per chunk with one bulk transfer
-	// per node pair on the lazy channel. Replica registration and write
-	// protection happen in the OnCopied hook, under the same chunk-lock
-	// hold as the copy itself, so a page is never copied-but-writable
-	// across a simulated yield; the TLB flush comes last (COW-break
-	// ordering).
+	// per (page, replica node), batched per chunk with one bulk transfer
+	// per node pair on the lazy channel. The replica node set comes from
+	// the placement layer: every node except the page's home, minus
+	// nodes under memory pressure (a copy there would evict something
+	// more useful). Replica registration and write protection happen in
+	// the OnCopied hook, under the same chunk-lock hold as the copy
+	// itself, so a page is never copied-but-writable across a simulated
+	// yield; the TLB flush comes last (COW-break ordering).
 	nodes := k.M.NumNodes()
 	ops := make([]migrate.Op, 0, len(copies)*(nodes-1))
 	expect := map[vm.VPN]int{}
 	for _, p := range copies {
 		home := sp.PT.Lookup(p).Frame.Node
-		for n := 0; n < nodes; n++ {
-			if topology.NodeID(n) == home {
-				continue
-			}
-			ops = append(ops, migrate.Op{VPN: p, Dst: topology.NodeID(n)})
+		for _, n := range k.Placer.ReplicaNodes(home) {
+			ops = append(ops, migrate.Op{VPN: p, Dst: n})
 			expect[p]++
 		}
 	}

@@ -171,7 +171,7 @@ func (t *Task) Mbind(addr vm.Addr, length int64, pol vm.Policy, flags ...MbindFl
 	var nodes []topology.NodeID
 	first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
 	t.Proc.Space.PT.ForEach(first, last, func(p vm.VPN, pte *vm.PTE) {
-		want := pol.Target(p, t.Node())
+		want := k.Placer.Target(pol, p, t.Node())
 		if pte.Frame.Node != want {
 			addrs = append(addrs, p.Base())
 			nodes = append(nodes, want)

@@ -31,11 +31,27 @@ type NodeStats struct {
 // Free returns the number of available frames.
 func (s NodeStats) Free() int64 { return s.Total - s.Allocated }
 
+// Watermarks are one node's pressure thresholds, in frames, mirroring
+// the kernel's per-zone min/low/high watermarks:
+//
+//   - free <= Low  : the node is under pressure; the kswapd-style
+//     demotion daemon should run, and allocators prefer other nodes;
+//   - free <= Min  : only last-resort allocations land here;
+//   - free >  High : reclaim/demotion stops.
+//
+// The zero value disables watermark behaviour (every threshold at 0).
+// Interpretation lives in internal/placement; mem only stores the
+// thresholds and answers threshold queries against live accounting.
+type Watermarks struct {
+	Min, Low, High int64
+}
+
 // Phys is the machine's physical memory.
 type Phys struct {
 	M       *topology.Machine
 	Backed  bool
 	stats   []NodeStats
+	wm      []Watermarks
 	nextPFN uint64
 	free    [][]*Frame // recycled frames per node
 }
@@ -45,11 +61,40 @@ type Phys struct {
 func NewPhys(m *topology.Machine, backed bool) *Phys {
 	p := &Phys{M: m, Backed: backed}
 	p.stats = make([]NodeStats, m.NumNodes())
+	p.wm = make([]Watermarks, m.NumNodes())
 	p.free = make([][]*Frame, m.NumNodes())
 	for i, n := range m.Nodes {
 		p.stats[i].Total = n.MemBytes / model.PageSize
 	}
 	return p
+}
+
+// SetWatermarks installs a node's pressure thresholds. Thresholds must
+// be ordered 0 <= min <= low <= high <= total.
+func (p *Phys) SetWatermarks(node topology.NodeID, w Watermarks) {
+	if w.Min < 0 || w.Min > w.Low || w.Low > w.High || w.High > p.stats[node].Total {
+		panic(fmt.Sprintf("mem: invalid watermarks %+v for node %d (total %d)",
+			w, node, p.stats[node].Total))
+	}
+	p.wm[node] = w
+}
+
+// WatermarksOf returns a node's thresholds.
+func (p *Phys) WatermarksOf(node topology.NodeID) Watermarks { return p.wm[node] }
+
+// FreeFrames returns the node's available frame count.
+func (p *Phys) FreeFrames(node topology.NodeID) int64 { return p.stats[node].Free() }
+
+// UnderPressure reports whether the node's free frames have sunk to or
+// below its low watermark (the kswapd wake condition).
+func (p *Phys) UnderPressure(node topology.NodeID) bool {
+	return p.stats[node].Free() <= p.wm[node].Low
+}
+
+// Reclaimed reports whether the node's free frames have recovered above
+// its high watermark (the kswapd stop condition).
+func (p *Phys) Reclaimed(node topology.NodeID) bool {
+	return p.stats[node].Free() > p.wm[node].High
 }
 
 // ErrNoMemory is returned when a node's frame pool is exhausted.

@@ -98,12 +98,17 @@ func TestMigrationCounter(t *testing.T) {
 	}
 }
 
-// Property: any interleaving of allocs and frees keeps per-node accounting
-// consistent and TotalAllocated equal to live frame count.
+// Property: any interleaving of allocs and frees keeps per-node
+// accounting consistent, TotalAllocated equal to live frame count, and
+// every watermark query consistent with the free-frame count.
 func TestAllocFreeAccountingProperty(t *testing.T) {
+	wm := Watermarks{Min: 4, Low: 12, High: 20}
 	check := func(ops []uint8) bool {
 		m := topology.Grid(4, 1, 64*4096, 1<<20)
 		p := NewPhys(m, false)
+		for n := topology.NodeID(0); n < 4; n++ {
+			p.SetWatermarks(n, wm)
+		}
 		var live []*Frame
 		for _, op := range ops {
 			node := topology.NodeID(op % 4)
@@ -111,13 +116,24 @@ func TestAllocFreeAccountingProperty(t *testing.T) {
 				f := live[len(live)-1]
 				live = live[:len(live)-1]
 				p.Free(f)
-				continue
+			} else if f, err := p.Alloc(node); err == nil {
+				live = append(live, f)
 			}
-			f, err := p.Alloc(node)
-			if err != nil {
-				continue
+			// Watermark queries must agree with live accounting at every
+			// step of the interleaving, not just at the end.
+			free := p.FreeFrames(node)
+			if free != p.Stats(node).Free() {
+				return false
 			}
-			live = append(live, f)
+			if p.UnderPressure(node) != (free <= wm.Low) {
+				return false
+			}
+			if p.Reclaimed(node) != (free > wm.High) {
+				return false
+			}
+			if p.UnderPressure(node) && p.Reclaimed(node) {
+				return false // Low < High: the states are exclusive
+			}
 		}
 		if p.TotalAllocated() != int64(len(live)) {
 			return false
@@ -133,10 +149,37 @@ func TestAllocFreeAccountingProperty(t *testing.T) {
 			if p.Stats(n).Free() != 64-perNode[n] {
 				return false
 			}
+			if p.WatermarksOf(n) != wm {
+				return false
+			}
 		}
 		return true
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSetWatermarksValidation(t *testing.T) {
+	m := topology.Grid(2, 1, 64*4096, 1<<20)
+	p := NewPhys(m, false)
+	for _, bad := range []Watermarks{
+		{Min: -1, Low: 1, High: 2},
+		{Min: 5, Low: 4, High: 6},
+		{Min: 1, Low: 8, High: 7},
+		{Min: 1, Low: 2, High: 65}, // above total
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetWatermarks accepted %+v", bad)
+				}
+			}()
+			p.SetWatermarks(0, bad)
+		}()
+	}
+	p.SetWatermarks(0, Watermarks{Min: 1, Low: 2, High: 3})
+	if got := p.WatermarksOf(0); got.High != 3 {
+		t.Fatalf("watermarks = %+v", got)
 	}
 }

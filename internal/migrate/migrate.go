@@ -100,6 +100,12 @@ const (
 	// no syscall setup, copy outside the PTE lock (the kernel restores
 	// access before migrate_misplaced_page runs).
 	PathNumaHint
+	// PathDemotion is kswapd-style background demotion of cold pages
+	// off a pressured node (internal/kern's demotion daemon): no
+	// syscall setup, daemon-side control costs, lazy channel — so
+	// demotion gets the same batching, pinned-page retry/EBUSY and
+	// TLB semantics as every other mover.
+	PathDemotion
 )
 
 // Page-status codes, mirroring Linux errno conventions.
@@ -282,6 +288,14 @@ func (e *Engine) costs(path Path) pathCosts {
 		// per-fault control costs with the next-touch path.
 		return pathCosts{
 			ctl: p.NumaHintCtl, ctlLocked: p.NumaHintCtlLocked,
+			syncChan: false,
+		}
+	case PathDemotion:
+		// Background demotion runs in daemon context: no syscall setup,
+		// isolation/writeback-style control per page, lazy channel so it
+		// yields the sync channel to foreground migrations.
+		return pathCosts{
+			ctl: p.DemotionCtl, ctlLocked: p.DemotionCtlLocked,
 			syncChan: false,
 		}
 	default: // PathMovePages

@@ -149,6 +149,37 @@ type Params struct {
 	// once per scanner tick (exponential decay of locality history).
 	NumaFaultDecay float64
 
+	// ---- Memory pressure: watermarks + kswapd-style demotion ----
+	//
+	// Every node carries min/low/high watermarks (fractions of its frame
+	// count, mirroring the kernel's per-zone watermarks). The placement
+	// layer (internal/placement) steers allocations away from nodes at
+	// or below their low watermark; a per-node kswapd-style daemon
+	// (internal/kern) demotes cold pages from pressured nodes to the
+	// least-pressured nearby node through the shared migration engine.
+
+	// WatermarkMinFrac is the min watermark as a fraction of a node's
+	// total frames: below it only last-resort allocations land.
+	WatermarkMinFrac float64
+	// WatermarkLowFrac is the low watermark fraction: at or below it the
+	// node counts as pressured (kswapd wakes, allocations prefer other
+	// nodes, AutoNUMA stops promoting into it).
+	WatermarkLowFrac float64
+	// WatermarkHighFrac is the high watermark fraction: demotion stops
+	// once free frames recover above it.
+	WatermarkHighFrac float64
+	// KswapdPeriod is the demotion daemon's wake interval.
+	KswapdPeriod sim.Time
+	// KswapdBatch bounds the pages demoted per engine request.
+	KswapdBatch int
+	// KswapdScanPage is the per-examined-PTE cost of the cold-page scan
+	// (PTE walk plus accessed-bit aging).
+	KswapdScanPage sim.Time
+	// DemotionCtl is the per-page migration control cost on the demotion
+	// path; DemotionCtlLocked is the fraction under the global LRU lock.
+	DemotionCtl       sim.Time
+	DemotionCtlLocked sim.Time
+
 	// ---- Migration engine retry policy ----
 
 	// MigrateRetries is how many extra passes the migration engine makes
@@ -227,6 +258,15 @@ func Default() Params {
 		NumaHintCtlLocked:  sim.Micros(0.35),
 		NumaFaultThreshold: 4,
 		NumaFaultDecay:     0.5,
+
+		WatermarkMinFrac:  0.02,
+		WatermarkLowFrac:  0.05,
+		WatermarkHighFrac: 0.08,
+		KswapdPeriod:      sim.Micros(200),
+		KswapdBatch:       64,
+		KswapdScanPage:    sim.Micros(0.03),
+		DemotionCtl:       sim.Micros(0.80),
+		DemotionCtlLocked: sim.Micros(0.40),
 
 		MigrateRetries:    4,
 		MigrateRetryDelay: sim.Micros(25),

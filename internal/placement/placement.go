@@ -1,0 +1,257 @@
+// Package placement is the single placement-decision layer of the
+// simulated kernel: every consumer that needs to answer "which node
+// gets this frame?" goes through it.
+//
+// Before this package existed the answer was re-derived independently
+// in five places — first-touch fault allocation, the mempolicy paths,
+// the migration engine's destination fallback, AutoNUMA promotion, and
+// replica placement — each with its own policy switch or ad-hoc
+// distance loop. The Placer centralizes all of them on two structures:
+//
+//   - Zonelists: for every node, the machine's nodes ordered by SLIT
+//     distance from it (the node itself first, ties broken by id),
+//     like the kernel's node_zonelists. Every fallback walk — full
+//     target node, pressured target node, demotion target, replica
+//     placement — is a walk of one zonelist.
+//
+//   - Watermarks: per-node min/low/high thresholds (stored in
+//     mem.Phys, installed here from model.Params fractions).
+//     Allocation proceeds in passes, mirroring get_page_from_freelist:
+//     the first pass only takes nodes comfortably above their low
+//     watermark; if none qualifies the walk retries down to the min
+//     watermark, then takes any node with a free frame. The kswapd
+//     daemons (internal/kern) poll mem.Phys.UnderPressure on their
+//     wake period to notice nodes this walk has pushed to the low
+//     watermark.
+//
+// Policy resolution also lives here: vm.Policy is pure data, and
+// Placer.Target is the only switch over policy kinds, including
+// PolWeightedInterleave (MPOL_WEIGHTED_INTERLEAVE). Pressure gates for
+// the other movers round out the surface: AllowPromotion (AutoNUMA
+// skips promotion into pressured nodes), DemotionTarget (kswapd picks
+// the least-pressured nearby node), and ReplicaNodes (replication
+// skips pressured nodes).
+//
+// The package sits below internal/kern: it sees the machine, the
+// physical allocator and the policies, never processes or page tables.
+package placement
+
+import (
+	"numamig/internal/mem"
+	"numamig/internal/model"
+	"numamig/internal/topology"
+	"numamig/internal/vm"
+)
+
+// Placer owns every node-selection decision for one machine.
+type Placer struct {
+	M    *topology.Machine
+	Phys *mem.Phys
+
+	zonelists [][]topology.NodeID
+}
+
+// New builds the placer for a machine: it computes the per-node
+// zonelists and installs each node's watermarks on phys from the
+// Watermark*Frac fractions of p.
+func New(m *topology.Machine, phys *mem.Phys, p *model.Params) *Placer {
+	pl := &Placer{M: m, Phys: phys}
+	n := m.NumNodes()
+	pl.zonelists = make([][]topology.NodeID, n)
+	for i := 0; i < n; i++ {
+		zl := make([]topology.NodeID, 0, n)
+		for j := 0; j < n; j++ {
+			zl = append(zl, topology.NodeID(j))
+		}
+		// Distance from i, then id: the fallback order every walk uses.
+		src := topology.NodeID(i)
+		for a := 1; a < len(zl); a++ {
+			for b := a; b > 0 && less(m, src, zl[b], zl[b-1]); b-- {
+				zl[b], zl[b-1] = zl[b-1], zl[b]
+			}
+		}
+		pl.zonelists[i] = zl
+	}
+	for i := 0; i < n; i++ {
+		total := phys.Stats(topology.NodeID(i)).Total
+		phys.SetWatermarks(topology.NodeID(i), mem.Watermarks{
+			Min:  int64(float64(total) * p.WatermarkMinFrac),
+			Low:  int64(float64(total) * p.WatermarkLowFrac),
+			High: int64(float64(total) * p.WatermarkHighFrac),
+		})
+	}
+	return pl
+}
+
+// less orders candidate nodes by distance from src, then by id. src
+// itself always sorts first (distance to self is the local distance).
+func less(m *topology.Machine, src, a, b topology.NodeID) bool {
+	da, db := m.Dist[src][a], m.Dist[src][b]
+	if da != db {
+		return da < db
+	}
+	return a < b
+}
+
+// Zonelist returns the allocation fallback order for a node: the node
+// itself, then every other node by distance (ties by id). The returned
+// slice is shared; callers must not mutate it.
+func (pl *Placer) Zonelist(n topology.NodeID) []topology.NodeID { return pl.zonelists[n] }
+
+// Resolve returns the effective policy of a page: the VMA policy
+// unless it is PolDefault, then the process policy.
+func (pl *Placer) Resolve(vmaPol, procPol vm.Policy) vm.Policy {
+	if vmaPol.Kind == vm.PolDefault {
+		return procPol
+	}
+	return vmaPol
+}
+
+// Target resolves a mempolicy to the preferred node for page v faulted
+// from local — the one policy switch in the repository. Interleaving
+// is keyed on the VPN so it is stable across faults, like Linux's
+// offset-based interleave; weighted interleave distributes VPNs over
+// the node set in proportion to the policy weights.
+func (pl *Placer) Target(pol vm.Policy, v vm.VPN, local topology.NodeID) topology.NodeID {
+	if len(pol.Nodes) == 0 {
+		return local
+	}
+	switch pol.Kind {
+	case vm.PolBind, vm.PolInterleave:
+		return pol.Nodes[uint64(v)%uint64(len(pol.Nodes))]
+	case vm.PolWeightedInterleave:
+		slot := uint64(v) % uint64(pol.TotalWeight())
+		for i := range pol.Nodes {
+			w := uint64(pol.Weight(i))
+			if slot < w {
+				return pol.Nodes[i]
+			}
+			slot -= w
+		}
+		return pol.Nodes[len(pol.Nodes)-1]
+	case vm.PolPreferred:
+		return pol.Nodes[0]
+	default:
+		return local
+	}
+}
+
+// Place is the first-touch entry point: resolve the page's effective
+// policy (VMA policy, then process default) to the preferred node.
+func (pl *Placer) Place(vmaPol, procPol vm.Policy, v vm.VPN, local topology.NodeID) topology.NodeID {
+	return pl.Target(pl.Resolve(vmaPol, procPol), v, local)
+}
+
+// pick walks the target's zonelist in watermark passes — low, then
+// min, then bare availability — and returns the first node that can
+// take need frames while staying at or above the pass's floor. need is
+// 1 for a base page, 512 for a huge unit.
+func (pl *Placer) pick(target topology.NodeID, need int64) (topology.NodeID, bool) {
+	zl := pl.zonelists[target]
+	for pass := 0; pass < 3; pass++ {
+		for _, n := range zl {
+			free := pl.Phys.FreeFrames(n)
+			var floor int64
+			switch pass {
+			case 0:
+				floor = pl.Phys.WatermarksOf(n).Low
+			case 1:
+				floor = pl.Phys.WatermarksOf(n).Min
+			}
+			if free-need >= floor {
+				return n, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// AllocPage allocates one frame as near target as the watermarks
+// allow: target first, then its zonelist, skipping pressured nodes
+// until no unpressured node remains. Returns nil only when the whole
+// machine is out of frames.
+func (pl *Placer) AllocPage(target topology.NodeID) *mem.Frame {
+	n, ok := pl.pick(target, 1)
+	if !ok {
+		return nil
+	}
+	f, err := pl.Phys.Alloc(n)
+	if err != nil {
+		return nil
+	}
+	return f
+}
+
+// AllocHugePage reserves a 2 MiB unit (one representative frame plus
+// its 511-frame footprint) as near target as the watermarks allow.
+// Returns nil when no node can host a whole unit — the caller falls
+// back to base pages, like a failed THP allocation.
+func (pl *Placer) AllocHugePage(target topology.NodeID) *mem.Frame {
+	n, ok := pl.pick(target, model.PTEChunkPages)
+	if !ok {
+		return nil
+	}
+	if err := pl.Phys.AllocFootprint(n, model.PTEChunkPages-1); err != nil {
+		return nil
+	}
+	f, err := pl.Phys.Alloc(n)
+	if err != nil {
+		pl.Phys.ReleaseFootprint(n, model.PTEChunkPages-1)
+		return nil
+	}
+	return f
+}
+
+// AllowPromotion reports whether dst can take promoted pages: AutoNUMA
+// skips promotion into nodes at or below their low watermark (pulling
+// hot pages into a pressured node only forces kswapd to demote
+// something else right back out).
+func (pl *Placer) AllowPromotion(dst topology.NodeID) bool {
+	return !pl.Phys.UnderPressure(dst)
+}
+
+// DemotionTarget returns the node kswapd should demote cold pages from
+// `from` to: within the nearest distance group that has any node above
+// its low watermark, the node with the most free frames (ties by id).
+// Returns false when every other node is pressured too — demoting then
+// would only shift the pressure around.
+func (pl *Placer) DemotionTarget(from topology.NodeID) (topology.NodeID, bool) {
+	zl := pl.zonelists[from]
+	for i := 1; i < len(zl); {
+		// One distance group at a time.
+		j := i + 1
+		for j < len(zl) && pl.M.Dist[from][zl[j]] == pl.M.Dist[from][zl[i]] {
+			j++
+		}
+		best, bestFree, found := topology.NodeID(0), int64(-1), false
+		for _, n := range zl[i:j] {
+			if pl.Phys.UnderPressure(n) {
+				continue
+			}
+			if free := pl.Phys.FreeFrames(n); free > bestFree {
+				best, bestFree, found = n, free, true
+			}
+		}
+		if found {
+			return best, true
+		}
+		i = j
+	}
+	return 0, false
+}
+
+// ReplicaNodes returns the nodes that should receive a read-only
+// replica of a page homed on home: every other node above its low
+// watermark, in id order (replicating into a pressured node would
+// evict something more useful than the copy).
+func (pl *Placer) ReplicaNodes(home topology.NodeID) []topology.NodeID {
+	out := make([]topology.NodeID, 0, pl.M.NumNodes()-1)
+	for n := 0; n < pl.M.NumNodes(); n++ {
+		id := topology.NodeID(n)
+		if id == home || pl.Phys.UnderPressure(id) {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package placement
+
+import (
+	"testing"
+
+	"numamig/internal/mem"
+	"numamig/internal/model"
+	"numamig/internal/topology"
+	"numamig/internal/vm"
+)
+
+// newPlacer builds a placer over a small machine: framesPerNode frames
+// per node, watermarks from the default fractions (1024 frames: min 20,
+// low 51, high 81).
+func newPlacer(nodes, framesPerNode int) (*Placer, *mem.Phys) {
+	m := topology.Grid(nodes, 1, int64(framesPerNode)*model.PageSize, 1<<20)
+	phys := mem.NewPhys(m, false)
+	p := model.Default()
+	return New(m, phys, &p), phys
+}
+
+func TestZonelistOrder(t *testing.T) {
+	pl, _ := newPlacer(4, 64)
+	// Square topology: 0-1, 0-2, 1-3, 2-3; node 3 is two hops from 0.
+	got := pl.Zonelist(0)
+	want := []topology.NodeID{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("zonelist(0) = %v, want %v", got, want)
+		}
+	}
+	got = pl.Zonelist(3)
+	want = []topology.NodeID{3, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("zonelist(3) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWatermarksInstalled(t *testing.T) {
+	_, phys := newPlacer(2, 1024)
+	w := phys.WatermarksOf(0)
+	if w.Min != 20 || w.Low != 51 || w.High != 81 {
+		t.Fatalf("watermarks = %+v, want min 20 low 51 high 81", w)
+	}
+}
+
+func TestPolicyTargets(t *testing.T) {
+	pl, _ := newPlacer(4, 64)
+	if pl.Target(vm.DefaultPolicy(), 7, 2) != 2 {
+		t.Fatal("default should be local")
+	}
+	il := vm.Interleave(0, 1, 2, 3)
+	counts := map[topology.NodeID]int{}
+	for v := vm.VPN(0); v < 100; v++ {
+		counts[pl.Target(il, v, 0)]++
+	}
+	for n := topology.NodeID(0); n < 4; n++ {
+		if counts[n] != 25 {
+			t.Fatalf("interleave counts = %v", counts)
+		}
+	}
+	if pl.Target(vm.Bind(3), 0, 1) != 3 {
+		t.Fatal("bind ignored")
+	}
+	if pl.Target(vm.Preferred(2), 9, 0) != 2 {
+		t.Fatal("preferred ignored")
+	}
+	if pl.Target(vm.Bind(), 5, 1) != 1 {
+		t.Fatal("empty bind should fall back to local")
+	}
+	// Resolve: VMA policy wins unless default.
+	if got := pl.Resolve(vm.DefaultPolicy(), vm.Bind(3)); got.Kind != vm.PolBind {
+		t.Fatalf("default VMA policy should resolve to the process policy, got %v", got.Kind)
+	}
+	if got := pl.Resolve(vm.Preferred(1), vm.Bind(3)); got.Kind != vm.PolPreferred {
+		t.Fatalf("explicit VMA policy should win, got %v", got.Kind)
+	}
+	if pl.Place(vm.DefaultPolicy(), vm.Bind(2), 0, 1) != 2 {
+		t.Fatal("Place should honor the process default policy")
+	}
+}
+
+func TestWeightedInterleaveDistribution(t *testing.T) {
+	pl, _ := newPlacer(4, 64)
+	wi := vm.WeightedInterleave([]topology.NodeID{0, 1, 2}, []int{3, 2, 1})
+	counts := map[topology.NodeID]int{}
+	for v := vm.VPN(0); v < 600; v++ {
+		counts[pl.Target(wi, v, 3)]++
+	}
+	// 600 pages over total weight 6: 300/200/100.
+	if counts[0] != 300 || counts[1] != 200 || counts[2] != 100 || counts[3] != 0 {
+		t.Fatalf("weighted interleave counts = %v, want 300/200/100/0", counts)
+	}
+	// Stability: the same VPN always maps to the same node.
+	for v := vm.VPN(0); v < 32; v++ {
+		if pl.Target(wi, v, 3) != pl.Target(wi, v, 0) {
+			t.Fatalf("weighted target of VPN %d depends on local node", v)
+		}
+	}
+}
+
+// TestAllocSkipsPressuredNode: once the preferred node sinks to its low
+// watermark, allocations spill to the nearest node above its low
+// watermark instead of draining the preferred node to zero.
+func TestAllocSkipsPressuredNode(t *testing.T) {
+	pl, phys := newPlacer(4, 1024)
+	low := phys.WatermarksOf(0).Low
+	n0 := 0
+	for i := 0; i < 2000; i++ {
+		f := pl.AllocPage(0)
+		if f == nil {
+			t.Fatal("machine prematurely out of memory")
+		}
+		if f.Node == 0 {
+			n0++
+		}
+	}
+	if got := phys.FreeFrames(0); got != low {
+		t.Fatalf("node 0 free = %d, want drained exactly to its low watermark %d", got, low)
+	}
+	if n0 != int(1024-low) {
+		t.Fatalf("node 0 received %d pages, want %d", n0, 1024-low)
+	}
+	// The spill went to node 1 (nearest in node 0's zonelist).
+	if phys.FreeFrames(1) >= phys.FreeFrames(2) {
+		t.Fatalf("spill should prefer node 1: free1=%d free2=%d",
+			phys.FreeFrames(1), phys.FreeFrames(2))
+	}
+}
+
+// TestAllocLastResort: when every node is below its low watermark the
+// walk retries down to min and then to bare availability — the machine
+// never reports out-of-memory while any frame is free.
+func TestAllocLastResort(t *testing.T) {
+	pl, phys := newPlacer(2, 64)
+	total := 2 * 64
+	for i := 0; i < total; i++ {
+		if pl.AllocPage(0) == nil {
+			t.Fatalf("alloc %d failed with %d+%d frames free", i,
+				phys.FreeFrames(0), phys.FreeFrames(1))
+		}
+	}
+	if pl.AllocPage(0) != nil {
+		t.Fatal("allocation succeeded on a fully drained machine")
+	}
+}
+
+// TestPressureObservableAfterDrain: once allocations pin a node at its
+// low watermark, the pressure query the kswapd daemons poll reports it.
+func TestPressureObservableAfterDrain(t *testing.T) {
+	pl, phys := newPlacer(2, 64)
+	low := phys.WatermarksOf(0).Low
+	for i := int64(0); i < 64-low; i++ {
+		pl.AllocPage(0)
+	}
+	if !phys.UnderPressure(0) {
+		t.Fatalf("node 0 drained to %d free (low %d) but reports no pressure",
+			phys.FreeFrames(0), low)
+	}
+	if phys.UnderPressure(1) {
+		t.Fatal("untouched node reports pressure")
+	}
+}
+
+func TestAllowPromotionAndDemotionTarget(t *testing.T) {
+	pl, phys := newPlacer(4, 1024)
+	if !pl.AllowPromotion(0) {
+		t.Fatal("empty node refused promotion")
+	}
+	// Drain node 0 to its low watermark.
+	low := phys.WatermarksOf(0).Low
+	for phys.FreeFrames(0) > low {
+		if _, err := phys.Alloc(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pl.AllowPromotion(0) {
+		t.Fatal("pressured node accepted promotion")
+	}
+	// Demotion target from node 0: nearest group is {1, 2}; 2 has more
+	// free after we load 1.
+	for i := 0; i < 100; i++ {
+		if _, err := phys.Alloc(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst, ok := pl.DemotionTarget(0)
+	if !ok || dst != 2 {
+		t.Fatalf("demotion target = %v/%v, want node 2", dst, ok)
+	}
+	// All other nodes pressured: no demotion target.
+	for _, n := range []topology.NodeID{1, 2, 3} {
+		for phys.FreeFrames(n) > phys.WatermarksOf(n).Low {
+			if _, err := phys.Alloc(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, ok := pl.DemotionTarget(0); ok {
+		t.Fatal("demotion target found with every node pressured")
+	}
+}
+
+func TestReplicaNodesSkipPressured(t *testing.T) {
+	pl, phys := newPlacer(4, 1024)
+	got := pl.ReplicaNodes(1)
+	want := []topology.NodeID{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("replica nodes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replica nodes = %v, want %v", got, want)
+		}
+	}
+	// Pressure node 2: it drops out.
+	for phys.FreeFrames(2) > phys.WatermarksOf(2).Low {
+		if _, err := phys.Alloc(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got = pl.ReplicaNodes(1)
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("replica nodes with node 2 pressured = %v, want [0 3]", got)
+	}
+}
+
+// TestAllocHugePage: huge units respect watermarks with their full
+// 512-frame footprint and return nil when no node can host a unit.
+func TestAllocHugePage(t *testing.T) {
+	pl, phys := newPlacer(2, 1024)
+	f := pl.AllocHugePage(0)
+	if f == nil || f.Node != 0 {
+		t.Fatalf("huge alloc = %v", f)
+	}
+	if got := phys.FreeFrames(0); got != 1024-model.PTEChunkPages {
+		t.Fatalf("free after huge alloc = %d", got)
+	}
+	// A second unit would leave node 0 below its low watermark (free
+	// 512-512=0); it must land on node 1.
+	f2 := pl.AllocHugePage(0)
+	if f2 == nil || f2.Node != 1 {
+		t.Fatalf("second huge unit on node %v, want spill to 1", f2)
+	}
+	// The last-resort pass still hosts a unit in node 0's exact 512
+	// remaining frames (bare availability ignores watermarks).
+	f3 := pl.AllocHugePage(0)
+	if f3 == nil || f3.Node != 0 {
+		t.Fatalf("last-resort huge unit = %v, want node 0", f3)
+	}
+	// Now no node has 512 contiguous frames: the allocation fails and
+	// the caller falls back to base pages.
+	for phys.FreeFrames(1) > 100 {
+		if _, err := phys.Alloc(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f4 := pl.AllocHugePage(0); f4 != nil {
+		t.Fatalf("huge unit allocated with max free 0/100, got node %d", f4.Node)
+	}
+}

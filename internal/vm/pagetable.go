@@ -62,6 +62,10 @@ type Chunk struct {
 	Huge      bool
 	HugeFrame *mem.Frame
 	HugeFlags uint8
+	// HugeFallback marks a chunk of a huge mapping that was served
+	// with base pages after huge-frame exhaustion (the THP-style
+	// fallback in kern.TouchHuge); it never becomes a huge unit.
+	HugeFallback bool
 }
 
 // ChunkIndex returns the page-table-chunk index of a VPN.

@@ -3,7 +3,9 @@ package vm
 import "numamig/internal/topology"
 
 // PolicyKind selects a NUMA memory allocation policy, mirroring Linux
-// mempolicies.
+// mempolicies. Policies are pure data here; resolving a policy to an
+// allocation target (and choosing the physical node under memory
+// pressure) is owned by internal/placement.
 type PolicyKind uint8
 
 // Policy kinds.
@@ -19,6 +21,11 @@ const (
 	// PolPreferred tries the first node of the set, falling back to
 	// local.
 	PolPreferred
+	// PolWeightedInterleave distributes pages over the node set in
+	// proportion to per-node weights, like MPOL_WEIGHTED_INTERLEAVE
+	// (Linux 6.9): a node with weight 3 receives three pages for every
+	// one page a weight-1 node receives.
+	PolWeightedInterleave
 )
 
 func (k PolicyKind) String() string {
@@ -31,14 +38,19 @@ func (k PolicyKind) String() string {
 		return "interleave"
 	case PolPreferred:
 		return "preferred"
+	case PolWeightedInterleave:
+		return "weighted-interleave"
 	}
 	return "invalid"
 }
 
-// Policy is a NUMA allocation policy: a kind plus its node set.
+// Policy is a NUMA allocation policy: a kind plus its node set. Weights
+// parallels Nodes for PolWeightedInterleave (missing or non-positive
+// entries count as weight 1).
 type Policy struct {
-	Kind  PolicyKind
-	Nodes []topology.NodeID
+	Kind    PolicyKind
+	Nodes   []topology.NodeID
+	Weights []int
 }
 
 // DefaultPolicy is first-touch.
@@ -59,39 +71,42 @@ func Preferred(node topology.NodeID) Policy {
 	return Policy{Kind: PolPreferred, Nodes: []topology.NodeID{node}}
 }
 
-// Target returns the node on which page v of a VMA should be allocated,
-// given the faulting thread's local node. Interleaving is keyed on the
-// VPN so it is stable across faults, like Linux's offset-based
-// interleave.
-func (p Policy) Target(v VPN, local topology.NodeID) topology.NodeID {
-	switch p.Kind {
-	case PolBind:
-		if len(p.Nodes) == 0 {
-			return local
-		}
-		return p.Nodes[uint64(v)%uint64(len(p.Nodes))]
-	case PolInterleave:
-		if len(p.Nodes) == 0 {
-			return local
-		}
-		return p.Nodes[uint64(v)%uint64(len(p.Nodes))]
-	case PolPreferred:
-		if len(p.Nodes) == 0 {
-			return local
-		}
-		return p.Nodes[0]
-	default:
-		return local
+// WeightedInterleave builds a weighted-interleave policy: weights[i]
+// pages go to nodes[i] out of every sum(weights) pages.
+func WeightedInterleave(nodes []topology.NodeID, weights []int) Policy {
+	return Policy{Kind: PolWeightedInterleave, Nodes: nodes, Weights: weights}
+}
+
+// Weight returns the effective weight of the i-th policy node (1 when
+// unspecified or non-positive).
+func (p Policy) Weight(i int) int {
+	if i < len(p.Weights) && p.Weights[i] > 0 {
+		return p.Weights[i]
 	}
+	return 1
+}
+
+// TotalWeight returns the sum of effective weights over the node set.
+func (p Policy) TotalWeight() int {
+	w := 0
+	for i := range p.Nodes {
+		w += p.Weight(i)
+	}
+	return w
 }
 
 // Equal reports whether two policies are identical (used for VMA merge).
 func (p Policy) Equal(q Policy) bool {
-	if p.Kind != q.Kind || len(p.Nodes) != len(q.Nodes) {
+	if p.Kind != q.Kind || len(p.Nodes) != len(q.Nodes) || len(p.Weights) != len(q.Weights) {
 		return false
 	}
 	for i := range p.Nodes {
 		if p.Nodes[i] != q.Nodes[i] {
+			return false
+		}
+	}
+	for i := range p.Weights {
+		if p.Weights[i] != q.Weights[i] {
 			return false
 		}
 	}

@@ -148,11 +148,15 @@ func (s *Space) freeRange(start, end Addr) {
 	// Huge chunks fully inside the range.
 	for ci := uint64(sv) / model.PTEChunkPages; ci <= uint64(ev-1)/model.PTEChunkPages; ci++ {
 		c := s.PT.chunks[ci]
-		if c != nil && c.Huge && c.HugeFrame != nil {
+		if c == nil {
+			continue
+		}
+		if c.Huge && c.HugeFrame != nil {
 			s.Phys.Free(c.HugeFrame)
 			c.HugeFrame = nil
 			c.HugeFlags = 0
 		}
+		c.HugeFallback = false
 	}
 }
 

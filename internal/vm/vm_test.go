@@ -118,34 +118,33 @@ func TestPageTableForEachOrdered(t *testing.T) {
 	}
 }
 
-func TestPolicyTargets(t *testing.T) {
-	if DefaultPolicy().Target(7, 2) != 2 {
-		t.Fatal("default should be local")
-	}
-	il := Interleave(0, 1, 2, 3)
-	counts := map[topology.NodeID]int{}
-	for v := VPN(0); v < 100; v++ {
-		counts[il.Target(v, 0)]++
-	}
-	for n := topology.NodeID(0); n < 4; n++ {
-		if counts[n] != 25 {
-			t.Fatalf("interleave counts = %v", counts)
-		}
-	}
-	if Bind(3).Target(0, 1) != 3 {
-		t.Fatal("bind ignored")
-	}
-	if Preferred(2).Target(9, 0) != 2 {
-		t.Fatal("preferred ignored")
-	}
+// Policies are pure data here; target resolution is covered in
+// internal/placement. This test pins the data-side invariants VMA
+// merging depends on.
+func TestPolicyEquality(t *testing.T) {
 	if !Interleave(1, 2).Equal(Interleave(1, 2)) {
 		t.Fatal("Equal false negative")
 	}
 	if Interleave(1, 2).Equal(Interleave(2, 1)) {
 		t.Fatal("Equal false positive")
 	}
-	if Bind().Target(5, 1) != 1 {
-		t.Fatal("empty bind should fall back to local")
+	wi := WeightedInterleave([]topology.NodeID{0, 1}, []int{3, 1})
+	if !wi.Equal(WeightedInterleave([]topology.NodeID{0, 1}, []int{3, 1})) {
+		t.Fatal("weighted Equal false negative")
+	}
+	if wi.Equal(WeightedInterleave([]topology.NodeID{0, 1}, []int{1, 3})) {
+		t.Fatal("weighted Equal ignores weights")
+	}
+	if wi.Equal(Interleave(0, 1)) {
+		t.Fatal("weighted Equal ignores kind")
+	}
+	if wi.TotalWeight() != 4 || wi.Weight(0) != 3 || wi.Weight(1) != 1 {
+		t.Fatalf("weights: total=%d w0=%d w1=%d", wi.TotalWeight(), wi.Weight(0), wi.Weight(1))
+	}
+	// Missing or non-positive weights count as 1.
+	partial := WeightedInterleave([]topology.NodeID{0, 1, 2}, []int{2})
+	if partial.TotalWeight() != 4 || partial.Weight(2) != 1 {
+		t.Fatalf("partial weights: total=%d", partial.TotalWeight())
 	}
 }
 

@@ -79,6 +79,8 @@ func PhasePolicyOf(s string) (PhasePolicy, error) {
 type PhaseShiftConfig struct {
 	// Nodes is the machine size (0: the paper's 4).
 	Nodes int
+	// Cores is cores per node (0: 4).
+	Cores int
 	// Pages is the buffer size in 4 KiB pages (0: 1024).
 	Pages int
 	// Hops is the number of phase shifts (thread moves). 1 reproduces
@@ -156,7 +158,7 @@ type PhaseShiftResult struct {
 func PhaseShift(cfg PhaseShiftConfig) (PhaseShiftResult, error) {
 	cfg = cfg.withDefaults()
 	var res PhaseShiftResult
-	sys := numamig.New(numamig.Config{Nodes: cfg.Nodes, Seed: cfg.Seed})
+	sys := numamig.New(numamig.Config{Nodes: cfg.Nodes, CoresPerNode: cfg.Cores, Seed: cfg.Seed})
 	size := int64(cfg.Pages) * model.PageSize
 
 	var mgr *core.Manager

@@ -47,6 +47,36 @@
 //   - read-only page replication copies                 (internal/kern/replicate.go)
 //   - 2 MiB huge-page moves (huge ops, one batch each)  (internal/kern/huge.go)
 //   - AutoNUMA hinting-fault promotion                  (internal/kern/numahint.go)
+//   - kswapd-style cold-page demotion                   (internal/kern/kswapd.go)
+//
+// # Placement layer and memory pressure
+//
+// internal/placement is the single placement-decision layer: every
+// consumer that asks "which node gets this frame?" — first-touch fault
+// allocation, the mempolicy paths (including weighted interleave),
+// the migration engine's destination fallback, AutoNUMA promotion,
+// and replica placement — resolves through one Placer built on
+// distance-ordered zonelists and per-node min/low/high watermarks
+// (stored in mem.Phys, fractions in model.Params). Allocation walks
+// the target's zonelist in watermark passes like
+// get_page_from_freelist: prefer nodes above their low watermark,
+// retry down to min, then take any free frame — so allocation
+// exhaustion (mem.ErrNoMemory) never surfaces to the application
+// while the machine has room anywhere.
+//
+// On top sits a kswapd-style demotion subsystem
+// (Config.Demotion / System.EnableDemotion): one daemon per node
+// wakes periodically and, when its node has sunk to the low
+// watermark, runs a clock-style cold-page scan (age the accessed bit
+// on first encounter, demote on the second) and moves cold pages to
+// the least-pressured nearby node through the shared migration engine
+// (PathDemotion) until the node recovers above its high watermark.
+// AutoNUMA coordinates with pressure: promotions into nodes at their
+// low watermark are skipped (Balancer.Stats.PressureSkips), and a
+// last-toucher filter requires two consecutive hinting faults from
+// the same task before promoting, damping shared-page ping-pong. The
+// pressure scenario family (overcommit x imbalance x policy x
+// demotion) quantifies the interplay.
 //
 // # Automatic NUMA balancing (AutoNUMA)
 //
@@ -222,6 +252,9 @@ var (
 	Bind = vm.Bind
 	// Preferred prefers one node with fallback.
 	Preferred = vm.Preferred
+	// WeightedInterleave distributes pages over nodes in proportion to
+	// per-node weights (MPOL_WEIGHTED_INTERLEAVE).
+	WeightedInterleave = vm.WeightedInterleave
 )
 
 // Config describes the simulated machine.
@@ -240,6 +273,10 @@ type Config struct {
 	Backed bool
 	// Seed drives all simulated randomness (default 1).
 	Seed int64
+	// Demotion starts the per-node kswapd-style demotion daemons: when
+	// a node sinks to its low watermark, cold pages are demoted to the
+	// least-pressured nearby node through the migration engine.
+	Demotion bool
 	// Params overrides the cost model; nil means model.Default().
 	Params *Params
 }
@@ -277,8 +314,15 @@ func New(cfg Config) *System {
 	eng := sim.NewEngine(cfg.Seed)
 	m := topology.Grid(cfg.Nodes, cfg.CoresPerNode, cfg.MemPerNode, cfg.L3PerNode)
 	k := kern.New(eng, m, p, cfg.Backed)
+	if cfg.Demotion {
+		k.EnableDemotion()
+	}
 	return &System{Eng: eng, Machine: m, Kernel: k, Proc: k.NewProcess("app")}
 }
+
+// EnableDemotion starts the per-node kswapd-style demotion daemons
+// (idempotent; Config.Demotion does this at construction).
+func (s *System) EnableDemotion() { s.Kernel.EnableDemotion() }
 
 // Run spawns the application main thread on core 0 and executes the
 // simulation to completion, returning the engine error (deadlock or
