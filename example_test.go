@@ -60,6 +60,101 @@ func ExampleManager() {
 	// Output: [32 32 0 0]
 }
 
+// ExampleSystem_EnableAutoNUMA demonstrates automatic NUMA balancing:
+// no marks and no madvise — the scanner daemon and hinting faults
+// discover the thread move and promote the pages toward it.
+func ExampleSystem_EnableAutoNUMA() {
+	sys := numamig.New(numamig.Config{})
+	bal := sys.EnableAutoNUMA(numamig.AutoNUMAConfig{})
+	err := sys.Run(func(t *numamig.Task) {
+		buf := numamig.MustAlloc(t, 256*numamig.PageSize, numamig.Bind(0))
+		if err := buf.Prefault(t); err != nil {
+			panic(err)
+		}
+		t.MigrateTo(12) // node 3; the balancer must notice on its own
+		for i := 0; i < 12; i++ {
+			if err := buf.Access(t, numamig.Blocked, false); err != nil {
+				panic(err)
+			}
+		}
+		hist, _ := buf.NodeHistogram(t)
+		fmt.Println(hist)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(bal.Stats.PagesPromoted > 0)
+	// Output:
+	// [0 0 0 256]
+	// true
+}
+
+// ExampleSystem_EnableDemotion demonstrates the memory-tiering half:
+// a node overcommitted past its watermarks sheds its cold pages
+// through the kswapd-style daemons while a swept hot set survives.
+func ExampleSystem_EnableDemotion() {
+	sys := numamig.New(numamig.Config{
+		Nodes:      2,
+		MemPerNode: 1024 * numamig.PageSize,
+		Demotion:   true, // or sys.EnableDemotion() after New
+	})
+	err := sys.Run(func(t *numamig.Task) {
+		hot := numamig.MustAlloc(t, 64*numamig.PageSize, numamig.Bind(0))
+		if err := hot.Prefault(t); err != nil {
+			panic(err)
+		}
+		cold := numamig.MustAlloc(t, 1100*numamig.PageSize, numamig.Preferred(0))
+		if err := cold.Prefault(t); err != nil {
+			panic(err)
+		}
+		// Sweeping keeps the hot pages' accessed bits fresh across the
+		// daemons' clock scans; the untouched cold set ages out.
+		for i := 0; i < 40; i++ {
+			if err := hot.Access(t, numamig.Blocked, false); err != nil {
+				panic(err)
+			}
+		}
+		hist, _ := hot.NodeHistogram(t)
+		fmt.Println(hist[0] == 64)
+	})
+	if err != nil {
+		panic(err)
+	}
+	st := sys.Stats()
+	fmt.Println(st.PagesDemoted > 0, st.PromoteDemoteFlips)
+	// Output:
+	// true
+	// true 0
+}
+
+// ExampleSystem_Stats demonstrates reading the kernel and engine
+// counters the experiment grid derives its columns from: pages moved,
+// faults, syscalls, bytes copied between nodes.
+func ExampleSystem_Stats() {
+	sys := numamig.New(numamig.Config{})
+	err := sys.Run(func(t *numamig.Task) {
+		buf := numamig.MustAlloc(t, 128*numamig.PageSize, numamig.Bind(0))
+		if err := buf.Prefault(t); err != nil {
+			panic(err)
+		}
+		if err := buf.MoveTo(t, 2, true); err != nil { // patched move_pages
+			panic(err)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	st := sys.Stats()
+	eng := sys.Migrator(numamig.Patched)
+	fmt.Println(st.MovePagesCalls, st.MovePagesPages)
+	fmt.Println(eng.Stats.PagesMoved, int(eng.Stats.BytesMoved)/numamig.PageSize)
+	fmt.Println(sys.MigratedBytes() == eng.Stats.BytesMoved)
+	// Output:
+	// 1 128
+	// 128 128
+	// true
+}
+
 // ExampleUserNT shows the user-space implementation: one touch anywhere
 // in a marked region migrates the whole region (the library knows the
 // workset structure).

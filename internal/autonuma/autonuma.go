@@ -32,7 +32,12 @@
 //     low watermark. All page movement is issued through the shared
 //     migration engine (internal/migrate, PathNumaHint), so pinned
 //     pages, busy retry and batching behave identically to the manual
-//     migration paths.
+//     migration paths. Every promoted page is stamped with the current
+//     kswapd scan-period generation (PTE.PromoGen): the demotion scan's
+//     hysteresis then refuses to demote it for
+//     Params.PromotionHysteresisPeriods periods, closing the
+//     promote/demote ping-pong loop from the other side (the tiering
+//     scenario family measures the effect as promote_demote_flips).
 //
 // Unlike the paper's policies, no application or runtime hint is ever
 // required: locality is discovered from the faults alone. The autonuma

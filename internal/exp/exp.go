@@ -48,24 +48,29 @@ type Scenario struct {
 	Overcommit float64 `json:"overcommit,omitempty"`
 	Imbalance  float64 `json:"imbalance,omitempty"`
 	Demotion   bool    `json:"demotion,omitempty"`
+	// Hysteresis (tiering family) enables promotion hysteresis: freshly
+	// promoted pages are protected from demotion for
+	// Params.PromotionHysteresisPeriods scan periods.
+	Hysteresis bool `json:"hysteresis,omitempty"`
 }
 
 // Result is the outcome of one scenario: the virtual-time metrics and
 // kernel counters the paper reports.
 type Result struct {
 	Scenario
-	SimSeconds    float64 `json:"sim_seconds"`             // virtual duration of the measured phase
-	MBps          float64 `json:"mbps"`                    // buffer bytes over the measured phase
-	PagesMoved    uint64  `json:"pages_moved"`             // pages physically migrated
-	MigratedMB    float64 `json:"migrated_mb"`             // bytes moved by the engine
-	Faults        uint64  `json:"faults"`                  // page faults taken
-	Syscalls      uint64  `json:"syscalls"`                // syscalls issued
-	TLBShootdowns uint64  `json:"tlb_shootdowns"`          // process-wide TLB flushes
-	RemoteMB      float64 `json:"remote_mb"`               // application bytes served remotely
-	LocalMB       float64 `json:"local_mb"`                // application bytes served locally
-	NumaHints     uint64  `json:"numa_hints,omitempty"`    // AutoNUMA hinting faults taken
-	Demoted       uint64  `json:"pages_demoted,omitempty"` // pages demoted by the kswapd daemons
-	HotLocal      float64 `json:"hot_local,omitempty"`     // pressure family: final hot-set locality fraction
+	SimSeconds    float64 `json:"sim_seconds"`                    // virtual duration of the measured phase
+	MBps          float64 `json:"mbps"`                           // buffer bytes over the measured phase
+	PagesMoved    uint64  `json:"pages_moved"`                    // pages physically migrated
+	MigratedMB    float64 `json:"migrated_mb"`                    // bytes moved by the engine
+	Faults        uint64  `json:"faults"`                         // page faults taken
+	Syscalls      uint64  `json:"syscalls"`                       // syscalls issued
+	TLBShootdowns uint64  `json:"tlb_shootdowns"`                 // process-wide TLB flushes
+	RemoteMB      float64 `json:"remote_mb"`                      // application bytes served remotely
+	LocalMB       float64 `json:"local_mb"`                       // application bytes served locally
+	NumaHints     uint64  `json:"numa_hints,omitempty"`           // AutoNUMA hinting faults taken
+	Demoted       uint64  `json:"pages_demoted,omitempty"`        // pages demoted by the kswapd daemons
+	HotLocal      float64 `json:"hot_local,omitempty"`            // pressure/tiering: final hot-set locality fraction
+	Flips         uint64  `json:"promote_demote_flips,omitempty"` // pages demoted within the flip window of their promotion
 	Err           string  `json:"err,omitempty"`
 }
 
@@ -368,4 +373,5 @@ func fillStats(res *Result, st kern.Stats, migratedMB float64, bytes int64, dur 
 	res.LocalMB = st.LocalBytes / 1e6
 	res.NumaHints = st.NumaHintFaults
 	res.Demoted = st.PagesDemoted
+	res.Flips = st.PromoteDemoteFlips
 }

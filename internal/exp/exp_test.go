@@ -9,7 +9,7 @@ import (
 
 func TestFamiliesRegistered(t *testing.T) {
 	fams := Families()
-	want := []string{"autonuma", "migration", "pressure", "replication"}
+	want := []string{"autonuma", "migration", "pressure", "replication", "tiering"}
 	if len(fams) != len(want) {
 		t.Fatalf("families = %v, want %v", fams, want)
 	}
@@ -222,6 +222,45 @@ func TestPressureScenarioPhysics(t *testing.T) {
 	off := run("off", true)
 	if off.HotLocal > 0.2 {
 		t.Fatalf("demotion alone localized the hot set: %.2f", off.HotLocal)
+	}
+}
+
+// TestTieringScenarioPhysics pins the tiering family's acceptance
+// envelope: the rotating hot set ping-pongs (promote_demote_flips > 0)
+// without promotion hysteresis and stops with it, strictly — while
+// locality, demotion throughput and the strict-bind nodemask invariant
+// hold in both cells (the runner reports a mask escape as Err).
+func TestTieringScenarioPhysics(t *testing.T) {
+	run := func(hyst bool) Result {
+		suffix := "nohyst"
+		if hyst {
+			suffix = "hyst"
+		}
+		r := RunScenario(Scenario{
+			ID: "tiering/" + suffix, Family: "tiering", Patched: true,
+			Mode: "autonuma", Pages: 1024, Nodes: 4, Seed: 1,
+			Demotion: true, Hysteresis: hyst,
+		})
+		if r.Err != "" {
+			t.Fatalf("hysteresis=%v: %s", hyst, r.Err)
+		}
+		if r.Demoted == 0 || r.NumaHints == 0 {
+			t.Fatalf("hysteresis=%v: interplay never ran: demoted=%d hints=%d",
+				hyst, r.Demoted, r.NumaHints)
+		}
+		if r.HotLocal < 0.7 {
+			t.Fatalf("hysteresis=%v: final hot window only %.2f local", hyst, r.HotLocal)
+		}
+		return r
+	}
+	with := run(true)
+	without := run(false)
+	if without.Flips == 0 {
+		t.Fatal("no flips without hysteresis: the workload exhibits no ping-pong to damp")
+	}
+	if with.Flips >= without.Flips {
+		t.Fatalf("hysteresis must strictly reduce flips: %d with vs %d without",
+			with.Flips, without.Flips)
 	}
 }
 

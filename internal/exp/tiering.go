@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+
+	"numamig/internal/workload"
+)
+
+// The tiering family grids the promotion/demotion interplay on the
+// rotating-hot-set workload (workload.Tiering): AutoNUMA promotes the
+// sliding hot window into a node held at its watermarks by cold
+// ballast, and the kswapd daemons demote what the window leaves
+// behind — warm pages to the nearest tier, genuinely cold ones to the
+// farthest. The axis that matters is promotion hysteresis: with it
+// off, the pages at the window's trailing edge are demoted moments
+// after their promotion (the promote_demote_flips column counts this
+// ping-pong); with it on, the flip count collapses while locality and
+// demotion throughput stay intact. Every cell also carries a
+// strict-bind ballast whose pages must never be observed outside
+// their nodemask — the runner fails the scenario otherwise.
+
+func init() {
+	Register(Family{
+		Name: "tiering",
+		Desc: "rotating hot set x hysteresis on/off: promotion and demotion chase each other; flips measure ping-pong",
+		Generate: func(o Options) []Scenario {
+			var out []Scenario
+			for _, nodes := range o.nodes() {
+				if nodes < 2 {
+					continue
+				}
+				for _, hyst := range []bool{true, false} {
+					suffix := "nohyst"
+					if hyst {
+						suffix = "hyst"
+					}
+					out = append(out, Scenario{
+						ID:         fmt.Sprintf("tiering/%s/n%d", suffix, nodes),
+						Family:     "tiering",
+						Patched:    true,
+						Mode:       "autonuma",
+						Pages:      1024, // per-node capacity in frames
+						Nodes:      nodes,
+						Seed:       o.seed(),
+						Cores:      o.CoresPerNode,
+						Demotion:   true,
+						Hysteresis: hyst,
+					})
+				}
+			}
+			return out
+		},
+		Run: runTiering,
+	})
+}
+
+// runTiering executes one scenario through the rotating-hot-set
+// driver. Scenario.Pages is the per-node capacity in frames; the
+// workload derives its buffer sizes from it.
+func runTiering(s Scenario) Result {
+	res := Result{Scenario: s}
+	r, err := workload.Tiering(workload.TieringConfig{
+		Nodes:      s.Nodes,
+		Cores:      s.Cores,
+		NodePages:  s.Pages,
+		Seed:       s.Seed,
+		Hysteresis: s.Hysteresis,
+	})
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if r.Absent != 0 {
+		res.Err = fmt.Sprintf("tiering run left %d pages absent", r.Absent)
+		return res
+	}
+	if r.BindOffMask != 0 {
+		// The acceptance invariant: the demotion scan's nodemask gate
+		// must keep strict-bind pages inside their node set.
+		res.Err = fmt.Sprintf("%d strict-bind pages observed outside their nodemask (hist %v)",
+			r.BindOffMask, r.BindHist)
+		return res
+	}
+	fillStats(&res, r.Stats, r.MigratedMB, r.Bytes, r.Dur)
+	res.HotLocal = r.HotLocal
+	return res
+}

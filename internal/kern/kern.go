@@ -65,6 +65,13 @@ type Stats struct {
 	PagesAged         uint64 // accessed bits cleared by the scan
 	PagesDemoted      uint64 // pages demoted off pressured nodes
 	HugeFallbacks     uint64 // huge faults served with base pages (exhaustion)
+
+	// Memory tiering (promotion/demotion interplay; kswapd.go).
+	PagesDemotedCold      uint64 // the subset of PagesDemoted classified cold (far tier)
+	KswapdProactiveRuns   uint64 // trickle passes between the low and high watermarks
+	KswapdHysteresisSkips uint64 // pages skipped: promoted within the hysteresis window
+	KswapdMaskSkips       uint64 // pages skipped: every demotion target outside the strict-bind nodemask
+	PromoteDemoteFlips    uint64 // pages demoted within FlipWindowPeriods of their promotion
 }
 
 // Kernel is the simulated operating system instance for one machine.
@@ -131,6 +138,18 @@ func New(eng *sim.Engine, m *topology.Machine, p model.Params, backed bool) *Ker
 	k.migPatched = migrate.New(k, migrate.Patched)
 	k.migUnpatched = migrate.New(k, migrate.Unpatched)
 	return k
+}
+
+// PromoGeneration returns the current kswapd scan-period generation:
+// virtual time quantized by KswapdPeriod, offset so a valid generation
+// is never 0 (0 in PTE.PromoGen means "never promoted"). The promotion
+// paths stamp it into the pages they move; the demotion scan compares
+// it against the hysteresis and flip windows.
+func (k *Kernel) PromoGeneration() uint32 {
+	if k.P.KswapdPeriod <= 0 {
+		return 1
+	}
+	return uint32(k.Eng.Now()/k.P.KswapdPeriod) + 1
 }
 
 // Migrator returns the shared migration engine for a strategy.

@@ -11,19 +11,40 @@ import (
 )
 
 // Kswapd-style background demotion: the memory-pressure half of the
-// placement layer. One daemon per node (a simulated kernel thread on
-// the DES engine, like the AutoNUMA scanner) periodically checks its
-// node's watermarks; when free frames sink to or below the low
-// watermark it runs a clock-style cold-page scan — resident pages on
-// the node get their accessed bit cleared on the first encounter
-// (aging) and are demoted on the second if still unreferenced — and
-// moves the cold pages to the least-pressured nearby node (chosen by
-// placement.DemotionTarget) through the shared migration engine on
-// PathDemotion, until the node recovers above its high watermark.
-// Routing through the engine gives demotion the same batching,
-// pinned-page retry/EBUSY and TLB-flush semantics as every other
-// mover; hot pages survive because the workload re-sets their
-// accessed bits between daemon wake-ups.
+// placement layer, extended to memory tiering v1. One daemon per node
+// (a simulated kernel thread on the DES engine, like the AutoNUMA
+// scanner) periodically checks its node's watermarks; when free frames
+// sink to or below the low watermark it runs a clock-style cold-page
+// scan and demotes unreferenced pages through the shared migration
+// engine on PathDemotion until the node recovers above its high
+// watermark. Between the low and high watermarks a proactive trickle
+// demotes a small batch of genuinely cold pages per period, keeping
+// headroom before pressure hits.
+//
+// The scan is temperature-aware: a page's accessed bit is cleared on
+// the first encounter (aging, PTE.Age reset), and every later encounter
+// with the bit still clear increments PTE.Age. Age 1 classifies the
+// page warm — likely to be touched again, demoted to the *nearest*
+// unpressured distance group — and Age >= 2 cold, demoted to the
+// *farthest* (placement.DemotionTarget's two tiers). Three gates
+// protect pages from wrong-way moves:
+//
+//   - promotion hysteresis: pages AutoNUMA promoted within the last
+//     Params.PromotionHysteresisPeriods scan periods are skipped
+//     outright (PTE.PromoGen vs Kernel.PromoGeneration), so promotion
+//     and demotion stop ping-ponging the working set's edge;
+//   - mempolicy nodemasks: a strict-bind page is never demoted outside
+//     its mbind/set_mempolicy node set — if no demotion tier lies in
+//     the mask the page is skipped and Stats.KswapdMaskSkips counts it,
+//     like Linux reclaim honoring policy nodemasks;
+//   - pinned, next-touch-marked and replicated pages never demote (the
+//     next-touch contract promises migration toward the toucher;
+//     NUMA-hint-armed pages stay demotable, the mark rides along).
+//
+// Demoting a page within Params.FlipWindowPeriods of its promotion
+// counts one promote/demote flip (Stats.PromoteDemoteFlips) — the
+// ping-pong telemetry the tiering scenario family grids as
+// promote_demote_flips.
 
 // kswapd is one node's demotion daemon.
 type kswapd struct {
@@ -60,25 +81,51 @@ func (k *Kernel) EnableDemotion() {
 func (k *Kernel) DemotionEnabled() bool { return k.demotion }
 
 // daemon is the per-node kswapd loop: sleep, retire after the last
-// application thread, reclaim when the node is under pressure.
+// application thread, reclaim when the node is under pressure, trickle
+// proactively while it merely lacks headroom.
 func (d *kswapd) daemon(p *sim.Proc) {
 	for {
 		p.Sleep(d.k.P.KswapdPeriod)
 		if d.k.liveThreads() == 0 {
 			return
 		}
-		if !d.k.Phys.UnderPressure(d.node) {
-			continue
+		switch {
+		case d.k.Phys.UnderPressure(d.node):
+			d.k.Stats.KswapdWakeups++
+			d.reclaim(p)
+		case !d.k.Phys.Reclaimed(d.node) && d.k.P.KswapdProactiveBatch > 0:
+			// Between low and high: demote a small batch of genuinely
+			// cold pages so the next allocation burst finds headroom
+			// without waking the full reclaim path.
+			d.trickle(p)
 		}
-		d.k.Stats.KswapdWakeups++
-		d.reclaim(p)
 	}
 }
 
-// reclaim demotes cold pages off the daemon's node until free frames
-// recover above the high watermark, every other node is pressured too,
-// or a full scan pass finds nothing demotable (everything hot, pinned
-// or replicated). The second no-progress pass distinguishes "all pages
+// targets resolves the two demotion tiers: the nearest unpressured
+// distance group for warm pages and the farthest for cold ones. When
+// only one tier exists (2-node machines, or all but one group
+// pressured) both temperatures share it. ok is false when every other
+// node is pressured — demoting then would only shift the pressure.
+func (d *kswapd) targets() (near, far topology.NodeID, ok bool) {
+	near, okN := d.k.Placer.DemotionTarget(d.node, false)
+	far, okF := d.k.Placer.DemotionTarget(d.node, true)
+	switch {
+	case okN && okF:
+		return near, far, true
+	case okN:
+		return near, near, true
+	case okF:
+		return far, far, true
+	}
+	return 0, 0, false
+}
+
+// reclaim demotes unreferenced pages off the daemon's node until free
+// frames recover above the high watermark, every other node is
+// pressured too, or two full scan passes find nothing demotable
+// (everything hot, pinned, replicated, hysteresis-protected or
+// mask-locked). The second no-progress pass distinguishes "all pages
 // freshly aged" from "truly nothing to demote": aging clears accessed
 // bits, so the next pass can still collect.
 func (d *kswapd) reclaim(p *sim.Proc) {
@@ -86,13 +133,17 @@ func (d *kswapd) reclaim(p *sim.Proc) {
 	defer p.PushCat(CatKswapd)()
 	noProgress := 0
 	for !k.Phys.Reclaimed(d.node) && noProgress < 2 {
-		dst, ok := k.Placer.DemotionTarget(d.node)
+		near, far, ok := d.targets()
 		if !ok {
 			return
 		}
+		batch := k.P.KswapdBatch
+		if batch <= 0 {
+			batch = 64
+		}
 		demoted := 0
 		for _, pr := range k.procs {
-			demoted += d.shrink(p, pr, dst)
+			demoted += d.shrink(p, pr, near, far, batch, false)
 		}
 		if demoted == 0 {
 			noProgress++
@@ -102,25 +153,69 @@ func (d *kswapd) reclaim(p *sim.Proc) {
 	}
 }
 
+// trickle is the proactive path: one bounded cold-only shrink pass per
+// wake-up while the node sits between its low and high watermarks.
+func (d *kswapd) trickle(p *sim.Proc) {
+	k := d.k
+	defer p.PushCat(CatKswapd)()
+	near, far, ok := d.targets()
+	if !ok {
+		return
+	}
+	k.Stats.KswapdProactiveRuns++
+	budget := k.P.KswapdProactiveBatch
+	for _, pr := range k.procs {
+		if budget <= 0 {
+			return
+		}
+		budget -= d.shrink(p, pr, near, far, budget, true)
+	}
+}
+
+// candidate is one page the clock scan selected for demotion.
+type candidate struct {
+	vpn  vm.VPN
+	dst  topology.NodeID
+	cold bool // temperature classification (Age >= 2)
+	flip bool // promoted within the flip window: demoting it is ping-pong
+}
+
+// maskHas reports whether a strict-bind node set contains n.
+func maskHas(mask []topology.NodeID, n topology.NodeID) bool {
+	for _, m := range mask {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
 // shrink runs one clock pass over a process: scan resident pages on
 // the daemon's node from the saved cursor, aging accessed pages and
-// collecting up to KswapdBatch cold ones, then demote the batch to dst
-// through the shared engine. Returns the number of pages demoted.
-func (d *kswapd) shrink(p *sim.Proc, pr *Process, dst topology.NodeID) int {
+// collecting up to batch unreferenced ones — warm pages toward near,
+// cold pages toward far — then demote the batch through the shared
+// engine. coldOnly restricts collection to cold pages (the proactive
+// trickle). Returns the number of pages that actually left the node.
+func (d *kswapd) shrink(p *sim.Proc, pr *Process, near, far topology.NodeID, batch int, coldOnly bool) int {
 	k := d.k
-	batch := k.P.KswapdBatch
-	if batch <= 0 {
-		batch = 64
+	// Per-tier headroom: cap collection so each destination stays
+	// strictly above its low watermark afterwards — a larger batch would
+	// push the tier into pressure itself, cascading the cold pages
+	// onward next period, and the engine's allocation fallback would
+	// land the overflow right back on this node, a wasted copy rather
+	// than a demotion. near and far may be the same node; the headroom
+	// map makes them share the budget then.
+	headroom := map[topology.NodeID]int64{}
+	for _, n := range []topology.NodeID{near, far} {
+		headroom[n] = k.Phys.Headroom(n)
 	}
-	// Cap the batch so the destination stays strictly above its low
-	// watermark afterwards: a larger batch would push dst into pressure
-	// itself — cascading the cold pages onward next period — and the
-	// engine's allocation fallback would land the overflow right back
-	// on this (pressured) node, a wasted copy rather than a demotion.
-	if headroom := int(k.Phys.FreeFrames(dst)-k.Phys.WatermarksOf(dst).Low) - 1; headroom < batch {
-		batch = headroom
+	capacity := int64(0)
+	for _, h := range headroom {
+		if h > 0 {
+			capacity += h
+		}
 	}
-	if batch <= 0 {
+	if capacity <= 0 {
 		return 0
 	}
 	pr.MmapSem.RLock(p)
@@ -142,15 +237,61 @@ func (d *kswapd) shrink(p *sim.Proc, pr *Process, dst topology.NodeID) int {
 		start, cursor = 0, 0
 	}
 
-	var cold []vm.VPN
+	curGen := k.PromoGeneration()
+	hyst := uint32(0)
+	if k.P.PromotionHysteresisPeriods > 0 {
+		hyst = uint32(k.P.PromotionHysteresisPeriods)
+	}
+	flipWin := uint32(0)
+	if k.P.FlipWindowPeriods > 0 {
+		flipWin = uint32(k.P.FlipWindowPeriods)
+	}
+
+	// take reserves one frame of headroom on the page's preferred tier,
+	// falling back to the other tier when the preferred one is out of
+	// room and the page's nodemask (if any) allows it.
+	take := func(pref, other topology.NodeID, mask []topology.NodeID) (topology.NodeID, bool) {
+		for _, n := range []topology.NodeID{pref, other} {
+			if mask != nil && !maskHas(mask, n) {
+				continue
+			}
+			if headroom[n] > 0 {
+				headroom[n]--
+				return n, true
+			}
+		}
+		return 0, false
+	}
+
+	var cands []candidate
+	full := func() bool {
+		if len(cands) >= batch {
+			return true
+		}
+		for _, h := range headroom {
+			if h > 0 {
+				return false
+			}
+		}
+		return true
+	}
+
 	next := cursor
-	for step := 0; step < len(vmas) && len(cold) < batch; step++ {
+	for step := 0; step < len(vmas) && !full(); step++ {
 		v := vmas[(start+step)%len(vmas)]
 		if step > 0 || vm.PageOf(v.Start) > cursor {
 			cursor = vm.PageOf(v.Start)
 		}
+		// Strict-bind pages demote only within their policy nodemask
+		// (mbind/set_mempolicy), like Linux reclaim: demoting a bound
+		// page to a node outside the mask would undo the binding the
+		// application asked for.
+		var mask []topology.NodeID
+		if pol := k.Placer.Resolve(v.Pol, pr.Space.DefaultPol); pol.Kind == vm.PolBind && len(pol.Nodes) > 0 {
+			mask = pol.Nodes
+		}
 		last := vm.PageOf(v.End-1) + 1
-		for cstart := cursor; cstart < last && len(cold) < batch; {
+		for cstart := cursor; cstart < last && !full(); {
 			ci := vm.ChunkIndex(cstart)
 			cend := vm.VPN((ci + 1) * model.PTEChunkPages)
 			if cend > last {
@@ -163,7 +304,7 @@ func (d *kswapd) shrink(p *sim.Proc, pr *Process, dst topology.NodeID) int {
 				if pte.Frame.Node != d.node {
 					return
 				}
-				if len(cold) >= batch {
+				if full() {
 					return // batch full mid-chunk: stop examining
 				}
 				n++
@@ -178,14 +319,51 @@ func (d *kswapd) shrink(p *sim.Proc, pr *Process, dst topology.NodeID) int {
 				if _, replicated := pr.replicas[pv]; replicated {
 					return
 				}
+				// Promotion hysteresis: a page AutoNUMA promoted within
+				// the last PromotionHysteresisPeriods scan periods is
+				// off-limits entirely (not even aged) — the promotion
+				// just declared it hot; demoting it now would only
+				// ping-pong it back out.
+				if hyst > 0 && pte.PromoGen != 0 && curGen-pte.PromoGen < hyst {
+					k.Stats.KswapdHysteresisSkips++
+					return
+				}
 				if pte.Flags&vm.PTEAccessed != 0 {
 					// First clock hand: age the page; a page still
-					// unreferenced at the next encounter is cold.
+					// unreferenced at the next encounter is demotable.
 					pte.Flags &^= vm.PTEAccessed
+					pte.Age = 0
 					k.Stats.PagesAged++
 					return
 				}
-				cold = append(cold, pv)
+				if pte.Age < ^uint8(0) {
+					pte.Age++
+				}
+				// Temperature: one unreferenced period is warm (likely
+				// to be touched again; nearest tier), two or more is
+				// genuinely cold (farthest tier).
+				cold := pte.Age >= 2
+				if coldOnly && !cold {
+					return
+				}
+				pref, other := near, far
+				if cold {
+					pref, other = far, near
+				}
+				if mask != nil && !maskHas(mask, near) && !maskHas(mask, far) {
+					k.Stats.KswapdMaskSkips++
+					return
+				}
+				dst, ok := take(pref, other, mask)
+				if !ok {
+					return
+				}
+				cands = append(cands, candidate{
+					vpn:  pv,
+					dst:  dst,
+					cold: cold,
+					flip: flipWin > 0 && pte.PromoGen != 0 && curGen-pte.PromoGen < flipWin,
+				})
 			})
 			cl.Release()
 			k.Stats.KswapdPtesScanned += uint64(n)
@@ -199,12 +377,12 @@ func (d *kswapd) shrink(p *sim.Proc, pr *Process, dst topology.NodeID) int {
 	}
 	d.cursors[pr] = next
 
-	if len(cold) == 0 {
+	if len(cands) == 0 {
 		return 0
 	}
-	ops := make([]migrate.Op, len(cold))
-	for i, pv := range cold {
-		ops[i] = migrate.Op{VPN: pv, Dst: dst}
+	ops := make([]migrate.Op, len(cands))
+	for i, c := range cands {
+		ops[i] = migrate.Op{VPN: c.vpn, Dst: c.dst}
 	}
 	status := make([]int, len(ops))
 	k.Migrator(migrate.Patched).Migrate(&migrate.Request{
@@ -216,9 +394,16 @@ func (d *kswapd) shrink(p *sim.Proc, pr *Process, dst topology.NodeID) int {
 	// this node: a racing allocation can still exhaust dst mid-batch
 	// and bounce the engine's fallback right back here.
 	demoted := 0
-	for _, s := range status {
-		if s >= 0 && topology.NodeID(s) != d.node {
-			demoted++
+	for i, s := range status {
+		if s < 0 || topology.NodeID(s) == d.node {
+			continue
+		}
+		demoted++
+		if cands[i].cold {
+			k.Stats.PagesDemotedCold++
+		}
+		if cands[i].flip {
+			k.Stats.PromoteDemoteFlips++
 		}
 	}
 	k.Stats.PagesDemoted += uint64(demoted)

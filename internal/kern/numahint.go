@@ -199,6 +199,11 @@ func (t *Task) numaHintFaults(pages []vm.VPN) {
 		P: t.P, Core: t.Core, Space: t.Proc, Ops: ops,
 		Path:    migrate.PathNumaHint,
 		CopyCat: CatNumaCopy,
+		// Stamp the promoted pages with the current scan-period
+		// generation: the demotion scan's hysteresis protects them for
+		// Params.PromotionHysteresisPeriods periods, and demoting one
+		// within Params.FlipWindowPeriods counts a promote/demote flip.
+		StampPromoGen: k.PromoGeneration(),
 	})
 	k.Stats.NumaPagesPromoted += uint64(res.Moved)
 }

@@ -97,6 +97,14 @@ func (p *Phys) Reclaimed(node topology.NodeID) bool {
 	return p.stats[node].Free() > p.wm[node].High
 }
 
+// Headroom returns how many frames the node can accept while staying
+// strictly above its low watermark — the budget the demotion daemons
+// use to size a batch toward a tier without pushing it into pressure
+// itself. Non-positive when the node is at or below the watermark.
+func (p *Phys) Headroom(node topology.NodeID) int64 {
+	return p.stats[node].Free() - p.wm[node].Low - 1
+}
+
 // ErrNoMemory is returned when a node's frame pool is exhausted.
 type ErrNoMemory struct {
 	Node topology.NodeID

@@ -183,3 +183,33 @@ func TestSetWatermarksValidation(t *testing.T) {
 		t.Fatalf("watermarks = %+v", got)
 	}
 }
+
+// TestHeadroom: the demotion-batch budget tracks free frames against
+// the low watermark and goes non-positive exactly when filling one
+// more frame would put the node at or below it.
+func TestHeadroom(t *testing.T) {
+	m := topology.Grid(2, 1, 64*4096, 1<<20)
+	p := NewPhys(m, false)
+	p.SetWatermarks(0, Watermarks{Min: 2, Low: 10, High: 20})
+	if got := p.Headroom(0); got != 64-10-1 {
+		t.Fatalf("empty-node headroom = %d, want %d", got, 64-10-1)
+	}
+	for i := 0; i < 53; i++ {
+		if _, err := p.Alloc(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 11 free: taking one more frame leaves exactly the low watermark.
+	if got := p.Headroom(0); got != 0 {
+		t.Fatalf("headroom at free=low+1 = %d, want 0", got)
+	}
+	if _, err := p.Alloc(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Headroom(0); got >= 0 {
+		t.Fatalf("headroom at the low watermark = %d, want negative", got)
+	}
+	if !p.UnderPressure(0) {
+		t.Fatal("node at its low watermark should report pressure")
+	}
+}

@@ -188,6 +188,12 @@ type Request struct {
 	// CopyCat, when non-empty, is the accounting category charged for
 	// the bulk-copy stage (e.g. kern's "move_pages copy").
 	CopyCat string
+	// StampPromoGen, when non-zero, is written to PTE.PromoGen for
+	// every 4 KiB page the engine physically moves. The promotion paths
+	// (AutoNUMA hinting faults) pass the current kswapd scan-period
+	// generation here so the demotion scan can recognize freshly
+	// promoted pages (hysteresis) and count promote/demote flips.
+	StampPromoGen uint32
 	// OnCopied, when non-nil, is invoked by Replicate for every op,
 	// under the covering chunk lock, right after the op's frame is
 	// filled (nil frame for skipped ops). Callers use it to register
@@ -233,6 +239,13 @@ type Stats struct {
 	PagesReplicated uint64
 	BytesMoved      float64
 	BytesReplicated float64
+	// Demotion-tier path breakdown: the slice of the pipeline's traffic
+	// that ran on PathDemotion (kswapd's near- and far-tier moves), so
+	// background reclaim pressure is visible next to foreground
+	// migration without consulting the kernel counters.
+	DemotionRequests uint64
+	PagesDemoted     uint64
+	BytesDemoted     float64
 }
 
 // Engine is the batched per-node migration pipeline for one strategy.
@@ -365,6 +378,11 @@ func (e *Engine) Migrate(req *Request) Result {
 
 	if req.Flush {
 		req.Space.TLBFlush(req.P)
+	}
+	if req.Path == PathDemotion {
+		e.Stats.DemotionRequests++
+		e.Stats.PagesDemoted += uint64(res.Moved)
+		e.Stats.BytesDemoted += res.Bytes
 	}
 	e.Stats.PagesMoved += uint64(res.Moved)
 	e.Stats.HugePagesMoved += uint64(res.HugeMoved)
@@ -570,6 +588,13 @@ func (e *Engine) batch(req *Request, c pathCosts, idx []int, ci uint64, res *Res
 		e.env.FreeFrame(m.pte.Frame)
 		e.env.NoteMigration(newF.Node)
 		m.pte.Frame = newF
+		// Arrival counts as a fresh LRU insertion for the demotion
+		// scan's clock aging; promotions additionally stamp the current
+		// scan-period generation for hysteresis.
+		m.pte.Age = 0
+		if req.StampPromoGen != 0 {
+			m.pte.PromoGen = req.StampPromoGen
+		}
 		if req.ClearNextTouch {
 			m.pte.Flags &^= vm.PTENextTouch
 		}

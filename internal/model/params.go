@@ -180,6 +180,36 @@ type Params struct {
 	DemotionCtl       sim.Time
 	DemotionCtlLocked sim.Time
 
+	// ---- Memory tiering: promotion/demotion interplay ----
+	//
+	// The tiering layer keeps the two opposing movers — AutoNUMA
+	// promotion toward the accessor and kswapd demotion off pressured
+	// nodes — from fighting over the same pages. Promotions stamp the
+	// page with the current kswapd scan-period generation; the demotion
+	// scan classifies pages by temperature and spreads them over near
+	// and far tiers.
+
+	// PromotionHysteresisPeriods is how many kswapd scan periods a
+	// freshly promoted page is protected from demotion (the demotion
+	// scan skips it entirely, not even aging it). Without it a page
+	// promoted into a node hovering at its watermarks can be demoted the
+	// very next period — the promote/demote ping-pong Linux's
+	// nr_promote/demote hysteresis damps. 0 disables the protection.
+	PromotionHysteresisPeriods int
+	// FlipWindowPeriods is the ping-pong telemetry window: demoting a
+	// page within this many scan periods of its promotion counts one
+	// promote/demote flip (kern.Stats.PromoteDemoteFlips, the
+	// promote_demote_flips grid column). Independent of the hysteresis
+	// knob so disabling protection still measures the resulting churn.
+	FlipWindowPeriods int
+	// KswapdProactiveBatch bounds the pages demoted per period by the
+	// proactive trickle: when a node sits between its low and high
+	// watermarks (not yet pressured, but without headroom) kswapd
+	// demotes up to this many genuinely cold pages per wake-up, keeping
+	// room for allocation bursts before real pressure hits (Linux's
+	// proactive reclaim / kswapd-vs-direct-reclaim split). 0 disables.
+	KswapdProactiveBatch int
+
 	// ---- Migration engine retry policy ----
 
 	// MigrateRetries is how many extra passes the migration engine makes
@@ -267,6 +297,10 @@ func Default() Params {
 		KswapdScanPage:    sim.Micros(0.03),
 		DemotionCtl:       sim.Micros(0.80),
 		DemotionCtlLocked: sim.Micros(0.40),
+
+		PromotionHysteresisPeriods: 4,
+		FlipWindowPeriods:          4,
+		KswapdProactiveBatch:       16,
 
 		MigrateRetries:    4,
 		MigrateRetryDelay: sim.Micros(25),

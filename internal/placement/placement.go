@@ -28,9 +28,10 @@
 // Placer.Target is the only switch over policy kinds, including
 // PolWeightedInterleave (MPOL_WEIGHTED_INTERLEAVE). Pressure gates for
 // the other movers round out the surface: AllowPromotion (AutoNUMA
-// skips promotion into pressured nodes), DemotionTarget (kswapd picks
-// the least-pressured nearby node), and ReplicaNodes (replication
-// skips pressured nodes).
+// skips promotion into pressured nodes), DemotionTarget (kswapd's
+// temperature-aware tier choice: warm pages to the nearest unpressured
+// distance group, genuinely cold pages to the farthest), and
+// ReplicaNodes (replication skips pressured nodes).
 //
 // The package sits below internal/kern: it sees the machine, the
 // physical allocator and the policies, never processes or page tables.
@@ -210,21 +211,35 @@ func (pl *Placer) AllowPromotion(dst topology.NodeID) bool {
 	return !pl.Phys.UnderPressure(dst)
 }
 
-// DemotionTarget returns the node kswapd should demote cold pages from
-// `from` to: within the nearest distance group that has any node above
-// its low watermark, the node with the most free frames (ties by id).
-// Returns false when every other node is pressured too — demoting then
-// would only shift the pressure around.
-func (pl *Placer) DemotionTarget(from topology.NodeID) (topology.NodeID, bool) {
+// DemotionTarget returns the node kswapd should demote pages from
+// `from` to, by page temperature: warm pages (cold=false, unreferenced
+// for one scan period — likely to be touched again) go to the *nearest*
+// distance group with an unpressured node, cold pages (cold=true,
+// unreferenced for two or more periods) to the *farthest* — the two
+// choices are what turns a flat machine into memory tiers. Within the
+// chosen distance group the node with the most free frames wins (ties
+// by id). Returns false when every other node is pressured too —
+// demoting then would only shift the pressure around.
+func (pl *Placer) DemotionTarget(from topology.NodeID, cold bool) (topology.NodeID, bool) {
 	zl := pl.zonelists[from]
+	// Distance-group boundaries of the zonelist past the node itself.
+	var groups [][]topology.NodeID
 	for i := 1; i < len(zl); {
-		// One distance group at a time.
 		j := i + 1
 		for j < len(zl) && pl.M.Dist[from][zl[j]] == pl.M.Dist[from][zl[i]] {
 			j++
 		}
+		groups = append(groups, zl[i:j])
+		i = j
+	}
+	if cold {
+		for a, b := 0, len(groups)-1; a < b; a, b = a+1, b-1 {
+			groups[a], groups[b] = groups[b], groups[a]
+		}
+	}
+	for _, g := range groups {
 		best, bestFree, found := topology.NodeID(0), int64(-1), false
-		for _, n := range zl[i:j] {
+		for _, n := range g {
 			if pl.Phys.UnderPressure(n) {
 				continue
 			}
@@ -235,7 +250,6 @@ func (pl *Placer) DemotionTarget(from topology.NodeID) (topology.NodeID, bool) {
 		if found {
 			return best, true
 		}
-		i = j
 	}
 	return 0, false
 }

@@ -179,27 +179,47 @@ func TestAllowPromotionAndDemotionTarget(t *testing.T) {
 	if pl.AllowPromotion(0) {
 		t.Fatal("pressured node accepted promotion")
 	}
-	// Demotion target from node 0: nearest group is {1, 2}; 2 has more
-	// free after we load 1.
+	// Warm demotion target from node 0: nearest group is {1, 2}; 2 has
+	// more free after we load 1.
 	for i := 0; i < 100; i++ {
 		if _, err := phys.Alloc(1); err != nil {
 			t.Fatal(err)
 		}
 	}
-	dst, ok := pl.DemotionTarget(0)
+	dst, ok := pl.DemotionTarget(0, false)
 	if !ok || dst != 2 {
-		t.Fatalf("demotion target = %v/%v, want node 2", dst, ok)
+		t.Fatalf("warm demotion target = %v/%v, want node 2", dst, ok)
 	}
-	// All other nodes pressured: no demotion target.
-	for _, n := range []topology.NodeID{1, 2, 3} {
+	// Cold demotion target: the farthest distance group first — node 3
+	// (two hops in the square topology), even though 1 and 2 have room.
+	dst, ok = pl.DemotionTarget(0, true)
+	if !ok || dst != 3 {
+		t.Fatalf("cold demotion target = %v/%v, want node 3", dst, ok)
+	}
+	// With the far tier pressured, cold demotion falls back toward the
+	// nearer group rather than giving up.
+	for phys.FreeFrames(3) > phys.WatermarksOf(3).Low {
+		if _, err := phys.Alloc(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst, ok = pl.DemotionTarget(0, true)
+	if !ok || dst != 2 {
+		t.Fatalf("cold demotion target with far tier pressured = %v/%v, want node 2", dst, ok)
+	}
+	// All other nodes pressured: no demotion target either way.
+	for _, n := range []topology.NodeID{1, 2} {
 		for phys.FreeFrames(n) > phys.WatermarksOf(n).Low {
 			if _, err := phys.Alloc(n); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	if _, ok := pl.DemotionTarget(0); ok {
-		t.Fatal("demotion target found with every node pressured")
+	if _, ok := pl.DemotionTarget(0, false); ok {
+		t.Fatal("warm demotion target found with every node pressured")
+	}
+	if _, ok := pl.DemotionTarget(0, true); ok {
+		t.Fatal("cold demotion target found with every node pressured")
 	}
 }
 

@@ -21,6 +21,21 @@ const (
 type PTE struct {
 	Frame *mem.Frame
 	Flags uint8
+	// Age counts the consecutive kswapd clock-scan encounters that found
+	// the accessed bit clear: the scan zeroes it whenever the bit was
+	// set and increments it otherwise (saturating). The demotion scan in
+	// internal/kern classifies Age 1 as warm and Age >= 2 as cold; the
+	// migration engine resets it when the page moves (arrival counts as
+	// a fresh LRU insertion).
+	Age uint8
+	// PromoGen is the kswapd scan-period generation at which the page
+	// was last promoted by AutoNUMA (stamped by the migration engine via
+	// Request.StampPromoGen), or 0 if never promoted. Demotion
+	// hysteresis skips pages promoted within the last
+	// Params.PromotionHysteresisPeriods generations, and demoting a page
+	// within Params.FlipWindowPeriods of its promotion counts as a
+	// promote/demote flip.
+	PromoGen uint32
 }
 
 // Present reports whether a frame is mapped.

@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"fmt"
+
+	"numamig/internal/autonuma"
+	"numamig/internal/kern"
+	"numamig/internal/model"
+	"numamig/internal/sim"
+	"numamig/internal/topology"
+
+	numamig "numamig"
+)
+
+// The tiering workload: the rotating-hot-set regime where AutoNUMA
+// promotion and kswapd demotion chase each other. One compute thread
+// on node 0 owns a large working buffer that starts remote
+// (interleaved over the other nodes) while cold ballast keeps node 0
+// hovering at its watermarks. Each epoch the thread sweeps a hot
+// window of the buffer, then the window slides: AutoNUMA promotes the
+// window into node 0, the demotion daemons evict what the window left
+// behind to make room, and the pages at the trailing edge — promoted
+// moments ago, suddenly unreferenced — are exactly the ones naive
+// demotion ships right back out (a promote/demote flip). Promotion
+// hysteresis protects them for a few scan periods, which is enough
+// for the flip count to collapse; the run also carries a strict-bind
+// node-0 ballast that is cold the whole time, verifying the demotion
+// scan's nodemask gate (those pages must never leave node 0, however
+// hard the node is pressed).
+
+// TieringConfig parameterizes one rotating-hot-set run.
+type TieringConfig struct {
+	// Nodes is the machine size (0: 4); must be >= 2.
+	Nodes int
+	// Cores is cores per node (0: 4).
+	Cores int
+	// NodePages is per-node memory in 4 KiB frames (0: 1024 = 4 MiB).
+	NodePages int
+	// WorkPages sizes the rotating working buffer, interleaved over the
+	// non-zero nodes at first touch (0: NodePages/2).
+	WorkPages int
+	// HotPages is the rotating hot-window size (0: NodePages/8).
+	HotPages int
+	// StepPages is how far the window slides per epoch (0: HotPages/2).
+	StepPages int
+	// ColdPages is node-0 ballast, preferred onto node 0 and touched
+	// once, that keeps the node at its watermarks (0: NodePages*3/4).
+	ColdPages int
+	// BindPages is strict-bind(0) ballast exercising the nodemask gate
+	// (0: NodePages/16).
+	BindPages int
+	// Epochs is the number of sweep-then-slide rounds (0: 24).
+	Epochs int
+	// Sweeps is whole-window sweeps per epoch (0: 6).
+	Sweeps int
+	// Seed drives the simulation (0: 1).
+	Seed int64
+	// Hysteresis enables promotion hysteresis (the model default);
+	// false zeroes Params.PromotionHysteresisPeriods so freshly
+	// promoted pages are demotable immediately. The flip-counting
+	// window (Params.FlipWindowPeriods) stays at its default either
+	// way, so the two configurations measure the same telemetry.
+	Hysteresis bool
+	// Auto overrides balancer knobs (zero: defaults from model.Params).
+	Auto autonuma.Config
+}
+
+func (c TieringConfig) withDefaults() TieringConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.NodePages == 0 {
+		c.NodePages = 1024
+	}
+	if c.WorkPages == 0 {
+		c.WorkPages = c.NodePages / 2
+	}
+	if c.HotPages == 0 {
+		c.HotPages = c.NodePages / 8
+	}
+	if c.StepPages == 0 {
+		c.StepPages = c.HotPages / 2
+	}
+	if c.ColdPages == 0 {
+		c.ColdPages = c.NodePages * 3 / 4
+	}
+	if c.BindPages == 0 {
+		c.BindPages = c.NodePages / 16
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 24
+	}
+	if c.Sweeps == 0 {
+		c.Sweeps = 6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// TieringResult is one run's outcome.
+type TieringResult struct {
+	// Dur is the virtual time of the measured epochs (after setup).
+	Dur sim.Time
+	// Bytes is the hot bytes swept over the measured epochs.
+	Bytes int64
+	// Flips is the promote/demote ping-pong count: pages demoted within
+	// Params.FlipWindowPeriods of their promotion.
+	Flips uint64
+	// HotLocal is the fraction of the final hot window resident on the
+	// compute thread's node when the run ended.
+	HotLocal float64
+	// Absent counts non-present working-buffer pages (must be 0).
+	Absent int
+	// BindHist is the strict-bind ballast's final node histogram;
+	// BindOffMask counts its pages found outside the bind nodemask
+	// (must be 0: the demotion scan's nodemask gate).
+	BindHist    []int
+	BindOffMask int
+	// Demoted/DemotedCold snapshot the daemon's tier traffic.
+	Demoted     uint64
+	DemotedCold uint64
+	// Stats snapshots the kernel counters; Auto the balancer's.
+	Stats      kern.Stats
+	Auto       autonuma.Stats
+	MigratedMB float64
+}
+
+// Tiering builds a fresh deterministic System and runs the
+// rotating-hot-set workload with AutoNUMA and the demotion daemons on.
+func Tiering(cfg TieringConfig) (TieringResult, error) {
+	cfg = cfg.withDefaults()
+	var res TieringResult
+	if cfg.Nodes < 2 {
+		return res, fmt.Errorf("workload: tiering needs >= 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.HotPages > cfg.WorkPages {
+		return res, fmt.Errorf("workload: hot window (%d pages) exceeds the working buffer (%d pages)",
+			cfg.HotPages, cfg.WorkPages)
+	}
+	total := cfg.WorkPages + cfg.ColdPages + cfg.BindPages
+	if total > cfg.Nodes*cfg.NodePages {
+		return res, fmt.Errorf("workload: allocation does not fit the machine (%d > %d pages)",
+			total, cfg.Nodes*cfg.NodePages)
+	}
+	p := model.Default()
+	if !cfg.Hysteresis {
+		p.PromotionHysteresisPeriods = 0
+	}
+	sys := numamig.New(numamig.Config{
+		Nodes:        cfg.Nodes,
+		CoresPerNode: cfg.Cores,
+		MemPerNode:   int64(cfg.NodePages) * model.PageSize,
+		Seed:         cfg.Seed,
+		Demotion:     true,
+		Params:       &p,
+	})
+	bal := sys.EnableAutoNUMA(cfg.Auto)
+
+	others := make([]topology.NodeID, 0, cfg.Nodes-1)
+	for n := 1; n < cfg.Nodes; n++ {
+		others = append(others, topology.NodeID(n))
+	}
+	err := sys.Run(func(t *numamig.Task) {
+		// Strict-bind ballast: cold for the whole run; the nodemask gate
+		// must keep it on node 0 no matter how pressured the node gets.
+		bind := numamig.MustAlloc(t, int64(cfg.BindPages)*model.PageSize, numamig.Bind(0))
+		if err := bind.Prefault(t); err != nil {
+			panic(err)
+		}
+		// Cold ballast: drives node 0 to its watermarks (the placement
+		// layer spills the overflow), touched once.
+		cold := numamig.MustAlloc(t, int64(cfg.ColdPages)*model.PageSize, numamig.Preferred(0))
+		if err := cold.Prefault(t); err != nil {
+			panic(err)
+		}
+		// Working buffer: starts remote, interleaved over the other
+		// nodes; the rotating hot window is promoted in by AutoNUMA.
+		work := numamig.MustAlloc(t, int64(cfg.WorkPages)*model.PageSize, numamig.Interleave(others...))
+		if err := work.Prefault(t); err != nil {
+			panic(err)
+		}
+
+		span := cfg.WorkPages - cfg.HotPages + 1
+		winSize := int64(cfg.HotPages) * model.PageSize
+		var winBase numamig.Addr
+		start := t.P.Now()
+		for e := 0; e < cfg.Epochs; e++ {
+			off := 0
+			if span > 1 && cfg.StepPages > 0 {
+				off = (e * cfg.StepPages) % span
+			}
+			winBase = work.Base + numamig.Addr(off)*model.PageSize
+			for s := 0; s < cfg.Sweeps; s++ {
+				if err := t.AccessRange(winBase, winSize, numamig.Blocked, false); err != nil {
+					panic(err)
+				}
+			}
+		}
+		res.Dur = t.P.Now() - start
+
+		home := t.Node()
+		onHome := 0
+		for _, n := range t.GetNodes(winBase, winSize) {
+			if n >= 0 && topology.NodeID(n) == home {
+				onHome++
+			}
+		}
+		if cfg.HotPages > 0 {
+			res.HotLocal = float64(onHome) / float64(cfg.HotPages)
+		}
+		for _, n := range t.GetNodes(work.Base, work.Size) {
+			if n < 0 {
+				res.Absent++
+			}
+		}
+		res.BindHist, _ = bind.NodeHistogram(t)
+		for n, c := range res.BindHist {
+			if n != 0 {
+				res.BindOffMask += c
+			}
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Bytes = int64(cfg.Epochs) * int64(cfg.Sweeps) * int64(cfg.HotPages) * model.PageSize
+	res.Stats = sys.Stats()
+	res.Flips = res.Stats.PromoteDemoteFlips
+	res.Demoted = res.Stats.PagesDemoted
+	res.DemotedCold = res.Stats.PagesDemotedCold
+	res.MigratedMB = sys.MigratedBytes() / 1e6
+	res.Auto = bal.Stats
+	return res, nil
+}

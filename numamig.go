@@ -67,16 +67,39 @@
 // On top sits a kswapd-style demotion subsystem
 // (Config.Demotion / System.EnableDemotion): one daemon per node
 // wakes periodically and, when its node has sunk to the low
-// watermark, runs a clock-style cold-page scan (age the accessed bit
-// on first encounter, demote on the second) and moves cold pages to
-// the least-pressured nearby node through the shared migration engine
-// (PathDemotion) until the node recovers above its high watermark.
+// watermark, runs a clock-style cold-page scan and moves unreferenced
+// pages off the node through the shared migration engine
+// (PathDemotion) until it recovers above its high watermark.
 // AutoNUMA coordinates with pressure: promotions into nodes at their
 // low watermark are skipped (Balancer.Stats.PressureSkips), and a
 // last-toucher filter requires two consecutive hinting faults from
 // the same task before promoting, damping shared-page ping-pong. The
 // pressure scenario family (overcommit x imbalance x policy x
 // demotion) quantifies the interplay.
+//
+// # Memory tiering v1
+//
+// The demotion scan is temperature-aware and cooperates with
+// promotion instead of fighting it:
+//
+//   - promotion hysteresis: every AutoNUMA promotion stamps the page
+//     with the current kswapd scan-period generation; the scan skips
+//     pages promoted within Params.PromotionHysteresisPeriods periods,
+//     and a demotion within Params.FlipWindowPeriods of the promotion
+//     counts a promote/demote flip (Stats.PromoteDemoteFlips);
+//   - temperature tiers: pages unreferenced for one scan period (warm)
+//     demote to the nearest unpressured distance group, pages
+//     unreferenced for two or more (cold) to the farthest
+//     (placement.DemotionTarget's two tiers, Stats.PagesDemotedCold);
+//   - mempolicy nodemasks: strict-bind pages never demote outside
+//     their node set (Stats.KswapdMaskSkips), like Linux reclaim;
+//   - proactive trickle: between the low and high watermarks the
+//     daemon demotes up to Params.KswapdProactiveBatch genuinely cold
+//     pages per period, keeping headroom ahead of pressure.
+//
+// The tiering scenario family grids a rotating hot set against
+// hysteresis on/off and shows the flip count collapsing to zero while
+// locality holds.
 //
 // # Automatic NUMA balancing (AutoNUMA)
 //

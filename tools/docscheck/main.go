@@ -1,0 +1,87 @@
+// Command docscheck enforces the repository's documentation floor:
+// every Go package in the module — the root, internal/, cmd/,
+// examples/ and tools/ alike — must carry a package comment (a doc
+// comment immediately above a `package` clause in at least one of its
+// files). CI runs it as the docs job; it exits non-zero listing every
+// package that ships undocumented.
+//
+// Usage (from the module root):
+//
+//	go run ./tools/docscheck
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
+
+	var missing []string
+	for dir := range dirs {
+		ok, err := hasPackageComment(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docscheck:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			missing = append(missing, dir)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fmt.Fprintln(os.Stderr, "docscheck: packages without a package comment:")
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d packages documented\n", len(dirs))
+}
+
+// hasPackageComment reports whether any non-test Go file in dir carries
+// a doc comment on its package clause.
+func hasPackageComment(dir string) (bool, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", dir, err)
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
