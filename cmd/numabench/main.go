@@ -108,8 +108,8 @@ func parseNodeList(s string) ([]int, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad -nodes entry %q", part)
 		}
-		if n != 1 && n != 2 && n != 4 && n != 8 {
-			return nil, fmt.Errorf("-nodes entry %d unsupported (topology.Grid builds 1, 2, 4 or 8 nodes)", n)
+		if n < 1 || n > 8 {
+			return nil, fmt.Errorf("-nodes entry %d unsupported (topology.Grid builds 1..8 nodes)", n)
 		}
 		out = append(out, n)
 	}

@@ -127,6 +127,110 @@ func ExampleSystem_EnableDemotion() {
 	// true 0
 }
 
+// Example_tieredMemory configures an explicit CXL slow-memory tier —
+// two DRAM nodes plus one expander node with its own bandwidth and
+// latency class — and shows the tier contract: allocation never lands
+// on CXL (the overcommitted first-touch spills across the DRAM tier
+// instead), and the slow tier fills only by kswapd demoting the cold
+// working set down (slow_tier_resident, read via SlowTierResident).
+func Example_tieredMemory() {
+	p := numamig.DefaultParams()
+	p.TierClasses = []numamig.TierClass{{Name: "dram"}, numamig.CXLTier()}
+	p.NodeTier = []int{0, 0, 1} // nodes 0,1 = DRAM; node 2 = CXL
+	sys := numamig.New(numamig.Config{
+		Nodes:      3,
+		MemPerNode: 512 * numamig.PageSize,
+		Demotion:   true,
+		Params:     &p,
+	})
+	err := sys.Run(func(t *numamig.Task) {
+		// Overcommit node 0: the spill crosses the DRAM tier, never CXL.
+		cold := numamig.MustAlloc(t, 640*numamig.PageSize, numamig.Preferred(0))
+		if err := cold.Prefault(t); err != nil {
+			panic(err)
+		}
+		fmt.Println("on CXL after allocation:", sys.SlowTierResident())
+		// Sweep a small hot set; the cold buffer ages out and kswapd
+		// demotes it to the next tier down — the CXL node.
+		hot := numamig.MustAlloc(t, 32*numamig.PageSize, numamig.Preferred(0))
+		if err := hot.Prefault(t); err != nil {
+			panic(err)
+		}
+		for i := 0; i < 60; i++ {
+			if err := hot.Access(t, numamig.Blocked, false); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("demoted down to CXL:", sys.SlowTierResident() > 0)
+	// Output:
+	// on CXL after allocation: 0
+	// demoted down to CXL: true
+}
+
+// Example_promoteRateLimit demonstrates
+// Params.PromoteRateLimitMBps, the simulated
+// numa_balancing_promote_rate_limit_MBps: cold pages are demoted to
+// the CXL tier, the thread turns hot on them, and AutoNUMA promotion
+// back to DRAM is throttled by the slow node's token bucket —
+// Stats.PromoteRateLimited counts the dropped orders, which retry on
+// later hinting faults.
+func Example_promoteRateLimit() {
+	run := func(mbps float64) (promoted, limited uint64) {
+		p := numamig.DefaultParams()
+		p.TierClasses = []numamig.TierClass{{Name: "dram"}, numamig.CXLTier()}
+		p.NodeTier = []int{0, 0, 1}
+		p.PromoteRateLimitMBps = mbps
+		sys := numamig.New(numamig.Config{
+			Nodes:      3,
+			MemPerNode: 512 * numamig.PageSize,
+			Demotion:   true,
+			Params:     &p,
+		})
+		sys.EnableAutoNUMA(numamig.AutoNUMAConfig{})
+		err := sys.Run(func(t *numamig.Task) {
+			cold := numamig.MustAlloc(t, 640*numamig.PageSize, numamig.Preferred(0))
+			if err := cold.Prefault(t); err != nil {
+				panic(err)
+			}
+			hot := numamig.MustAlloc(t, 32*numamig.PageSize, numamig.Preferred(0))
+			if err := hot.Prefault(t); err != nil {
+				panic(err)
+			}
+			// Phase 1: the cold buffer demotes down to CXL.
+			for i := 0; i < 60; i++ {
+				if err := hot.Access(t, numamig.Blocked, false); err != nil {
+					panic(err)
+				}
+			}
+			// Phase 2: now it is hot — promotion pulls it back up,
+			// against the token bucket.
+			for i := 0; i < 30; i++ {
+				if err := cold.Access(t, numamig.Blocked, false); err != nil {
+					panic(err)
+				}
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		st := sys.Stats()
+		return st.NumaPagesPromoted, st.PromoteRateLimited
+	}
+	freePromoted, freeLimited := run(0)
+	ratePromoted, rateLimited := run(1)
+	fmt.Println("unlimited run throttled:", freeLimited != 0)
+	fmt.Println("limited run throttled:", rateLimited > 0)
+	fmt.Println("limiter slowed promotion:", ratePromoted < freePromoted)
+	// Output:
+	// unlimited run throttled: false
+	// limited run throttled: true
+	// limiter slowed promotion: true
+}
+
 // ExampleSystem_Stats demonstrates reading the kernel and engine
 // counters the experiment grid derives its columns from: pages moved,
 // faults, syscalls, bytes copied between nodes.

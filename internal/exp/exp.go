@@ -48,10 +48,17 @@ type Scenario struct {
 	Overcommit float64 `json:"overcommit,omitempty"`
 	Imbalance  float64 `json:"imbalance,omitempty"`
 	Demotion   bool    `json:"demotion,omitempty"`
-	// Hysteresis (tiering family) enables promotion hysteresis: freshly
-	// promoted pages are protected from demotion for
-	// Params.PromotionHysteresisPeriods scan periods.
+	// Hysteresis (tiering/tiered families) enables promotion
+	// hysteresis: freshly promoted pages are protected from demotion
+	// for Params.PromotionHysteresisPeriods scan periods.
 	Hysteresis bool `json:"hysteresis,omitempty"`
+	// Tiered-family dimensions: how many of the machine's nodes are
+	// CXL slow-memory expanders (appended after the DRAM nodes), each
+	// slow node's capacity as a multiple of a DRAM node's, and the
+	// promotion rate limit out of the slow tier (0 = unlimited).
+	SlowNodes     int     `json:"slow_nodes,omitempty"`
+	SlowRatio     float64 `json:"slow_ratio,omitempty"`
+	RateLimitMBps float64 `json:"rate_limit_mbps,omitempty"`
 }
 
 // Result is the outcome of one scenario: the virtual-time metrics and
@@ -71,6 +78,8 @@ type Result struct {
 	Demoted       uint64  `json:"pages_demoted,omitempty"`        // pages demoted by the kswapd daemons
 	HotLocal      float64 `json:"hot_local,omitempty"`            // pressure/tiering: final hot-set locality fraction
 	Flips         uint64  `json:"promote_demote_flips,omitempty"` // pages demoted within the flip window of their promotion
+	SlowResident  int64   `json:"slow_tier_resident,omitempty"`   // tiered: pages resident on slow-tier (CXL) nodes at run end
+	RateLimited   uint64  `json:"promote_rate_limited,omitempty"` // promotions dropped by the slow-tier token bucket
 	Err           string  `json:"err,omitempty"`
 }
 
@@ -374,4 +383,5 @@ func fillStats(res *Result, st kern.Stats, migratedMB float64, bytes int64, dur 
 	res.NumaHints = st.NumaHintFaults
 	res.Demoted = st.PagesDemoted
 	res.Flips = st.PromoteDemoteFlips
+	res.RateLimited = st.PromoteRateLimited
 }

@@ -59,12 +59,14 @@ func Table(results []Result) *report.Table {
 		"id", "patched", "mode", "workload", "pages", "nodes", "seed",
 		"sim_seconds", "mbps", "pages_moved", "migrated_mb",
 		"faults", "syscalls", "tlb_shootdowns", "remote_mb", "local_mb",
-		"numa_hints", "pages_demoted", "hot_local", "promote_demote_flips", "err")
+		"numa_hints", "pages_demoted", "hot_local", "promote_demote_flips",
+		"slow_tier_resident", "promote_rate_limited", "err")
 	for _, r := range results {
 		tbl.Add(r.ID, r.Patched, r.Mode, r.Workload, r.Pages, r.Nodes, r.Seed,
 			fmt.Sprintf("%.6f", r.SimSeconds), r.MBps, r.PagesMoved, r.MigratedMB,
 			r.Faults, r.Syscalls, r.TLBShootdowns, r.RemoteMB, r.LocalMB,
-			r.NumaHints, r.Demoted, fmt.Sprintf("%.3f", r.HotLocal), r.Flips, r.Err)
+			r.NumaHints, r.Demoted, fmt.Sprintf("%.3f", r.HotLocal), r.Flips,
+			r.SlowResident, r.RateLimited, r.Err)
 	}
 	return tbl
 }

@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"fmt"
+
+	"numamig/internal/workload"
+)
+
+// The tiered family grids the explicit CXL slow-memory tier
+// (workload.Tiered): DRAM nodes plus appended CXL expander nodes with
+// their own bandwidth/latency classes, crossed over the DRAM:CXL
+// capacity ratio, the slow-tier promotion rate limit
+// (Params.PromoteRateLimitMBps, Linux's
+// numa_balancing_promote_rate_limit_MBps) on/off, and promotion
+// hysteresis on/off. Every cell must satisfy the tier invariants — the
+// runner fails the scenario when a frame was *allocated* (rather than
+// demoted) onto the slow tier outside the one explicitly bound buffer,
+// when the strict-bind ballast leaks its nodemask, or when the hot
+// window's slow-tier residency fails to fall across the promote phase.
+// With the limiter on, promote_rate_limited counts the throttled
+// orders and slow_tier_resident drains visibly slower.
+
+func init() {
+	Register(Family{
+		Name: "tiered",
+		Desc: "DRAM+CXL capacity ratios x promote-rate-limit on/off x hysteresis: demotion-only slow tier, token-bucket promotion",
+		Generate: func(o Options) []Scenario {
+			// 1: the CXL node matches a DRAM node; 0.125: a small
+			// expander whose watermarks cap how much can demote down.
+			ratios := []float64{0.125, 1}
+			if o.Quick {
+				ratios = []float64{1}
+			}
+			var out []Scenario
+			for _, fast := range o.nodes() {
+				if fast < 2 || fast+1 > 8 {
+					continue
+				}
+				for _, ratio := range ratios {
+					for _, rate := range []float64{0, 1} {
+						rl := "nolimit"
+						if rate > 0 {
+							rl = fmt.Sprintf("rl%g", rate)
+						}
+						for _, hyst := range []bool{true, false} {
+							suffix := "nohyst"
+							if hyst {
+								suffix = "hyst"
+							}
+							out = append(out, Scenario{
+								ID:            fmt.Sprintf("tiered/%s/%s/r%g/f%d", rl, suffix, ratio, fast),
+								Family:        "tiered",
+								Patched:       true,
+								Mode:          "autonuma",
+								Pages:         512, // per-DRAM-node capacity in frames
+								Nodes:         fast + 1,
+								Seed:          o.seed(),
+								Cores:         o.CoresPerNode,
+								Demotion:      true,
+								Hysteresis:    hyst,
+								SlowNodes:     1,
+								SlowRatio:     ratio,
+								RateLimitMBps: rate,
+							})
+						}
+					}
+				}
+			}
+			return out
+		},
+		Run: runTiered,
+	})
+}
+
+// runTiered executes one scenario through the explicit-slow-tier
+// driver and enforces the tier invariants. Scenario.Pages is the
+// per-DRAM-node capacity in frames; Scenario.Nodes counts every node
+// including the SlowNodes CXL expanders.
+func runTiered(s Scenario) Result {
+	res := Result{Scenario: s}
+	r, err := workload.Tiered(workload.TieredConfig{
+		FastNodes:     s.Nodes - s.SlowNodes,
+		SlowNodes:     s.SlowNodes,
+		Cores:         s.Cores,
+		NodePages:     s.Pages,
+		SlowRatio:     s.SlowRatio,
+		RateLimitMBps: s.RateLimitMBps,
+		Hysteresis:    s.Hysteresis,
+		Seed:          s.Seed,
+	})
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	switch {
+	case r.Absent != 0:
+		res.Err = fmt.Sprintf("tiered run left %d pages absent", r.Absent)
+	case r.DirectSlowAllocs != int64(r.SlowBoundPages):
+		// The demotion-only invariant: no first-touch or mempolicy
+		// allocation may land on the slow tier beyond the explicitly
+		// bound buffer.
+		res.Err = fmt.Sprintf("%d frames allocated on the slow tier, want exactly the %d bound pages",
+			r.DirectSlowAllocs, r.SlowBoundPages)
+	case r.BindOffMask != 0:
+		res.Err = fmt.Sprintf("%d strict-bind pages observed outside their nodemask (hist %v)",
+			r.BindOffMask, r.BindHist)
+	case r.WindowSlowBefore == 0:
+		res.Err = "demote phase left no window pages on the slow tier"
+	case r.WindowSlowAfter >= r.WindowSlowBefore:
+		res.Err = fmt.Sprintf("slow-tier residency of the hot window did not fall: %d -> %d",
+			r.WindowSlowBefore, r.WindowSlowAfter)
+	case s.RateLimitMBps > 0 && r.RateLimited == 0:
+		res.Err = "rate limiter on but no promotion was ever rate-limited"
+	case s.RateLimitMBps <= 0 && r.RateLimited != 0:
+		res.Err = fmt.Sprintf("rate limiter off but %d promotions rate-limited", r.RateLimited)
+	}
+	if res.Err != "" {
+		return res
+	}
+	fillStats(&res, r.Stats, r.MigratedMB, r.Bytes, r.Dur)
+	res.SlowResident = r.SlowResident
+	return res
+}

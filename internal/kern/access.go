@@ -192,6 +192,11 @@ func (t *Task) AccessRange(addr vm.Addr, length int64, kind AccessKind, write bo
 		} else {
 			k.Stats.LocalBytes += bytes
 		}
+		// Data resident on a slow tier (CXL) pays its tier class's
+		// latency multiplier on top of the NUMA penalty, wherever the
+		// accessing core sits — the device latency does not care which
+		// socket asked.
+		penalty *= k.P.TierClassOf(k.Phys.TierOf(node)).Latency()
 		k.Net.Transfer(t.P, bytes*penalty, k.userPath(t.Core, node, node)...)
 	}
 	return nil

@@ -72,6 +72,10 @@ type Stats struct {
 	KswapdHysteresisSkips uint64 // pages skipped: promoted within the hysteresis window
 	KswapdMaskSkips       uint64 // pages skipped: every demotion target outside the strict-bind nodemask
 	PromoteDemoteFlips    uint64 // pages demoted within FlipWindowPeriods of their promotion
+
+	// Explicit slow-memory tier (CXL; numahint.go + the tier map in
+	// model.Params).
+	PromoteRateLimited uint64 // slow-tier promotions dropped by the token bucket
 }
 
 // Kernel is the simulated operating system instance for one machine.
@@ -108,6 +112,10 @@ type Kernel struct {
 	kswapds  []*kswapd
 	demotion bool
 
+	// Per-node promotion token buckets (Params.PromoteRateLimitMBps):
+	// only slow-tier source nodes ever consume from them.
+	promoBuckets []promoBucket
+
 	Stats Stats
 }
 
@@ -129,7 +137,13 @@ func New(eng *sim.Engine, m *topology.Machine, p model.Params, backed bool) *Ker
 		k.UserEng = append(k.UserEng, sim.NewLink(fmt.Sprintf("ucopy%d", c), p.UserCopyRate))
 	}
 	for n := 0; n < m.NumNodes(); n++ {
-		k.NodeCtrl = append(k.NodeCtrl, sim.NewLink(fmt.Sprintf("ctrl%d", n), p.NodeCtrlBW))
+		// A slow-tier node's memory controller runs at its tier class's
+		// fraction of the DRAM rate (a CXL expander behind its link), so
+		// every fluid path touching the node — application accesses,
+		// demotion copies in, promotion copies out — shares the reduced
+		// capacity.
+		bw := p.NodeCtrlBW * p.TierClassOf(p.TierOf(n)).Bandwidth()
+		k.NodeCtrl = append(k.NodeCtrl, sim.NewLink(fmt.Sprintf("ctrl%d", n), bw))
 	}
 	for _, l := range m.Links {
 		k.HT = append(k.HT, sim.NewLink(fmt.Sprintf("ht%d-%d", l.A, l.B), p.HTLinkBW))
@@ -202,6 +216,56 @@ func (k *Kernel) FreeHugeFrame(f *mem.Frame) {
 
 // NoteMigration records one migrated-in page on dst.
 func (k *Kernel) NoteMigration(dst topology.NodeID) { k.Phys.NoteMigration(dst) }
+
+// TierOf returns a node's memory tier id (0 = DRAM, > 0 = slow).
+func (k *Kernel) TierOf(n topology.NodeID) int { return k.Phys.TierOf(n) }
+
+// promoBucket is one node's promotion-rate-limit state: bytes of
+// promotion budget available and the virtual time of the last refill.
+type promoBucket struct {
+	tokens float64
+	last   sim.Time
+}
+
+// AllowSlowPromotion consumes one page of promotion budget from src's
+// token bucket, mirroring Linux's numa_balancing_promote_rate_limit_MBps:
+// the bucket refills at Params.PromoteRateLimitMBps of virtual time and
+// caps at one KswapdPeriod's burst (at least one page). It returns true
+// — without consuming anything — when the limiter is off or src is a
+// fast-tier node; a false return means the caller must drop the
+// promotion (counted in Stats.PromoteRateLimited) and leave the page
+// for a later hinting fault to retry.
+func (k *Kernel) AllowSlowPromotion(src topology.NodeID) bool {
+	if k.P.PromoteRateLimitMBps <= 0 || k.Phys.TierOf(src) == 0 {
+		return true
+	}
+	rate := k.P.PromoteRateLimitMBps * 1e6 // bytes per virtual second
+	burst := rate * k.P.KswapdPeriod.Seconds()
+	if burst < model.PageSize {
+		burst = model.PageSize
+	}
+	if int(src) >= len(k.promoBuckets) {
+		buckets := make([]promoBucket, k.M.NumNodes())
+		for i := range buckets {
+			buckets[i] = promoBucket{tokens: burst}
+		}
+		copy(buckets, k.promoBuckets)
+		k.promoBuckets = buckets
+	}
+	b := &k.promoBuckets[src]
+	now := k.Eng.Now()
+	b.tokens += rate * (now - b.last).Seconds()
+	b.last = now
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	if b.tokens < model.PageSize {
+		k.Stats.PromoteRateLimited++
+		return false
+	}
+	b.tokens -= model.PageSize
+	return true
+}
 
 // MigLock returns the global serialized migration-setup lock.
 func (k *Kernel) MigLock() *sim.Resource { return k.migLock }

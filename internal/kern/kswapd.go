@@ -65,6 +65,9 @@ func (k *Kernel) EnableDemotion() {
 		return
 	}
 	k.demotion = true
+	// The daemons are what decays a burst watermark boost, so boosting
+	// only arms together with them.
+	k.Placer.EnableBurstBoost()
 	for n := range k.M.Nodes {
 		d := &kswapd{
 			k:       k,
@@ -81,14 +84,22 @@ func (k *Kernel) EnableDemotion() {
 func (k *Kernel) DemotionEnabled() bool { return k.demotion }
 
 // daemon is the per-node kswapd loop: sleep, retire after the last
-// application thread, reclaim when the node is under pressure, trickle
-// proactively while it merely lacks headroom.
+// application thread, decay the node's burst watermark boost, reclaim
+// when the node is under its (boosted) low watermark, trickle
+// proactively while it merely lacks headroom. On a machine with an
+// explicit slow tier, placement.DemotionTarget points each daemon at
+// the next tier down (DRAM -> CXL) and a bottom-tier daemon only at
+// its within-tier siblings.
 func (d *kswapd) daemon(p *sim.Proc) {
 	for {
 		p.Sleep(d.k.P.KswapdPeriod)
 		if d.k.liveThreads() == 0 {
 			return
 		}
+		// The reclaim/trickle decision below still sees part of this
+		// period's boost: the burst that armed it stays visible for
+		// log2(boost) periods.
+		d.k.Phys.DecayBoost(d.node)
 		switch {
 		case d.k.Phys.UnderPressure(d.node):
 			d.k.Stats.KswapdWakeups++

@@ -195,6 +195,29 @@ func (t *Task) numaHintFaults(pages []vm.VPN) {
 	if len(ops) == 0 {
 		return
 	}
+	// Promotion rate limiting (Params.PromoteRateLimitMBps): orders
+	// pulling pages off a slow-tier node consume that node's token
+	// bucket; orders the bucket cannot cover are dropped — the page
+	// stays on the slow tier until a later hinting fault retries it,
+	// like Linux's numa_balancing_promote_rate_limit_MBps capping
+	// pgpromote traffic.
+	if k.P.PromoteRateLimitMBps > 0 {
+		srcOf := make(map[vm.VPN]topology.NodeID, len(faulted))
+		for i, pg := range faulted {
+			srcOf[pg] = src[i]
+		}
+		kept := ops[:0]
+		for _, op := range ops {
+			if s, ok := srcOf[op.VPN]; ok && !k.AllowSlowPromotion(s) {
+				continue
+			}
+			kept = append(kept, op)
+		}
+		ops = kept
+		if len(ops) == 0 {
+			return
+		}
+	}
 	res := k.Migrator(migrate.Patched).Migrate(&migrate.Request{
 		P: t.P, Core: t.Core, Space: t.Proc, Ops: ops,
 		Path:    migrate.PathNumaHint,

@@ -52,6 +52,8 @@ type Phys struct {
 	Backed  bool
 	stats   []NodeStats
 	wm      []Watermarks
+	boost   []int64 // temporary watermark boost, in frames (burst response)
+	tiers   []int   // per-node memory tier id (0 = DRAM, >0 = slow memory)
 	nextPFN uint64
 	free    [][]*Frame // recycled frames per node
 }
@@ -62,11 +64,38 @@ func NewPhys(m *topology.Machine, backed bool) *Phys {
 	p := &Phys{M: m, Backed: backed}
 	p.stats = make([]NodeStats, m.NumNodes())
 	p.wm = make([]Watermarks, m.NumNodes())
+	p.boost = make([]int64, m.NumNodes())
+	p.tiers = make([]int, m.NumNodes())
 	p.free = make([][]*Frame, m.NumNodes())
 	for i, n := range m.Nodes {
 		p.stats[i].Total = n.MemBytes / model.PageSize
 	}
 	return p
+}
+
+// SetTier installs a node's memory tier id (0 = DRAM/fast, higher =
+// slower). Installed by the placement layer from model.Params.NodeTier.
+func (p *Phys) SetTier(node topology.NodeID, tier int) {
+	if tier < 0 {
+		tier = 0
+	}
+	p.tiers[node] = tier
+}
+
+// TierOf returns a node's memory tier id.
+func (p *Phys) TierOf(node topology.NodeID) int { return p.tiers[node] }
+
+// SlowTierResident returns the frames currently allocated on slow-tier
+// (tier > 0) nodes — the slow_tier_resident gauge of the tiered
+// scenario family.
+func (p *Phys) SlowTierResident() int64 {
+	var n int64
+	for i := range p.stats {
+		if p.tiers[i] > 0 {
+			n += p.stats[i].Allocated
+		}
+	}
+	return n
 }
 
 // SetWatermarks installs a node's pressure thresholds. Thresholds must
@@ -85,24 +114,59 @@ func (p *Phys) WatermarksOf(node topology.NodeID) Watermarks { return p.wm[node]
 // FreeFrames returns the node's available frame count.
 func (p *Phys) FreeFrames(node topology.NodeID) int64 { return p.stats[node].Free() }
 
+// BoostWatermark temporarily raises a node's watermarks by amount
+// frames (kept at the maximum of outstanding boosts, like the kernel's
+// clamped watermark_boost), capped so the boosted high watermark stays
+// below the node's total. The node then reads as pressured while still
+// holding free frames — its kswapd wakes and demotes ahead of the next
+// allocation burst — until DecayBoost drains the boost.
+func (p *Phys) BoostWatermark(node topology.NodeID, amount int64) {
+	if amount <= 0 {
+		return
+	}
+	if max := p.stats[node].Total - p.wm[node].High - 1; amount > max {
+		amount = max
+	}
+	if amount > p.boost[node] {
+		p.boost[node] = amount
+	}
+}
+
+// DecayBoost halves a node's watermark boost (called once per kswapd
+// period by the node's daemon), dropping the remainder at 1 frame.
+func (p *Phys) DecayBoost(node topology.NodeID) {
+	p.boost[node] /= 2
+}
+
+// BoostOf returns a node's current watermark boost in frames.
+func (p *Phys) BoostOf(node topology.NodeID) int64 { return p.boost[node] }
+
+// EffectiveLow returns the node's boosted low watermark: the pressure
+// threshold allocation fallback and the kswapd wake check compare
+// against.
+func (p *Phys) EffectiveLow(node topology.NodeID) int64 {
+	return p.wm[node].Low + p.boost[node]
+}
+
 // UnderPressure reports whether the node's free frames have sunk to or
-// below its low watermark (the kswapd wake condition).
+// below its (boosted) low watermark (the kswapd wake condition).
 func (p *Phys) UnderPressure(node topology.NodeID) bool {
-	return p.stats[node].Free() <= p.wm[node].Low
+	return p.stats[node].Free() <= p.EffectiveLow(node)
 }
 
 // Reclaimed reports whether the node's free frames have recovered above
-// its high watermark (the kswapd stop condition).
+// its (boosted) high watermark (the kswapd stop condition).
 func (p *Phys) Reclaimed(node topology.NodeID) bool {
-	return p.stats[node].Free() > p.wm[node].High
+	return p.stats[node].Free() > p.wm[node].High+p.boost[node]
 }
 
 // Headroom returns how many frames the node can accept while staying
-// strictly above its low watermark — the budget the demotion daemons
-// use to size a batch toward a tier without pushing it into pressure
-// itself. Non-positive when the node is at or below the watermark.
+// strictly above its (boosted) low watermark — the budget the demotion
+// daemons use to size a batch toward a tier without pushing it into
+// pressure itself. Non-positive when the node is at or below the
+// watermark.
 func (p *Phys) Headroom(node topology.NodeID) int64 {
-	return p.stats[node].Free() - p.wm[node].Low - 1
+	return p.stats[node].Free() - p.EffectiveLow(node) - 1
 }
 
 // ErrNoMemory is returned when a node's frame pool is exhausted.

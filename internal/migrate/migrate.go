@@ -135,6 +135,10 @@ type Env interface {
 	FreeHugeFrame(f *mem.Frame)
 	// NoteMigration records one migrated-in page on dst.
 	NoteMigration(dst topology.NodeID)
+	// TierOf returns a node's memory tier id (0 = DRAM/fast, higher =
+	// slower); the engine uses it to break its traffic down by tier
+	// direction (Stats.PagesTierDown / PagesTierUp).
+	TierOf(n topology.NodeID) int
 	// MigLock is the global serialized migration-setup lock (task
 	// lookup, per-CPU pagevec drains).
 	MigLock() *sim.Resource
@@ -246,6 +250,15 @@ type Stats struct {
 	DemotionRequests uint64
 	PagesDemoted     uint64
 	BytesDemoted     float64
+	// Cross-tier traffic (Env.TierOf): ops whose destination sits on a
+	// slower tier than their source (TierDown: the demotion direction,
+	// e.g. DRAM -> CXL) or a faster one (TierUp: the promotion
+	// direction, e.g. CXL -> DRAM), whatever path issued them. Same-
+	// tier moves count in neither; on a flat machine both stay zero.
+	PagesTierDown uint64
+	PagesTierUp   uint64
+	BytesTierDown float64
+	BytesTierUp   float64
 }
 
 // Engine is the batched per-node migration pipeline for one strategy.
@@ -265,6 +278,20 @@ func New(env Env, s Strategy) *Engine {
 
 // Strategy returns the engine's move_pages generation.
 func (e *Engine) Strategy() Strategy { return e.strategy }
+
+// noteTier accounts one physically moved op against the cross-tier
+// counters when source and destination sit on different memory tiers.
+func (e *Engine) noteTier(src, dst topology.NodeID, bytes float64) {
+	st, dt := e.env.TierOf(src), e.env.TierOf(dst)
+	switch {
+	case dt > st:
+		e.Stats.PagesTierDown++
+		e.Stats.BytesTierDown += bytes
+	case dt < st:
+		e.Stats.PagesTierUp++
+		e.Stats.BytesTierUp += bytes
+	}
+}
 
 // pathCosts carries the per-path calibrated constants.
 type pathCosts struct {
@@ -575,6 +602,7 @@ func (e *Engine) batch(req *Request, c pathCosts, idx []int, ci uint64, res *Res
 			e.env.NoteMigration(m.huge.HugeFrame.Node)
 			req.setStatus(m.slot, int(m.huge.HugeFrame.Node))
 			groups.add(src, m.huge.HugeFrame.Node, model.HugePageSize)
+			e.noteTier(src, m.huge.HugeFrame.Node, model.HugePageSize)
 			res.Moved++
 			res.HugeMoved++
 			res.Bytes += model.HugePageSize
@@ -600,6 +628,7 @@ func (e *Engine) batch(req *Request, c pathCosts, idx []int, ci uint64, res *Res
 		}
 		req.setStatus(m.slot, int(newF.Node))
 		groups.add(src, newF.Node, model.PageSize)
+		e.noteTier(src, newF.Node, model.PageSize)
 		res.Moved++
 		res.Bytes += model.PageSize
 	}

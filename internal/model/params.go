@@ -29,6 +29,47 @@ const HugePageSize = 2 << 20
 // kernel holds one PTE lock per such chunk (2 MiB of address space).
 const PTEChunkPages = 512
 
+// TierClass describes one memory tier's behaviour on the fluid network:
+// how its node-local memory controller bandwidth and access latency
+// compare to plain DRAM. Tier 0 is the fast (DRAM) tier; higher ids are
+// progressively slower tiers (CXL-attached expanders, persistent
+// memory). Zero-valued scales mean "same as DRAM" so a sparsely
+// populated class list stays usable.
+type TierClass struct {
+	// Name labels the tier in diagnostics ("dram", "cxl").
+	Name string
+	// BandwidthScale multiplies NodeCtrlBW for nodes of this tier
+	// (e.g. 0.4 for a CXL expander behind a x8 link). <= 0 means 1.
+	BandwidthScale float64
+	// LatencyScale multiplies the application-visible access penalty
+	// for data resident on this tier (CXL adds ~2-3x DRAM latency).
+	// <= 0 means 1.
+	LatencyScale float64
+}
+
+// Bandwidth returns the normalized bandwidth multiplier.
+func (c TierClass) Bandwidth() float64 {
+	if c.BandwidthScale <= 0 {
+		return 1
+	}
+	return c.BandwidthScale
+}
+
+// Latency returns the normalized latency multiplier.
+func (c TierClass) Latency() float64 {
+	if c.LatencyScale <= 0 {
+		return 1
+	}
+	return c.LatencyScale
+}
+
+// CXLTier is a representative CXL memory-expander class: roughly 40% of
+// a local DDR channel's bandwidth and 2.2x its effective latency,
+// matching published Type-3 device measurements.
+func CXLTier() TierClass {
+	return TierClass{Name: "cxl", BandwidthScale: 0.4, LatencyScale: 2.2}
+}
+
 // Params carries all cost-model constants. Zero value is not usable; call
 // Default for the paper's calibrated platform.
 type Params struct {
@@ -209,6 +250,46 @@ type Params struct {
 	// room for allocation bursts before real pressure hits (Linux's
 	// proactive reclaim / kswapd-vs-direct-reclaim split). 0 disables.
 	KswapdProactiveBatch int
+	// WatermarkBoostFactor arms watermark boosting under allocation
+	// bursts (Linux's watermark_boost_factor): when an AllocPage
+	// multi-pass falls through to the min pass (no node in the target's
+	// zonelist could serve the page above its low watermark), the
+	// target node's watermarks are temporarily raised by
+	// (high - low) * factor frames. The boosted node reads as
+	// pressured while still holding free frames, so its kswapd wakes
+	// and demotes ahead of the next burst; the boost halves on every
+	// kswapd period until it reaches zero. 0 disables boosting, and
+	// the factor only takes effect with the demotion daemons running
+	// (kern.EnableDemotion) — they are what decays a boost again.
+	WatermarkBoostFactor float64
+
+	// ---- Memory tiers (explicit CXL/slow memory) ----
+	//
+	// The tier map turns the flat machine into explicit memory tiers:
+	// each node carries a tier id resolving to a TierClass with its own
+	// bandwidth/latency multipliers on the fluid network. Tier 0 is
+	// DRAM; every higher tier is slow memory, which is demotion-only
+	// for the allocator — first-touch and mempolicy never place there
+	// unless the policy's nodemask contains only slow nodes — and
+	// placement.DemotionTarget prefers the next tier down.
+
+	// TierClasses defines the tier classes, indexed by tier id. nil (or
+	// a missing entry) means a unit class identical to DRAM.
+	TierClasses []TierClass
+	// NodeTier maps node id -> tier id. nil, or nodes past the end of
+	// the slice, default to tier 0 (DRAM); the flat, single-tier
+	// machine is therefore the zero value.
+	NodeTier []int
+	// PromoteRateLimitMBps rate-limits AutoNUMA promotion out of
+	// slow-tier nodes, mirroring Linux's
+	// numa_balancing_promote_rate_limit_MBps: each slow node owns a
+	// token bucket refilled at this many MB per second of virtual
+	// time (burst: one KswapdPeriod's worth, at least one page);
+	// promotions that find the bucket empty are dropped and counted in
+	// kern.Stats.PromoteRateLimited — the page stays put until a later
+	// hinting fault retries it. <= 0 disables the limiter. Promotions
+	// between fast-tier nodes are never limited.
+	PromoteRateLimitMBps float64
 
 	// ---- Migration engine retry policy ----
 
@@ -301,6 +382,10 @@ func Default() Params {
 		PromotionHysteresisPeriods: 4,
 		FlipWindowPeriods:          4,
 		KswapdProactiveBatch:       16,
+		// Watermark boosting ships disabled: the pressure/tiering
+		// families calibrate their envelopes without burst boosting;
+		// scenarios that study bursts turn it on explicitly.
+		WatermarkBoostFactor: 0,
 
 		MigrateRetries:    4,
 		MigrateRetryDelay: sim.Micros(25),
@@ -311,6 +396,27 @@ func Default() Params {
 		BlockedBoost:  1.55,
 		BatchPages:    64,
 	}
+}
+
+// TierOf returns the tier id of a node: the NodeTier entry, or 0 (DRAM)
+// for nodes the map does not cover.
+func (p Params) TierOf(node int) int {
+	if node < 0 || node >= len(p.NodeTier) {
+		return 0
+	}
+	if t := p.NodeTier[node]; t > 0 {
+		return t
+	}
+	return 0
+}
+
+// TierClassOf returns the class of a tier id, defaulting to the unit
+// (DRAM-equivalent) class for ids the class list does not cover.
+func (p Params) TierClassOf(tier int) TierClass {
+	if tier < 0 || tier >= len(p.TierClasses) {
+		return TierClass{}
+	}
+	return p.TierClasses[tier]
 }
 
 // PageCopyTime returns the nominal un-contended time to copy n pages at

@@ -8,30 +8,45 @@
 // replica placement — each with its own policy switch or ad-hoc
 // distance loop. The Placer centralizes all of them on two structures:
 //
-//   - Zonelists: for every node, the machine's nodes ordered by SLIT
-//     distance from it (the node itself first, ties broken by id),
-//     like the kernel's node_zonelists. Every fallback walk — full
+//   - Zonelists: for every node, the machine's nodes ordered by
+//     (memory tier, SLIT distance) from it — the node itself first,
+//     then faster-or-equal tiers before slower ones, by distance
+//     within a tier, ties broken by id — like the kernel's
+//     node_zonelists on a tiered machine. Every fallback walk — full
 //     target node, pressured target node, demotion target, replica
-//     placement — is a walk of one zonelist.
+//     placement — is a walk of one zonelist, so allocations under
+//     pressure spill toward near tiers before far ones.
 //
 //   - Watermarks: per-node min/low/high thresholds (stored in
 //     mem.Phys, installed here from model.Params fractions).
 //     Allocation proceeds in passes, mirroring get_page_from_freelist:
 //     the first pass only takes nodes comfortably above their low
 //     watermark; if none qualifies the walk retries down to the min
-//     watermark, then takes any node with a free frame. The kswapd
-//     daemons (internal/kern) poll mem.Phys.UnderPressure on their
-//     wake period to notice nodes this walk has pushed to the low
-//     watermark.
+//     watermark, then takes any node with a free frame. A walk that
+//     falls through the first pass boosts the target node's watermarks
+//     (Params.WatermarkBoostFactor, Linux's watermark_boost_factor)
+//     so the burst is visible to kswapd before the node truly sinks.
+//     The kswapd daemons (internal/kern) poll mem.Phys.UnderPressure
+//     on their wake period to notice nodes this walk has pushed to the
+//     (boosted) low watermark.
+//
+// Memory tiers (model.Params.NodeTier/TierClasses) are first-class:
+// slow-tier nodes (tier > 0, e.g. simulated CXL expanders) are
+// demotion-only allocation targets. The policy switch drops slow nodes
+// from any nodemask that also names a fast node, first-touch never
+// resolves to a slow node, and the allocation walk never spills onto a
+// tier slower than the one the caller asked for — only an explicit
+// all-slow binding, or the demotion daemons, place pages there.
 //
 // Policy resolution also lives here: vm.Policy is pure data, and
 // Placer.Target is the only switch over policy kinds, including
 // PolWeightedInterleave (MPOL_WEIGHTED_INTERLEAVE). Pressure gates for
 // the other movers round out the surface: AllowPromotion (AutoNUMA
 // skips promotion into pressured nodes), DemotionTarget (kswapd's
-// temperature-aware tier choice: warm pages to the nearest unpressured
-// distance group, genuinely cold pages to the farthest), and
-// ReplicaNodes (replication skips pressured nodes).
+// tier choice: the next tier down when one exists, else within-tier —
+// warm pages to the nearest unpressured distance group, genuinely cold
+// pages to the farthest), and ReplicaNodes (replication skips
+// pressured and slow-tier nodes).
 //
 // The package sits below internal/kern: it sees the machine, the
 // physical allocator and the policies, never processes or page tables.
@@ -49,25 +64,40 @@ type Placer struct {
 	M    *topology.Machine
 	Phys *mem.Phys
 
-	zonelists [][]topology.NodeID
+	p          *model.Params
+	boostAlive bool // burst boosting armed (EnableBurstBoost)
+	zonelists  [][]topology.NodeID
 }
 
-// New builds the placer for a machine: it computes the per-node
-// zonelists and installs each node's watermarks on phys from the
-// Watermark*Frac fractions of p.
+// EnableBurstBoost arms watermark boosting under allocation bursts
+// (Params.WatermarkBoostFactor). The kernel calls it when it starts
+// the kswapd daemons — they are what decays a boost again, so arming
+// it without them would leave a boosted node reading as pressured
+// forever after one burst.
+func (pl *Placer) EnableBurstBoost() { pl.boostAlive = true }
+
+// New builds the placer for a machine: it installs each node's memory
+// tier (from p.NodeTier) and watermarks (from the Watermark*Frac
+// fractions of p) on phys, and computes the per-node (tier, distance)
+// zonelists.
 func New(m *topology.Machine, phys *mem.Phys, p *model.Params) *Placer {
-	pl := &Placer{M: m, Phys: phys}
+	pl := &Placer{M: m, Phys: phys, p: p}
 	n := m.NumNodes()
+	for i := 0; i < n; i++ {
+		phys.SetTier(topology.NodeID(i), p.TierOf(i))
+	}
 	pl.zonelists = make([][]topology.NodeID, n)
 	for i := 0; i < n; i++ {
 		zl := make([]topology.NodeID, 0, n)
 		for j := 0; j < n; j++ {
 			zl = append(zl, topology.NodeID(j))
 		}
-		// Distance from i, then id: the fallback order every walk uses.
+		// The node itself first (even on a slow tier: an explicit
+		// target is always the preferred landing spot), then (tier,
+		// distance from i, id): the fallback order every walk uses.
 		src := topology.NodeID(i)
-		for a := 1; a < len(zl); a++ {
-			for b := a; b > 0 && less(m, src, zl[b], zl[b-1]); b-- {
+		for a := 0; a < len(zl); a++ {
+			for b := a; b > 0 && pl.less(src, zl[b], zl[b-1]); b-- {
 				zl[b], zl[b-1] = zl[b-1], zl[b]
 			}
 		}
@@ -84,10 +114,24 @@ func New(m *topology.Machine, phys *mem.Phys, p *model.Params) *Placer {
 	return pl
 }
 
-// less orders candidate nodes by distance from src, then by id. src
-// itself always sorts first (distance to self is the local distance).
-func less(m *topology.Machine, src, a, b topology.NodeID) bool {
-	da, db := m.Dist[src][a], m.Dist[src][b]
+// TierOf returns a node's memory tier id (0 = DRAM, > 0 = slow).
+func (pl *Placer) TierOf(n topology.NodeID) int { return pl.Phys.TierOf(n) }
+
+// slow reports whether a node belongs to a slow-memory tier.
+func (pl *Placer) slow(n topology.NodeID) bool { return pl.Phys.TierOf(n) > 0 }
+
+// less orders candidate nodes from src: src itself first, then by
+// tier, then distance, then id. On a flat (single-tier) machine this
+// is the pure distance order the pre-tiering zonelists used.
+func (pl *Placer) less(src, a, b topology.NodeID) bool {
+	if a == src || b == src {
+		return a == src && b != src
+	}
+	ta, tb := pl.Phys.TierOf(a), pl.Phys.TierOf(b)
+	if ta != tb {
+		return ta < tb
+	}
+	da, db := pl.M.Dist[src][a], pl.M.Dist[src][b]
 	if da != db {
 		return da < db
 	}
@@ -95,8 +139,8 @@ func less(m *topology.Machine, src, a, b topology.NodeID) bool {
 }
 
 // Zonelist returns the allocation fallback order for a node: the node
-// itself, then every other node by distance (ties by id). The returned
-// slice is shared; callers must not mutate it.
+// itself, then every other node by (tier, distance), ties by id. The
+// returned slice is shared; callers must not mutate it.
 func (pl *Placer) Zonelist(n topology.NodeID) []topology.NodeID { return pl.zonelists[n] }
 
 // Resolve returns the effective policy of a page: the VMA policy
@@ -108,14 +152,65 @@ func (pl *Placer) Resolve(vmaPol, procPol vm.Policy) vm.Policy {
 	return vmaPol
 }
 
+// allocPolicy returns the policy with slow-tier nodes dropped from its
+// nodemask when the mask also names a fast-tier node: slow memory is a
+// demotion-only allocation target, and only a mask consisting entirely
+// of slow nodes (an explicit CXL binding) may place pages there. The
+// weights stay parallel to the surviving nodes.
+func (pl *Placer) allocPolicy(pol vm.Policy) vm.Policy {
+	hasFast, hasSlow := false, false
+	for _, n := range pol.Nodes {
+		if pl.slow(n) {
+			hasSlow = true
+		} else {
+			hasFast = true
+		}
+	}
+	if !hasSlow || !hasFast {
+		return pol
+	}
+	out := vm.Policy{Kind: pol.Kind, Nodes: make([]topology.NodeID, 0, len(pol.Nodes))}
+	if pol.Weights != nil {
+		out.Weights = make([]int, 0, len(pol.Nodes))
+	}
+	for i, n := range pol.Nodes {
+		if pl.slow(n) {
+			continue
+		}
+		out.Nodes = append(out.Nodes, n)
+		if out.Weights != nil {
+			out.Weights = append(out.Weights, pol.Weight(i))
+		}
+	}
+	return out
+}
+
+// fastLocal returns local unless it sits on a slow tier (a thread
+// scheduled onto a CXL node's cores), then the nearest fast-tier node:
+// first-touch never places pages on slow memory.
+func (pl *Placer) fastLocal(local topology.NodeID) topology.NodeID {
+	if !pl.slow(local) {
+		return local
+	}
+	for _, n := range pl.zonelists[local] {
+		if !pl.slow(n) {
+			return n
+		}
+	}
+	return local // all-slow machine: nothing faster exists
+}
+
 // Target resolves a mempolicy to the preferred node for page v faulted
 // from local — the one policy switch in the repository. Interleaving
 // is keyed on the VPN so it is stable across faults, like Linux's
 // offset-based interleave; weighted interleave distributes VPNs over
-// the node set in proportion to the policy weights.
+// the node set in proportion to the policy weights. Slow-tier nodes
+// are demotion-only: they are dropped from mixed nodemasks and
+// first-touch never resolves to them (see allocPolicy/fastLocal).
 func (pl *Placer) Target(pol vm.Policy, v vm.VPN, local topology.NodeID) topology.NodeID {
+	pol = pl.allocPolicy(pol)
 	if len(pol.Nodes) == 0 {
-		return local
+		return pl.fastLocal(local)
 	}
 	switch pol.Kind {
 	case vm.PolBind, vm.PolInterleave:
@@ -133,7 +228,7 @@ func (pl *Placer) Target(pol vm.Policy, v vm.VPN, local topology.NodeID) topolog
 	case vm.PolPreferred:
 		return pol.Nodes[0]
 	default:
-		return local
+		return pl.fastLocal(local)
 	}
 }
 
@@ -143,38 +238,67 @@ func (pl *Placer) Place(vmaPol, procPol vm.Policy, v vm.VPN, local topology.Node
 	return pl.Target(pl.Resolve(vmaPol, procPol), v, local)
 }
 
-// pick walks the target's zonelist in watermark passes — low, then
-// min, then bare availability — and returns the first node that can
-// take need frames while staying at or above the pass's floor. need is
-// 1 for a base page, 512 for a huge unit.
-func (pl *Placer) pick(target topology.NodeID, need int64) (topology.NodeID, bool) {
+// pick walks the target's zonelist in watermark passes — (boosted)
+// low, then min, then bare availability — and returns the first node
+// that can take need frames while staying at or above the pass's
+// floor, plus the pass that succeeded. need is 1 for a base page, 512
+// for a huge unit.
+//
+// The walk never lands on a tier slower than the target's: slow-tier
+// nodes are demotion-only, so a DRAM allocation under pressure spills
+// across the DRAM tier (near nodes first) and then fails toward the
+// min pass rather than silently leaking onto CXL.
+func (pl *Placer) pick(target topology.NodeID, need int64) (topology.NodeID, int, bool) {
 	zl := pl.zonelists[target]
+	maxTier := pl.Phys.TierOf(target)
 	for pass := 0; pass < 3; pass++ {
 		for _, n := range zl {
+			if pl.Phys.TierOf(n) > maxTier {
+				continue
+			}
 			free := pl.Phys.FreeFrames(n)
 			var floor int64
 			switch pass {
 			case 0:
-				floor = pl.Phys.WatermarksOf(n).Low
+				floor = pl.Phys.EffectiveLow(n)
 			case 1:
 				floor = pl.Phys.WatermarksOf(n).Min
 			}
 			if free-need >= floor {
-				return n, true
+				return n, pass, true
 			}
 		}
 	}
-	return 0, false
+	return 0, 0, false
 }
 
-// AllocPage allocates one frame as near target as the watermarks
-// allow: target first, then its zonelist, skipping pressured nodes
-// until no unpressured node remains. Returns nil only when the whole
-// machine is out of frames.
+// boostAfterBurst raises the target node's watermarks after an
+// allocation walk fell through its first (low-watermark) pass — the
+// signal that a burst is outrunning background demotion. The boost
+// makes the node read as pressured while it still holds free frames,
+// waking its kswapd early; the daemon decays the boost every period.
+// No-op until EnableBurstBoost: without the daemons there is nothing
+// to decay the boost, so arming it would pin the node as pressured.
+func (pl *Placer) boostAfterBurst(target topology.NodeID) {
+	if !pl.boostAlive || pl.p.WatermarkBoostFactor <= 0 {
+		return
+	}
+	wm := pl.Phys.WatermarksOf(target)
+	pl.Phys.BoostWatermark(target, int64(float64(wm.High-wm.Low)*pl.p.WatermarkBoostFactor))
+}
+
+// AllocPage allocates one frame as near target as the watermarks and
+// the tier map allow: target first, then its zonelist, skipping
+// pressured nodes until no unpressured node remains, never spilling
+// onto a slower tier than the target's. Returns nil only when no
+// allowed node has a free frame.
 func (pl *Placer) AllocPage(target topology.NodeID) *mem.Frame {
-	n, ok := pl.pick(target, 1)
+	n, pass, ok := pl.pick(target, 1)
 	if !ok {
 		return nil
+	}
+	if pass > 0 {
+		pl.boostAfterBurst(target)
 	}
 	f, err := pl.Phys.Alloc(n)
 	if err != nil {
@@ -184,13 +308,17 @@ func (pl *Placer) AllocPage(target topology.NodeID) *mem.Frame {
 }
 
 // AllocHugePage reserves a 2 MiB unit (one representative frame plus
-// its 511-frame footprint) as near target as the watermarks allow.
-// Returns nil when no node can host a whole unit — the caller falls
-// back to base pages, like a failed THP allocation.
+// its 511-frame footprint) as near target as the watermarks and the
+// tier map allow. Returns nil when no allowed node can host a whole
+// unit — the caller falls back to base pages, like a failed THP
+// allocation.
 func (pl *Placer) AllocHugePage(target topology.NodeID) *mem.Frame {
-	n, ok := pl.pick(target, model.PTEChunkPages)
+	n, pass, ok := pl.pick(target, model.PTEChunkPages)
 	if !ok {
 		return nil
+	}
+	if pass > 0 {
+		pl.boostAfterBurst(target)
 	}
 	if err := pl.Phys.AllocFootprint(n, model.PTEChunkPages-1); err != nil {
 		return nil
@@ -212,24 +340,51 @@ func (pl *Placer) AllowPromotion(dst topology.NodeID) bool {
 }
 
 // DemotionTarget returns the node kswapd should demote pages from
-// `from` to, by page temperature: warm pages (cold=false, unreferenced
-// for one scan period — likely to be touched again) go to the *nearest*
-// distance group with an unpressured node, cold pages (cold=true,
-// unreferenced for two or more periods) to the *farthest* — the two
-// choices are what turns a flat machine into memory tiers. Within the
-// chosen distance group the node with the most free frames wins (ties
-// by id). Returns false when every other node is pressured too —
-// demoting then would only shift the pressure around.
+// `from` to. The tier map decides the candidate set first: when a
+// slower tier exists below from's, demotion targets the *next tier
+// down* (DRAM kswapd demotes to CXL, and on a 3-tier machine a CXL
+// node demotes onward to the tier below it, like the kernel's
+// node_demotion[] chain); a node on the *bottom* tier demotes only
+// within its own tier — moving pages back up would promote them
+// without evidence, so when no within-tier sibling can take them the
+// daemon simply leaves the pages to age in place. Within the candidate set, page temperature picks
+// the distance group: warm pages (cold=false, unreferenced for one
+// scan period — likely to be touched again) go to the *nearest* group
+// with an unpressured node, cold pages (cold=true, unreferenced for
+// two or more periods) to the *farthest* — on a flat machine the two
+// choices are what creates tiers in the first place. Within the chosen
+// group the node with the most free frames wins (ties by id). Returns
+// false when every candidate is pressured too — demoting then would
+// only shift the pressure around.
 func (pl *Placer) DemotionTarget(from topology.NodeID, cold bool) (topology.NodeID, bool) {
+	fromTier := pl.Phys.TierOf(from)
+	// Next tier down: the smallest tier id above from's with any node.
+	nextTier := -1
+	for n := 0; n < pl.M.NumNodes(); n++ {
+		if t := pl.Phys.TierOf(topology.NodeID(n)); t > fromTier && (nextTier < 0 || t < nextTier) {
+			nextTier = t
+		}
+	}
+	wantTier := fromTier // within-tier (flat machines, slow-tier sources)
+	if nextTier >= 0 {
+		wantTier = nextTier
+	}
 	zl := pl.zonelists[from]
-	// Distance-group boundaries of the zonelist past the node itself.
+	// Distance-group boundaries of the candidate tier's nodes, in
+	// zonelist (distance) order past the node itself.
+	var cands []topology.NodeID
+	for _, n := range zl {
+		if n != from && pl.Phys.TierOf(n) == wantTier {
+			cands = append(cands, n)
+		}
+	}
 	var groups [][]topology.NodeID
-	for i := 1; i < len(zl); {
+	for i := 0; i < len(cands); {
 		j := i + 1
-		for j < len(zl) && pl.M.Dist[from][zl[j]] == pl.M.Dist[from][zl[i]] {
+		for j < len(cands) && pl.M.Dist[from][cands[j]] == pl.M.Dist[from][cands[i]] {
 			j++
 		}
-		groups = append(groups, zl[i:j])
+		groups = append(groups, cands[i:j])
 		i = j
 	}
 	if cold {
@@ -255,14 +410,15 @@ func (pl *Placer) DemotionTarget(from topology.NodeID, cold bool) (topology.Node
 }
 
 // ReplicaNodes returns the nodes that should receive a read-only
-// replica of a page homed on home: every other node above its low
-// watermark, in id order (replicating into a pressured node would
-// evict something more useful than the copy).
+// replica of a page homed on home: every other fast-tier node above
+// its low watermark, in id order (replicating into a pressured node
+// would evict something more useful than the copy, and a replica on
+// slow memory would serve reads slower than the remote primary).
 func (pl *Placer) ReplicaNodes(home topology.NodeID) []topology.NodeID {
 	out := make([]topology.NodeID, 0, pl.M.NumNodes()-1)
 	for n := 0; n < pl.M.NumNodes(); n++ {
 		id := topology.NodeID(n)
-		if id == home || pl.Phys.UnderPressure(id) {
+		if id == home || pl.Phys.UnderPressure(id) || pl.slow(id) {
 			continue
 		}
 		out = append(out, id)

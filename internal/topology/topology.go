@@ -132,12 +132,14 @@ func Opteron4x4() *Machine {
 	return Grid(4, 4, 8<<30, 2<<20)
 }
 
-// Grid builds an n-node machine (n in {1,2,4,8}) with coresPerNode cores
-// per node, square/cube HT-style links and hop-count distances
-// (10 + 2*hops).
+// Grid builds an n-node machine (1 <= n <= 8) with coresPerNode cores
+// per node and hop-count distances (10 + 2*hops). Power-of-two node
+// counts get the square/cube HT-style hypercube links of the paper's
+// host; other counts (3, 5, 6, 7 — e.g. a DRAM machine with CXL
+// expander nodes appended) are linked in a ring.
 func Grid(nodes, coresPerNode int, memPerNode, l3PerNode int64) *Machine {
-	if nodes != 1 && nodes != 2 && nodes != 4 && nodes != 8 {
-		panic(fmt.Sprintf("topology: unsupported node count %d (want 1,2,4,8)", nodes))
+	if nodes < 1 || nodes > 8 {
+		panic(fmt.Sprintf("topology: unsupported node count %d (want 1..8)", nodes))
 	}
 	m := &Machine{}
 	coreID := CoreID(0)
@@ -150,19 +152,35 @@ func Grid(nodes, coresPerNode int, memPerNode, l3PerNode int64) *Machine {
 		}
 		m.Nodes = append(m.Nodes, node)
 	}
-	// Hypercube-style adjacency: nodes differing in one bit are linked.
+	// Power of two: hypercube adjacency (nodes differing in one bit are
+	// linked). Otherwise: a ring.
 	adj := make([][]bool, nodes)
 	for i := range adj {
 		adj[i] = make([]bool, nodes)
 	}
 	linkIdx := map[[2]int]int{}
-	for i := 0; i < nodes; i++ {
-		for j := i + 1; j < nodes; j++ {
-			if popcount(i^j) == 1 {
-				adj[i][j], adj[j][i] = true, true
-				linkIdx[[2]int{i, j}] = len(m.Links)
-				m.Links = append(m.Links, Link{ID: len(m.Links), A: NodeID(i), B: NodeID(j)})
+	addLink := func(i, j int) {
+		if i > j {
+			i, j = j, i
+		}
+		if adj[i][j] {
+			return
+		}
+		adj[i][j], adj[j][i] = true, true
+		linkIdx[[2]int{i, j}] = len(m.Links)
+		m.Links = append(m.Links, Link{ID: len(m.Links), A: NodeID(i), B: NodeID(j)})
+	}
+	if popcount(nodes) == 1 {
+		for i := 0; i < nodes; i++ {
+			for j := i + 1; j < nodes; j++ {
+				if popcount(i^j) == 1 {
+					addLink(i, j)
+				}
 			}
+		}
+	} else {
+		for i := 0; i < nodes; i++ {
+			addLink(i, (i+1)%nodes)
 		}
 	}
 	// BFS hop counts and routes.

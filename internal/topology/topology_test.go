@@ -99,7 +99,7 @@ func TestNodeOf(t *testing.T) {
 }
 
 func TestGridShapes(t *testing.T) {
-	for _, n := range []int{1, 2, 4, 8} {
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
 		m := Grid(n, 2, 1<<30, 1<<20)
 		if err := m.Validate(); err != nil {
 			t.Fatalf("Grid(%d): %v", n, err)
@@ -113,17 +113,17 @@ func TestGridShapes(t *testing.T) {
 func TestGridUnsupportedPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Grid(3) should panic")
+			t.Fatal("Grid(9) should panic")
 		}
 	}()
-	Grid(3, 2, 1<<30, 1<<20)
+	Grid(9, 2, 1<<30, 1<<20)
 }
 
 // Property: distances are symmetric, triangle-inequality-ish (hop metric)
 // and routes have length matching the hop count encoded in Dist.
 func TestGridRouteProperties(t *testing.T) {
 	check := func(sel uint8) bool {
-		sizes := []int{1, 2, 4, 8}
+		sizes := []int{1, 2, 3, 4, 5, 6, 7, 8}
 		n := sizes[int(sel)%len(sizes)]
 		m := Grid(n, 1, 1<<30, 1<<20)
 		for i := 0; i < n; i++ {

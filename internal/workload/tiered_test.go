@@ -1,0 +1,116 @@
+package workload
+
+import "testing"
+
+func tieredQuick(rate float64, hyst bool) TieredConfig {
+	return TieredConfig{
+		NodePages:     512,
+		RateLimitMBps: rate,
+		Hysteresis:    hyst,
+	}
+}
+
+// TestTieredSlowTierPopulatesAndDrains is the end-to-end slow-tier
+// story: the demote phase populates CXL with the cold working set, and
+// the promote phase drains the hot window back up to DRAM.
+func TestTieredSlowTierPopulatesAndDrains(t *testing.T) {
+	r, err := Tiered(tieredQuick(0, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Absent != 0 {
+		t.Fatalf("%d working pages absent", r.Absent)
+	}
+	if r.SlowPeak <= int64(r.SlowBoundPages) {
+		t.Fatalf("demote phase never populated the slow tier: peak %d (bound %d)",
+			r.SlowPeak, r.SlowBoundPages)
+	}
+	if r.WindowSlowBefore == 0 {
+		t.Fatalf("no window pages demoted to the slow tier (peak %d)", r.SlowPeak)
+	}
+	if r.WindowSlowAfter >= r.WindowSlowBefore {
+		t.Fatalf("promote phase did not drain the window: %d -> %d",
+			r.WindowSlowBefore, r.WindowSlowAfter)
+	}
+	if r.TierDown == 0 || r.TierUp == 0 {
+		t.Fatalf("engine tier stats missed the traffic: down=%d up=%d", r.TierDown, r.TierUp)
+	}
+	if r.RateLimited != 0 {
+		t.Fatalf("limiter off but %d promotions rate-limited", r.RateLimited)
+	}
+}
+
+// TestTieredDemotionOnlyAllocation is the allocation invariant: the
+// only frames allocated (not migrated) on slow-tier nodes belong to
+// the buffer explicitly bound to them, and the strict-bind node-0
+// ballast never leaves its mask.
+func TestTieredDemotionOnlyAllocation(t *testing.T) {
+	for _, rate := range []float64{0, 1} {
+		r, err := Tiered(tieredQuick(rate, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.DirectSlowAllocs != int64(r.SlowBoundPages) {
+			t.Fatalf("rate %v: %d frames allocated on the slow tier, want exactly the %d bound pages",
+				rate, r.DirectSlowAllocs, r.SlowBoundPages)
+		}
+		if r.BindOffMask != 0 {
+			t.Fatalf("rate %v: %d strict-bind pages outside node 0 (hist %v)",
+				rate, r.BindOffMask, r.BindHist)
+		}
+	}
+}
+
+// TestTieredRateLimiterThrottles: with the token bucket on, promotions
+// out of CXL are dropped (PromoteRateLimited > 0) and the window
+// drains more slowly than with the limiter off.
+func TestTieredRateLimiterThrottles(t *testing.T) {
+	free, err := Tiered(tieredQuick(0, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := Tiered(tieredQuick(1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.RateLimited == 0 {
+		t.Fatalf("limiter on but PromoteRateLimited == 0 (windowBefore %d after %d)",
+			limited.WindowSlowBefore, limited.WindowSlowAfter)
+	}
+	if limited.WindowSlowAfter < free.WindowSlowAfter {
+		t.Fatalf("limited run drained further than unlimited: %d < %d",
+			limited.WindowSlowAfter, free.WindowSlowAfter)
+	}
+	if limited.WindowSlowAfter >= limited.WindowSlowBefore {
+		t.Fatalf("limited run did not drain at all: %d -> %d",
+			limited.WindowSlowBefore, limited.WindowSlowAfter)
+	}
+}
+
+// TestTieredDeterminism: same seed, same counters — including the
+// token bucket's drop count.
+func TestTieredDeterminism(t *testing.T) {
+	a, err := Tiered(tieredQuick(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tiered(tieredQuick(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RateLimited != b.RateLimited || a.SlowResident != b.SlowResident ||
+		a.WindowSlowAfter != b.WindowSlowAfter || a.Dur != b.Dur ||
+		a.Stats != b.Stats {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestTieredConfigValidation rejects impossible machines.
+func TestTieredConfigValidation(t *testing.T) {
+	if _, err := Tiered(TieredConfig{FastNodes: 1}); err == nil {
+		t.Fatal("1 DRAM node accepted")
+	}
+	if _, err := Tiered(TieredConfig{FastNodes: 8, SlowNodes: 1}); err == nil {
+		t.Fatal("9-node machine accepted")
+	}
+}

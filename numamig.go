@@ -101,6 +101,33 @@
 // hysteresis on/off and shows the flip count collapsing to zero while
 // locality holds.
 //
+// # Memory tiering v2: an explicit CXL slow-memory tier
+//
+// Params.NodeTier and Params.TierClasses turn the flat machine into
+// explicit memory tiers: slow-tier nodes (simulated CXL expanders)
+// run their memory controllers at a fraction of the DRAM rate and
+// charge a latency multiplier on accesses to their resident data
+// (CXLTier gives a representative class). The tier contract:
+//
+//   - slow memory is demotion-only for the allocator — zonelists
+//     order by (tier, distance), the allocation walk never spills
+//     onto a slower tier, mixed nodemasks lose their slow nodes, and
+//     first-touch never resolves there; only an explicit all-slow
+//     binding or kswapd demotion places pages on CXL;
+//   - demotion prefers the next tier down (placement.DemotionTarget;
+//     bottom-tier nodes demote only within their tier);
+//   - AutoNUMA promotion out of a slow node is rate-limited by a
+//     per-node token bucket (Params.PromoteRateLimitMBps, Linux's
+//     numa_balancing_promote_rate_limit_MBps;
+//     Stats.PromoteRateLimited counts dropped orders);
+//   - allocation bursts that fall through the low-watermark pass
+//     boost the target's watermarks (Params.WatermarkBoostFactor) so
+//     kswapd wakes and demotes ahead of the next burst.
+//
+// The tiered scenario family grids DRAM:CXL capacity ratios against
+// the rate limit and hysteresis; System.SlowTierResident reads the
+// slow_tier_resident gauge.
+//
 // # Automatic NUMA balancing (AutoNUMA)
 //
 // internal/autonuma adds the transparent counterpart of the paper's
@@ -205,6 +232,10 @@ type (
 	AccessKind = kern.AccessKind
 	// Params carries the calibrated platform cost model.
 	Params = model.Params
+	// TierClass describes one memory tier's bandwidth/latency class
+	// (Params.TierClasses; tier 0 is DRAM, higher tiers are slow
+	// memory such as CXL expanders).
+	TierClass = model.TierClass
 	// SigInfo describes a delivered SIGSEGV.
 	SigInfo = kern.SigInfo
 	// Rect is a strided 2D region for block-granular fault/access.
@@ -265,6 +296,10 @@ func StaticChunked(chunk int) omp.Schedule { return omp.Static{Chunk: chunk} }
 // DynamicSchedule returns a dynamic (work-stealing style) schedule.
 func DynamicSchedule(chunk int) omp.Schedule { return omp.Dynamic{Chunk: chunk} }
 
+// CXLTier returns a representative CXL memory-expander tier class
+// (~40% DRAM bandwidth, ~2.2x latency) for Params.TierClasses.
+func CXLTier() TierClass { return model.CXLTier() }
+
 // Policy constructors.
 var (
 	// FirstTouch allocates on the faulting thread's node.
@@ -289,6 +324,10 @@ type Config struct {
 	CoresPerNode int
 	// MemPerNode is bytes of memory per node; 0 means 8 GiB.
 	MemPerNode int64
+	// NodeMem overrides MemPerNode per node (index = node id; zero or
+	// missing entries keep MemPerNode). Tiered machines use it to give
+	// CXL expander nodes their own capacity.
+	NodeMem []int64
 	// L3PerNode is the per-socket shared cache; 0 means 2 MiB.
 	L3PerNode int64
 	// Backed allocates real bytes for every frame so data integrity can
@@ -336,6 +375,11 @@ func New(cfg Config) *System {
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	m := topology.Grid(cfg.Nodes, cfg.CoresPerNode, cfg.MemPerNode, cfg.L3PerNode)
+	for i, b := range cfg.NodeMem {
+		if i < len(m.Nodes) && b > 0 {
+			m.Nodes[i].MemBytes = b
+		}
+	}
 	k := kern.New(eng, m, p, cfg.Backed)
 	if cfg.Demotion {
 		k.EnableDemotion()
@@ -366,6 +410,11 @@ func (s *System) Now() Time { return s.Eng.Now() }
 
 // Stats returns the kernel statistics.
 func (s *System) Stats() kern.Stats { return s.Kernel.Stats }
+
+// SlowTierResident returns the pages currently resident on slow-tier
+// (Params.NodeTier > 0, e.g. CXL) nodes — the slow_tier_resident gauge
+// of the tiered scenario family. Zero on flat machines.
+func (s *System) SlowTierResident() int64 { return s.Kernel.Phys.SlowTierResident() }
 
 // Migrator returns the shared migration engine for a strategy; its
 // Stats expose pipeline-level counters (pages moved, retries, busy

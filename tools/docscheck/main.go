@@ -1,9 +1,17 @@
 // Command docscheck enforces the repository's documentation floor:
-// every Go package in the module — the root, internal/, cmd/,
-// examples/ and tools/ alike — must carry a package comment (a doc
-// comment immediately above a `package` clause in at least one of its
-// files). CI runs it as the docs job; it exits non-zero listing every
-// package that ships undocumented.
+//
+//   - every Go package in the module — the root, internal/, cmd/,
+//     examples/ and tools/ alike — must carry a package comment (a doc
+//     comment immediately above a `package` clause in at least one of
+//     its files);
+//   - ARCHITECTURE.md must mention every registered exp scenario
+//     family by name, so the family-composition section cannot
+//     silently go stale when a new family lands (the check imports
+//     internal/exp, so a family registered in code is a family the
+//     doc must cover).
+//
+// CI runs it as the docs job; it exits non-zero listing every
+// undocumented package and every family ARCHITECTURE.md misses.
 //
 // Usage (from the module root):
 //
@@ -19,6 +27,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"numamig/internal/exp"
 )
 
 func main() {
@@ -55,15 +65,51 @@ func main() {
 			missing = append(missing, dir)
 		}
 	}
+	failed := false
 	if len(missing) > 0 {
 		sort.Strings(missing)
 		fmt.Fprintln(os.Stderr, "docscheck: packages without a package comment:")
 		for _, dir := range missing {
 			fmt.Fprintf(os.Stderr, "  %s\n", dir)
 		}
+		failed = true
+	}
+
+	staleFams, err := architectureMissingFamilies("ARCHITECTURE.md")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
+	if len(staleFams) > 0 {
+		fmt.Fprintln(os.Stderr, "docscheck: ARCHITECTURE.md does not mention these exp families:")
+		for _, f := range staleFams {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d packages documented\n", len(dirs))
+	fmt.Printf("docscheck: %d packages documented, %d exp families covered by ARCHITECTURE.md\n",
+		len(dirs), len(exp.Families()))
+}
+
+// architectureMissingFamilies returns the registered exp family names
+// the architecture document never mentions — the content-freshness gap
+// CI used to leave open (it only checked that the file exists).
+func architectureMissingFamilies(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	text := string(data)
+	var missing []string
+	for _, name := range exp.Families() {
+		if !strings.Contains(text, name) {
+			missing = append(missing, name)
+		}
+	}
+	return missing, nil
 }
 
 // hasPackageComment reports whether any non-test Go file in dir carries
