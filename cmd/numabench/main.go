@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -45,55 +47,109 @@ func main() {
 	parallel := flag.Int("parallel", 0, "grid worker goroutines (0 = GOMAXPROCS)")
 	format := flag.String("format", "table", "grid output format: table, csv or json")
 	seed := flag.Int64("seed", 1, "base deterministic seed for -grid scenarios")
-	nodes := flag.String("nodes", "", "comma-separated topology.Grid node counts to sweep for -grid/-list (subset of 1,2,4,8; default per family)")
+	nodes := flag.String("nodes", "", "comma-separated topology.Grid node counts to sweep for -grid/-list (subset of 1..64; default per family)")
 	coresPerNode := flag.Int("cores-per-node", 0, "cores per node for -grid/-list scenarios (0 = the Opteron host's 4)")
+	perf := flag.Bool("perf", false, "run the perf harness and write BENCH_core.json / BENCH_exp.json to -perf-out")
+	perfOut := flag.String("perf-out", ".", "directory the -perf reports are written to")
+	repeats := flag.Int("repeats", 0, "-perf repeats per point, fastest kept (0 = 3)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
 
-	nodeList, err := parseNodeList(*nodes)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "numabench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "numabench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "numabench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "numabench:", err)
+			}
+		}()
+	}
+	if err := run(*expID, *all, *quick, *grid, *list, *families, *parallel, *format,
+		*seed, *nodes, *coresPerNode, *perf, *perfOut, *repeats); err != nil {
+		if code, ok := err.(exitCode); ok {
+			// Profile defers must run before exiting.
+			pprof.StopCPUProfile()
+			os.Exit(int(code))
+		}
+		fmt.Fprintln(os.Stderr, "numabench:", err)
+		os.Exit(1)
+	}
+}
+
+// exitCode carries a specific exit status through run's error return so
+// main's profile-writing defers still execute.
+type exitCode int
+
+func (c exitCode) Error() string { return fmt.Sprintf("exit %d", int(c)) }
+
+func run(expID string, all, quick, grid, list bool, families string, parallel int,
+	format string, seed int64, nodes string, coresPerNode int,
+	perf bool, perfOut string, repeats int) error {
+
+	nodeList, err := parseNodeList(nodes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "numabench:", err)
-		os.Exit(2)
+		return exitCode(2)
 	}
-	if *coresPerNode < 0 {
+	if coresPerNode < 0 {
 		fmt.Fprintln(os.Stderr, "numabench: -cores-per-node must be >= 0")
-		os.Exit(2)
+		return exitCode(2)
 	}
-	opts := exp.Options{Quick: *quick, Seed: *seed, NodeList: nodeList, CoresPerNode: *coresPerNode}
+	opts := exp.Options{Quick: quick, Seed: seed, NodeList: nodeList, CoresPerNode: coresPerNode}
 
-	if *list {
-		if err := listFamilies(os.Stdout, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "numabench:", err)
-			os.Exit(1)
-		}
-		return
+	if list {
+		return listFamilies(os.Stdout, opts)
 	}
-	if *grid {
-		if err := runGrid(*families, *parallel, *format, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "numabench:", err)
-			os.Exit(1)
-		}
-		return
+	if perf {
+		return bench.RunPerf(bench.PerfOptions{
+			Quick:    quick,
+			Parallel: parallel,
+			Repeats:  repeats,
+			Seed:     seed,
+		}, perfOut, os.Stdout)
+	}
+	if grid {
+		return runGrid(families, parallel, format, opts)
 	}
 
-	o := bench.Options{Quick: *quick}
+	o := bench.Options{Quick: quick}
 	var ids []string
 	switch {
-	case *all:
+	case all:
 		ids = bench.Experiments()
-	case *expID != "":
-		ids = strings.Split(*expID, ",")
+	case expID != "":
+		ids = strings.Split(expID, ",")
 	default:
-		fmt.Fprintln(os.Stderr, "numabench: need -exp <id>, -all or -grid; ids:", strings.Join(bench.Experiments(), ", "))
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "numabench: need -exp <id>, -all, -grid or -perf; ids:", strings.Join(bench.Experiments(), ", "))
+		return exitCode(2)
 	}
 	for _, id := range ids {
 		start := time.Now()
 		if err := bench.Run(strings.TrimSpace(id), o, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "numabench:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("# (%s regenerated in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
 }
 
 // parseNodeList parses the -nodes sweep flag into topology.Grid node
@@ -108,8 +164,8 @@ func parseNodeList(s string) ([]int, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad -nodes entry %q", part)
 		}
-		if n < 1 || n > 8 {
-			return nil, fmt.Errorf("-nodes entry %d unsupported (topology.Grid builds 1..8 nodes)", n)
+		if n < 1 || n > 64 {
+			return nil, fmt.Errorf("-nodes entry %d unsupported (topology.Grid builds 1..64 nodes)", n)
 		}
 		out = append(out, n)
 	}

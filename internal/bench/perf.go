@@ -1,0 +1,310 @@
+// Perf harness: a fixed grid of simulator-core workloads measured in
+// wall time, so every PR commits a comparable BENCH_core.json /
+// BENCH_exp.json pair and the repository records a performance
+// trajectory instead of anecdotes. cmd/numabench -perf drives it; see
+// ARCHITECTURE.md ("Performance trajectory") for the schema and the
+// workflow, and tools/benchcmp for comparing two reports.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	numamig "numamig"
+	"numamig/internal/exp"
+	"numamig/internal/sim"
+)
+
+// PerfSchema identifies the report layout; bump on incompatible change.
+const PerfSchema = "numamig-bench/v1"
+
+// PerfOptions controls the perf run.
+type PerfOptions struct {
+	// Quick shrinks every point to CI-smoke size (trimmed grids, a
+	// smaller task smoke). Committed reports should use full size.
+	Quick bool
+	// Parallel is the grid runner's worker count (0 = GOMAXPROCS).
+	Parallel int
+	// Repeats is how many times each point runs; the fastest repeat is
+	// reported (0 = 3). Simulated results are deterministic, so repeats
+	// only reduce host-scheduling noise.
+	Repeats int
+	// Seed is the deterministic scenario seed (0 = 1).
+	Seed int64
+}
+
+func (o PerfOptions) repeats() int {
+	if o.Repeats <= 0 {
+		return 3
+	}
+	return o.Repeats
+}
+
+func (o PerfOptions) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// PerfPoint is one measured workload of a report.
+type PerfPoint struct {
+	Name string `json:"name"`
+	// Scenarios is the number of simulated scenarios (or tasks, for
+	// the smoke point) one run of the point executes.
+	Scenarios int `json:"scenarios"`
+	// WallNs is the fastest repeat's wall time for the whole point;
+	// NsPerScenario and ScenariosPerSec derive from it.
+	WallNs          int64   `json:"wall_ns"`
+	NsPerScenario   int64   `json:"ns_per_scenario"`
+	ScenariosPerSec float64 `json:"scenarios_per_sec"`
+	// PagesMigrated counts simulated page migrations per run
+	// (deterministic); PagesMigratedPerSec relates simulated work to
+	// host wall time.
+	PagesMigrated       uint64  `json:"pages_migrated"`
+	PagesMigratedPerSec float64 `json:"pages_migrated_per_sec"`
+	// AllocsPerOp / BytesPerOp are heap allocations and bytes per
+	// scenario, from runtime.MemStats deltas of the fastest repeat.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+}
+
+// PerfReport is one BENCH_*.json document.
+type PerfReport struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Parallel   int    `json:"parallel"`
+	Repeats    int    `json:"repeats"`
+	Seed       int64  `json:"seed"`
+	Quick      bool   `json:"quick,omitempty"`
+	// PeakRSSBytes is the process high-water resident set after the
+	// whole run (Linux VmHWM; 0 where unavailable). Process-wide and
+	// monotonic, so it belongs to the report, not a point.
+	PeakRSSBytes int64       `json:"peak_rss_bytes,omitempty"`
+	Points       []PerfPoint `json:"points"`
+}
+
+// measure runs fn repeats times and fills a point from the fastest
+// repeat. fn returns the scenario count and simulated pages migrated of
+// one run (deterministic across repeats).
+func measure(name string, repeats int, fn func() (int, uint64)) PerfPoint {
+	pt := PerfPoint{Name: name}
+	var m0, m1 runtime.MemStats
+	for r := 0; r < repeats; r++ {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		n, pages := fn()
+		wall := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&m1)
+		if r == 0 || wall < pt.WallNs {
+			pt.WallNs = wall
+			pt.Scenarios = n
+			pt.PagesMigrated = pages
+			if n > 0 {
+				pt.AllocsPerOp = (m1.Mallocs - m0.Mallocs) / uint64(n)
+				pt.BytesPerOp = (m1.TotalAlloc - m0.TotalAlloc) / uint64(n)
+			}
+		}
+	}
+	if pt.WallNs > 0 {
+		pt.NsPerScenario = pt.WallNs / int64(max(pt.Scenarios, 1))
+		secs := float64(pt.WallNs) / 1e9
+		pt.ScenariosPerSec = float64(pt.Scenarios) / secs
+		pt.PagesMigratedPerSec = float64(pt.PagesMigrated) / secs
+	}
+	return pt
+}
+
+// gridPoint measures one family set through the concurrent runner.
+func gridPoint(name string, o PerfOptions, families []string, quick bool) (PerfPoint, error) {
+	scs, err := exp.Scenarios(families, exp.Options{Quick: quick, Seed: o.seed()})
+	if err != nil {
+		return PerfPoint{}, err
+	}
+	pt := measure(name, o.repeats(), func() (int, uint64) {
+		results := exp.Runner{Parallel: o.Parallel}.Run(scs)
+		var pages uint64
+		for _, r := range results {
+			pages += r.PagesMoved
+			if r.Err != "" {
+				panic(fmt.Sprintf("bench: scenario %s failed: %s", r.ID, r.Err))
+			}
+		}
+		return len(results), pages
+	})
+	return pt, nil
+}
+
+// smokePoint is the scale smoke: a 64-node machine running 10k
+// short-lived tasks, each first-touching a small buffer and pushing it
+// one node over with move_pages. Tasks are pinned round-robin over the
+// 128 cores and launched one wave per core count — a core runs one
+// thread at a time on real hardware, and an unbounded spawn would put
+// thousands of concurrent flows on the fluid network, which costs
+// O(flows) per rate reconfiguration. The point exercises the sharded
+// frame allocator, the extent page-table walks and the pooled event
+// queue at a machine size the paper's host never had, and must finish
+// in seconds.
+func smokePoint(o PerfOptions) PerfPoint {
+	tasks := 10000
+	if o.Quick {
+		tasks = 1000
+	}
+	const nodes, coresPerNode, pagesPerTask = 64, 2, 8
+	return measure(fmt.Sprintf("smoke/%dnode-%dtask", nodes, tasks), o.repeats(), func() (int, uint64) {
+		sys := numamig.New(numamig.Config{
+			Nodes:        nodes,
+			CoresPerNode: coresPerNode,
+			MemPerNode:   1 << 30,
+			Seed:         o.seed(),
+		})
+		ncores := sys.Machine.NumCores()
+		err := sys.Run(func(main *numamig.Task) {
+			for done := 0; done < tasks; {
+				wave := ncores
+				if left := tasks - done; left < wave {
+					wave = left
+				}
+				wg := sim.NewWaitGroup(sys.Eng, wave)
+				for i := 0; i < wave; i++ {
+					core := numamig.CoreID((done + i) % ncores)
+					main.Proc.Spawn("smoke", core, func(t *numamig.Task) {
+						defer wg.Done()
+						b := numamig.MustAlloc(t, pagesPerTask*numamig.PageSize, numamig.Policy{})
+						if err := b.Access(t, numamig.Stream, true); err != nil {
+							panic(err)
+						}
+						dst := (t.Node() + 1) % numamig.NodeID(nodes)
+						if err := b.MoveTo(t, dst, true); err != nil {
+							panic(err)
+						}
+						if err := b.Access(t, numamig.Stream, false); err != nil {
+							panic(err)
+						}
+						if err := b.Free(t); err != nil {
+							panic(err)
+						}
+					})
+				}
+				done += wave
+				wg.Wait(main.P)
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		return tasks, sys.Migrator(numamig.Patched).Stats.PagesMoved
+	})
+}
+
+// RunPerf executes the perf grid and writes BENCH_core.json and
+// BENCH_exp.json into dir, logging a summary line per point to log.
+//
+// BENCH_core contains the simulator-core points: the migration+pressure
+// acceptance grid at the configured parallelism and serially, plus the
+// 64-node task smoke. BENCH_exp contains one point per registered
+// scenario family (quick size), so a perf regression can be attributed
+// to a family.
+func RunPerf(o PerfOptions, dir string, log io.Writer) error {
+	report := func() PerfReport {
+		return PerfReport{
+			Schema:     PerfSchema,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Parallel:   o.Parallel,
+			Repeats:    o.repeats(),
+			Seed:       o.seed(),
+			Quick:      o.Quick,
+		}
+	}
+	emit := func(core PerfReport, pt PerfPoint) PerfReport {
+		core.Points = append(core.Points, pt)
+		fmt.Fprintf(log, "%-40s %4d ops  %12d ns  %10.1f ops/s  %9.0f pages/s  %7d allocs/op\n",
+			pt.Name, pt.Scenarios, pt.WallNs, pt.ScenariosPerSec, pt.PagesMigratedPerSec, pt.AllocsPerOp)
+		return core
+	}
+
+	core := report()
+	suffix := "full"
+	if o.Quick {
+		suffix = "quick"
+	}
+	pname := func(parallel int) string {
+		p := parallel
+		if p <= 0 {
+			p = runtime.GOMAXPROCS(0)
+		}
+		return "p" + strconv.Itoa(p)
+	}
+	mp := []string{"migration", "pressure"}
+	pt, err := gridPoint("grid/migration+pressure/"+suffix+"/"+pname(o.Parallel), o, mp, o.Quick)
+	if err != nil {
+		return err
+	}
+	core = emit(core, pt)
+	serial := o
+	serial.Parallel = 1
+	pt, err = gridPoint("grid/migration+pressure/"+suffix+"/p1", serial, mp, o.Quick)
+	if err != nil {
+		return err
+	}
+	core = emit(core, pt)
+	core = emit(core, smokePoint(o))
+	core.PeakRSSBytes = peakRSS()
+	if err := writeReport(dir, "BENCH_core.json", core); err != nil {
+		return err
+	}
+
+	expRep := report()
+	for _, fam := range exp.Families() {
+		pt, err := gridPoint("family/"+fam+"/quick/"+pname(o.Parallel), o, []string{fam}, true)
+		if err != nil {
+			return err
+		}
+		expRep = emit(expRep, pt)
+	}
+	expRep.PeakRSSBytes = peakRSS()
+	return writeReport(dir, "BENCH_exp.json", expRep)
+}
+
+func writeReport(dir, name string, r PerfReport) error {
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return err
+	}
+	return os.WriteFile(dir+"/"+name, []byte(buf.String()), 0o644)
+}
+
+// peakRSS reads the process high-water RSS from /proc/self/status
+// (VmHWM, in kB). Best-effort: 0 on any platform or parse trouble.
+func peakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

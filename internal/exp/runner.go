@@ -61,6 +61,7 @@ func Table(results []Result) *report.Table {
 		"faults", "syscalls", "tlb_shootdowns", "remote_mb", "local_mb",
 		"numa_hints", "pages_demoted", "hot_local", "promote_demote_flips",
 		"slow_tier_resident", "promote_rate_limited", "err")
+	tbl.Grow(len(results))
 	for _, r := range results {
 		tbl.Add(r.ID, r.Patched, r.Mode, r.Workload, r.Pages, r.Nodes, r.Seed,
 			fmt.Sprintf("%.6f", r.SimSeconds), r.MBps, r.PagesMoved, r.MigratedMB,

@@ -2,6 +2,7 @@ package kern
 
 import (
 	"fmt"
+	"sort"
 
 	"numamig/internal/model"
 	"numamig/internal/sim"
@@ -41,6 +42,14 @@ func (t *Task) FaultIn(addr vm.Addr, length int64, write bool) (int, error) {
 
 		t.Proc.MmapSem.RLock(t.P)
 		first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
+		// Walk the VMA list once per round instead of binary-searching it
+		// for every 4 KiB page: vmas is address-sorted, and pages are
+		// visited in ascending order, so a single cursor (vi) suffices.
+		// The cursor starts at the first covering VMA by binary search —
+		// an address space with thousands of live mappings must not pay
+		// a linear scan per fault.
+		vmas := sp.VMAs()
+		vi := sort.Search(len(vmas), func(i int) bool { return vmas[i].End > first.Base() })
 		for cstart := first; cstart < last && !haveSegv; {
 			ci := vm.ChunkIndex(cstart)
 			cend := vm.VPN((ci + 1) * model.PTEChunkPages)
@@ -48,30 +57,58 @@ func (t *Task) FaultIn(addr vm.Addr, length int64, write bool) (int, error) {
 				cend = last
 			}
 			// Classify pages of this chunk.
-			var ntPages []vm.VPN
-			var numaPages []vm.VPN
-			var absent []vm.VPN
-			var stale []vm.VPN
-			for p := cstart; p < cend; p++ {
-				v := sp.Find(p.Base())
-				if v == nil || !v.Prot.Allows(write) {
+			ntPages := t.scratch.nt[:0]
+			numaPages := t.scratch.numa[:0]
+			absent := t.scratch.absent[:0]
+			stale := t.scratch.stale[:0]
+			c := sp.PT.Chunk(cstart)
+			base := vm.VPN(ci * model.PTEChunkPages)
+			for p := cstart; p < cend; {
+				for vi < len(vmas) && vmas[vi].End <= p.Base() {
+					vi++
+				}
+				if vi >= len(vmas) || vmas[vi].Start > p.Base() {
 					segvAt = p.Base()
 					haveSegv = true
 					break
 				}
-				pte := sp.PT.Lookup(p)
-				switch {
-				case pte.Allows(write):
-				case !pte.Present():
-					absent = append(absent, p)
-				case pte.Flags&vm.PTENextTouch != 0:
-					ntPages = append(ntPages, p)
-				case pte.Flags&vm.PTENumaHint != 0:
-					numaPages = append(numaPages, p)
-				default:
-					stale = append(stale, p)
+				v := vmas[vi]
+				if !v.Prot.Allows(write) {
+					segvAt = p.Base()
+					haveSegv = true
+					break
+				}
+				// Classify this VMA's span of the chunk in one pass over
+				// the PTE array (no per-page map lookups).
+				vEnd := vm.PageOf(v.End-1) + 1
+				if vEnd > cend {
+					vEnd = cend
+				}
+				if c == nil || c.Huge {
+					// No chunk (or a huge chunk, whose 4 KiB lookups
+					// resolve to nil): every page classifies absent.
+					for ; p < vEnd; p++ {
+						absent = append(absent, p)
+					}
+					continue
+				}
+				for ; p < vEnd; p++ {
+					pte := c.PTE(int(p - base))
+					switch {
+					case pte.Allows(write):
+					case !pte.Present():
+						absent = append(absent, p)
+					case pte.Flags&vm.PTENextTouch != 0:
+						ntPages = append(ntPages, p)
+					case pte.Flags&vm.PTENumaHint != 0:
+						numaPages = append(numaPages, p)
+					default:
+						stale = append(stale, p)
+					}
 				}
 			}
+			t.scratch.nt, t.scratch.numa = ntPages, numaPages
+			t.scratch.absent, t.scratch.stale = absent, stale
 			if haveSegv {
 				break
 			}
@@ -115,13 +152,21 @@ func (t *Task) serviceChunk(ci uint64, absent, stale []vm.VPN) {
 	cl.Acquire(t.P)
 	defer cl.Release()
 
+	// Pages arrive in ascending order, so consecutive ones usually share
+	// a VMA: cache the last hit instead of binary-searching per page.
+	var cached *vm.VMA
+	vmaOf := func(p vm.VPN) *vm.VMA {
+		if cached == nil || !cached.Contains(p.Base()) {
+			cached = sp.Find(p.Base())
+		}
+		return cached
+	}
 	// Minor fixups.
 	if len(stale) > 0 {
 		k.Stats.MinorFaults += uint64(len(stale))
 		t.P.Sleep(sim.Time(len(stale)) * k.P.FaultBase)
 		for _, p := range stale {
-			v := sp.Find(p.Base())
-			sp.PT.Entry(p).SetProt(v.Prot)
+			sp.PT.Entry(p).SetProt(vmaOf(p).Prot)
 		}
 	}
 	// Demand allocations.
@@ -130,7 +175,7 @@ func (t *Task) serviceChunk(ci uint64, absent, stale []vm.VPN) {
 		k.Stats.DemandAllocs += uint64(len(absent))
 		t.P.Sleep(sim.Time(len(absent)) * (k.P.FaultBase + k.P.DemandZero))
 		for _, p := range absent {
-			v := sp.Find(p.Base())
+			v := vmaOf(p)
 			pte := sp.PT.Entry(p)
 			pte.Frame = t.allocFrame(t.placeTarget(v, p))
 			pte.Flags = vm.PTEPresent | vm.PTEAccessed
@@ -155,29 +200,44 @@ func (t *Task) AccessRange(addr vm.Addr, length int64, kind AccessKind, write bo
 	sp := t.Proc.Space
 	local := t.Node()
 
-	bytesByNode := map[topology.NodeID]float64{}
-	var order []topology.NodeID
+	nn := k.M.NumNodes()
+	bytesByNode := t.scratch.nodeBytes
+	if cap(bytesByNode) < nn {
+		bytesByNode = make([]float64, nn)
+	}
+	bytesByNode = bytesByNode[:nn]
+	for i := range bytesByNode {
+		bytesByNode[i] = 0
+	}
+	order := t.scratch.nodeOrder[:0]
 	first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
 	end := addr + vm.Addr(length)
-	sp.PT.ForEach(first, last, func(p vm.VPN, pte *vm.PTE) {
-		pte.Flags |= vm.PTEAccessed
-		if write {
-			pte.Flags |= vm.PTEDirty
+	mark := uint8(vm.PTEAccessed)
+	if write {
+		mark |= vm.PTEDirty
+	}
+	sp.PT.ForEachRun(first, last, func(r vm.Run) {
+		if r.Flags&mark != mark {
+			for i := range r.PTEs {
+				r.PTEs[i].Flags |= mark
+			}
 		}
-		// Byte overlap of this page with the range.
-		lo, hi := p.Base(), p.Base()+model.PageSize
+		// Byte overlap of this run with the range. Per-page overlaps are
+		// whole numbers, so summing them per run instead of per page
+		// yields the identical float64 total.
+		lo, hi := r.Start.Base(), (r.Start + vm.VPN(len(r.PTEs))).Base()
 		if lo < addr {
 			lo = addr
 		}
 		if hi > end {
 			hi = end
 		}
-		n := bytesByNode[pte.Frame.Node]
-		if n == 0 {
-			order = append(order, pte.Frame.Node)
+		if bytesByNode[r.Node] == 0 {
+			order = append(order, r.Node)
 		}
-		bytesByNode[pte.Frame.Node] = n + float64(hi-lo)
+		bytesByNode[r.Node] += float64(hi - lo)
 	})
+	t.scratch.nodeBytes, t.scratch.nodeOrder = bytesByNode, order
 	for _, node := range order {
 		bytes := bytesByNode[node]
 		penalty := 1.0
@@ -224,15 +284,24 @@ func (t *Task) Memcpy(dst, src vm.Addr, length int64) error {
 
 // dominantNode returns the node holding the most bytes of the range.
 func (t *Task) dominantNode(addr vm.Addr, length int64) topology.NodeID {
-	counts := map[topology.NodeID]int{}
+	nn := t.Proc.K.M.NumNodes()
+	counts := t.scratch.nodeCount
+	if cap(counts) < nn {
+		counts = make([]int, nn)
+	}
+	counts = counts[:nn]
+	for i := range counts {
+		counts[i] = 0
+	}
 	sp := t.Proc.Space
 	first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
-	sp.PT.ForEach(first, last, func(_ vm.VPN, pte *vm.PTE) {
-		counts[pte.Frame.Node]++
+	sp.PT.ForEachRun(first, last, func(r vm.Run) {
+		counts[r.Node] += len(r.PTEs)
 	})
+	t.scratch.nodeCount = counts
 	best, bestN := t.Node(), -1
-	for n := 0; n < t.Proc.K.M.NumNodes(); n++ {
-		if c := counts[topology.NodeID(n)]; c > bestN {
+	for n := 0; n < nn; n++ {
+		if c := counts[n]; c > bestN {
 			best, bestN = topology.NodeID(n), c
 		}
 	}

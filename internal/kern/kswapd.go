@@ -54,6 +54,12 @@ type kswapd struct {
 
 	// cursors resumes the clock hand per process across wake-ups.
 	cursors map[*Process]vm.VPN
+
+	// Scan scratch, reused across shrink passes (one pass runs at a
+	// time per daemon; the engine serializes all simulated code).
+	cands  []candidate
+	ops    []migrate.Op
+	status []int
 }
 
 // EnableDemotion starts one kswapd-style demotion daemon per node.
@@ -214,16 +220,21 @@ func (d *kswapd) shrink(p *sim.Proc, pr *Process, near, far topology.NodeID, bat
 	// push the tier into pressure itself, cascading the cold pages
 	// onward next period, and the engine's allocation fallback would
 	// land the overflow right back on this node, a wasted copy rather
-	// than a demotion. near and far may be the same node; the headroom
-	// map makes them share the budget then.
-	headroom := map[topology.NodeID]int64{}
-	for _, n := range []topology.NodeID{near, far} {
-		headroom[n] = k.Phys.Headroom(n)
+	// than a demotion. near and far may be the same node; the shared
+	// budget entry makes them share the budget then (at most two
+	// destinations, so a fixed pair replaces the old per-call map).
+	var hrNodes [2]topology.NodeID
+	var hrRoom [2]int64
+	hrN := 1
+	hrNodes[0], hrRoom[0] = near, k.Phys.Headroom(near)
+	if far != near {
+		hrNodes[1], hrRoom[1] = far, k.Phys.Headroom(far)
+		hrN = 2
 	}
 	capacity := int64(0)
-	for _, h := range headroom {
-		if h > 0 {
-			capacity += h
+	for i := 0; i < hrN; i++ {
+		if hrRoom[i] > 0 {
+			capacity += hrRoom[i]
 		}
 	}
 	if capacity <= 0 {
@@ -258,29 +269,40 @@ func (d *kswapd) shrink(p *sim.Proc, pr *Process, near, far topology.NodeID, bat
 		flipWin = uint32(k.P.FlipWindowPeriods)
 	}
 
+	// takeOne reserves one frame of headroom on node n if the mask (when
+	// present) allows it.
+	takeOne := func(n topology.NodeID, mask []topology.NodeID) bool {
+		if mask != nil && !maskHas(mask, n) {
+			return false
+		}
+		for i := 0; i < hrN; i++ {
+			if hrNodes[i] == n && hrRoom[i] > 0 {
+				hrRoom[i]--
+				return true
+			}
+		}
+		return false
+	}
 	// take reserves one frame of headroom on the page's preferred tier,
 	// falling back to the other tier when the preferred one is out of
 	// room and the page's nodemask (if any) allows it.
 	take := func(pref, other topology.NodeID, mask []topology.NodeID) (topology.NodeID, bool) {
-		for _, n := range []topology.NodeID{pref, other} {
-			if mask != nil && !maskHas(mask, n) {
-				continue
-			}
-			if headroom[n] > 0 {
-				headroom[n]--
-				return n, true
-			}
+		if takeOne(pref, mask) {
+			return pref, true
+		}
+		if takeOne(other, mask) {
+			return other, true
 		}
 		return 0, false
 	}
 
-	var cands []candidate
+	cands := d.cands[:0]
 	full := func() bool {
 		if len(cands) >= batch {
 			return true
 		}
-		for _, h := range headroom {
-			if h > 0 {
+		for i := 0; i < hrN; i++ {
+			if hrRoom[i] > 0 {
 				return false
 			}
 		}
@@ -311,70 +333,80 @@ func (d *kswapd) shrink(p *sim.Proc, pr *Process, near, far topology.NodeID, bat
 			cl := pr.chunkLock(ci)
 			cl.Acquire(p)
 			n := 0
-			pr.Space.PT.ForEach(cstart, cend, func(pv vm.VPN, pte *vm.PTE) {
-				if pte.Frame.Node != d.node {
+			// Extent-run scan: runs off this node are rejected without
+			// touching their pages, and the run's shared flags hoist the
+			// pinned/next-touch and accessed tests out of the page loop.
+			pr.Space.PT.ForEachRun(cstart, cend, func(r vm.Run) {
+				if r.Node != d.node {
 					return
 				}
-				if full() {
-					return // batch full mid-chunk: stop examining
-				}
-				n++
 				// NUMA-hint-armed pages stay demotable (the mark rides
 				// along with the frame swap, like PROT_NONE pages staying
 				// on the LRU); pinned and next-touch-marked pages do not —
 				// the next-touch contract promises migration toward the
-				// toucher, not away.
-				if pte.Flags&(vm.PTEPinned|vm.PTENextTouch) != 0 {
-					return
+				// toucher, not away. They still count as scanned.
+				pinnedNT := r.Flags&(vm.PTEPinned|vm.PTENextTouch) != 0
+				accessed := r.Flags&vm.PTEAccessed != 0
+				for i := range r.PTEs {
+					if full() {
+						return // batch full mid-chunk: stop examining
+					}
+					n++
+					if pinnedNT {
+						continue
+					}
+					pte := &r.PTEs[i]
+					if pr.replicas != nil {
+						if _, replicated := pr.replicas[r.Start+vm.VPN(i)]; replicated {
+							continue
+						}
+					}
+					// Promotion hysteresis: a page AutoNUMA promoted within
+					// the last PromotionHysteresisPeriods scan periods is
+					// off-limits entirely (not even aged) — the promotion
+					// just declared it hot; demoting it now would only
+					// ping-pong it back out.
+					if hyst > 0 && pte.PromoGen != 0 && curGen-pte.PromoGen < hyst {
+						k.Stats.KswapdHysteresisSkips++
+						continue
+					}
+					if accessed {
+						// First clock hand: age the page; a page still
+						// unreferenced at the next encounter is demotable.
+						pte.Flags &^= vm.PTEAccessed
+						pte.Age = 0
+						k.Stats.PagesAged++
+						continue
+					}
+					if pte.Age < ^uint8(0) {
+						pte.Age++
+					}
+					// Temperature: one unreferenced period is warm (likely
+					// to be touched again; nearest tier), two or more is
+					// genuinely cold (farthest tier).
+					cold := pte.Age >= 2
+					if coldOnly && !cold {
+						continue
+					}
+					pref, other := near, far
+					if cold {
+						pref, other = far, near
+					}
+					if mask != nil && !maskHas(mask, near) && !maskHas(mask, far) {
+						k.Stats.KswapdMaskSkips++
+						continue
+					}
+					dst, ok := take(pref, other, mask)
+					if !ok {
+						continue
+					}
+					cands = append(cands, candidate{
+						vpn:  r.Start + vm.VPN(i),
+						dst:  dst,
+						cold: cold,
+						flip: flipWin > 0 && pte.PromoGen != 0 && curGen-pte.PromoGen < flipWin,
+					})
 				}
-				if _, replicated := pr.replicas[pv]; replicated {
-					return
-				}
-				// Promotion hysteresis: a page AutoNUMA promoted within
-				// the last PromotionHysteresisPeriods scan periods is
-				// off-limits entirely (not even aged) — the promotion
-				// just declared it hot; demoting it now would only
-				// ping-pong it back out.
-				if hyst > 0 && pte.PromoGen != 0 && curGen-pte.PromoGen < hyst {
-					k.Stats.KswapdHysteresisSkips++
-					return
-				}
-				if pte.Flags&vm.PTEAccessed != 0 {
-					// First clock hand: age the page; a page still
-					// unreferenced at the next encounter is demotable.
-					pte.Flags &^= vm.PTEAccessed
-					pte.Age = 0
-					k.Stats.PagesAged++
-					return
-				}
-				if pte.Age < ^uint8(0) {
-					pte.Age++
-				}
-				// Temperature: one unreferenced period is warm (likely
-				// to be touched again; nearest tier), two or more is
-				// genuinely cold (farthest tier).
-				cold := pte.Age >= 2
-				if coldOnly && !cold {
-					return
-				}
-				pref, other := near, far
-				if cold {
-					pref, other = far, near
-				}
-				if mask != nil && !maskHas(mask, near) && !maskHas(mask, far) {
-					k.Stats.KswapdMaskSkips++
-					return
-				}
-				dst, ok := take(pref, other, mask)
-				if !ok {
-					return
-				}
-				cands = append(cands, candidate{
-					vpn:  pv,
-					dst:  dst,
-					cold: cold,
-					flip: flipWin > 0 && pte.PromoGen != 0 && curGen-pte.PromoGen < flipWin,
-				})
 			})
 			cl.Release()
 			k.Stats.KswapdPtesScanned += uint64(n)
@@ -388,14 +420,17 @@ func (d *kswapd) shrink(p *sim.Proc, pr *Process, near, far topology.NodeID, bat
 	}
 	d.cursors[pr] = next
 
+	d.cands = cands
 	if len(cands) == 0 {
 		return 0
 	}
-	ops := make([]migrate.Op, len(cands))
-	for i, c := range cands {
-		ops[i] = migrate.Op{VPN: c.vpn, Dst: c.dst}
+	ops := d.ops[:0]
+	status := d.status[:0]
+	for _, c := range cands {
+		ops = append(ops, migrate.Op{VPN: c.vpn, Dst: c.dst})
+		status = append(status, 0)
 	}
-	status := make([]int, len(ops))
+	d.ops, d.status = ops, status
 	k.Migrator(migrate.Patched).Migrate(&migrate.Request{
 		P: p, Core: d.core, Space: pr, Ops: ops, Status: status,
 		Path: migrate.PathDemotion, Flush: true,

@@ -75,6 +75,17 @@ func (pr *Process) ArmNumaHints(p *sim.Proc, cursor vm.VPN, max int) (int, vm.VP
 		start, cursor = 0, 0
 	}
 
+	// Replica lookups only matter once the process has ever replicated
+	// (the map is created lazily); passing nil skip otherwise lets
+	// ArmRange arm whole runs without a per-page callback.
+	var skip func(vm.VPN) bool
+	if pr.replicas != nil {
+		skip = func(pv vm.VPN) bool {
+			_, replicated := pr.replicas[pv]
+			return replicated
+		}
+	}
+
 	armed, examined := 0, 0
 	next := cursor
 	for step := 0; step < len(vmas) && examined < max; step++ {
@@ -95,18 +106,8 @@ func (pr *Process) ArmNumaHints(p *sim.Proc, cursor vm.VPN, max int) (int, vm.VP
 			}
 			cl := pr.chunkLock(ci)
 			cl.Acquire(p)
-			n := 0
-			pr.Space.PT.ForEach(cstart, cend, func(pv vm.VPN, pte *vm.PTE) {
-				n++
-				if pte.Flags&(vm.PTENextTouch|vm.PTENumaHint|vm.PTEPinned) != 0 {
-					return
-				}
-				if _, replicated := pr.replicas[pv]; replicated {
-					return
-				}
-				pte.Flags |= vm.PTENumaHint
-				armed++
-			})
+			a, n := pr.Space.PT.ArmRange(cstart, cend, skip)
+			armed += a
 			cl.Release()
 			examined += n
 			k.Stats.NumaPtesScanned += uint64(n)

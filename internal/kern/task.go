@@ -82,6 +82,21 @@ type Task struct {
 	Proc *Process
 	TID  int
 	Core topology.CoreID
+
+	// Fault/access scratch buffers, reused across calls. Safe without
+	// locking: a task services one fault at a time and the engine's
+	// execution token serializes all simulated code.
+	scratch taskScratch
+}
+
+// taskScratch holds the per-task reusable buffers of the bulk fault and
+// access paths, so a grid run's millions of fault rounds stop allocating
+// classification slices and per-node accumulators.
+type taskScratch struct {
+	absent, stale, nt, numa []vm.VPN
+	nodeBytes               []float64
+	nodeOrder               []topology.NodeID
+	nodeCount               []int
 }
 
 // Spawn starts a new thread on the given core running fn. The thread is

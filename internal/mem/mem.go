@@ -3,10 +3,20 @@
 // backing. Backed frames carry a 4 KiB data slice so that correctness
 // tests can verify data integrity across migrations; large experiments
 // run unbacked to keep real memory use low.
+//
+// The allocator is sharded per node: each node owns an independent lock
+// domain (its own mutex, free list, frame slab and PFN range) plus
+// lock-free O(1) gauges (free-frame count, watermark boost) that the
+// placement layer's zonelist walks read without taking any lock. Frames
+// are carved from per-node slabs in blocks rather than allocated
+// individually, so a grid run's millions of frame allocations become a
+// few thousand slab allocations.
 package mem
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"numamig/internal/model"
 	"numamig/internal/topology"
@@ -46,29 +56,48 @@ type Watermarks struct {
 	Min, Low, High int64
 }
 
+// slabFrames is how many frames one slab block carves at a time.
+const slabFrames = 256
+
+// shard is one node's lock domain: everything a single node's
+// allocations touch, so per-node daemons and allocators on different
+// nodes never contend on a global structure.
+type shard struct {
+	mu    sync.Mutex
+	stats NodeStats
+	wm    Watermarks
+	tier  int
+	free  []*Frame // recycled frames
+	slab  []Frame  // current carve block
+	used  int      // frames carved from slab
+	pfn   uint64   // next local PFN (shard-local, offset by pfnBase)
+
+	// Lock-free gauges read by the placement walks. allocated mirrors
+	// stats.Allocated; boost is the temporary watermark boost in frames
+	// (burst response).
+	allocated atomic.Int64
+	boost     atomic.Int64
+}
+
 // Phys is the machine's physical memory.
 type Phys struct {
-	M       *topology.Machine
-	Backed  bool
-	stats   []NodeStats
-	wm      []Watermarks
-	boost   []int64 // temporary watermark boost, in frames (burst response)
-	tiers   []int   // per-node memory tier id (0 = DRAM, >0 = slow memory)
-	nextPFN uint64
-	free    [][]*Frame // recycled frames per node
+	M      *topology.Machine
+	Backed bool
+	shards []shard
 }
+
+// pfnBase returns the base of a node's PFN range; per-node ranges keep
+// PFN assignment independent across shards while staying globally
+// unique.
+func pfnBase(node topology.NodeID) uint64 { return (uint64(node) + 1) << 40 }
 
 // NewPhys creates physical memory for the machine. If backed, every
 // allocated frame carries a real zeroed 4 KiB buffer.
 func NewPhys(m *topology.Machine, backed bool) *Phys {
 	p := &Phys{M: m, Backed: backed}
-	p.stats = make([]NodeStats, m.NumNodes())
-	p.wm = make([]Watermarks, m.NumNodes())
-	p.boost = make([]int64, m.NumNodes())
-	p.tiers = make([]int, m.NumNodes())
-	p.free = make([][]*Frame, m.NumNodes())
+	p.shards = make([]shard, m.NumNodes())
 	for i, n := range m.Nodes {
-		p.stats[i].Total = n.MemBytes / model.PageSize
+		p.shards[i].stats.Total = n.MemBytes / model.PageSize
 	}
 	return p
 }
@@ -79,20 +108,20 @@ func (p *Phys) SetTier(node topology.NodeID, tier int) {
 	if tier < 0 {
 		tier = 0
 	}
-	p.tiers[node] = tier
+	p.shards[node].tier = tier
 }
 
 // TierOf returns a node's memory tier id.
-func (p *Phys) TierOf(node topology.NodeID) int { return p.tiers[node] }
+func (p *Phys) TierOf(node topology.NodeID) int { return p.shards[node].tier }
 
 // SlowTierResident returns the frames currently allocated on slow-tier
 // (tier > 0) nodes — the slow_tier_resident gauge of the tiered
 // scenario family.
 func (p *Phys) SlowTierResident() int64 {
 	var n int64
-	for i := range p.stats {
-		if p.tiers[i] > 0 {
-			n += p.stats[i].Allocated
+	for i := range p.shards {
+		if p.shards[i].tier > 0 {
+			n += p.shards[i].allocated.Load()
 		}
 	}
 	return n
@@ -101,18 +130,24 @@ func (p *Phys) SlowTierResident() int64 {
 // SetWatermarks installs a node's pressure thresholds. Thresholds must
 // be ordered 0 <= min <= low <= high <= total.
 func (p *Phys) SetWatermarks(node topology.NodeID, w Watermarks) {
-	if w.Min < 0 || w.Min > w.Low || w.Low > w.High || w.High > p.stats[node].Total {
+	s := &p.shards[node]
+	if w.Min < 0 || w.Min > w.Low || w.Low > w.High || w.High > s.stats.Total {
 		panic(fmt.Sprintf("mem: invalid watermarks %+v for node %d (total %d)",
-			w, node, p.stats[node].Total))
+			w, node, s.stats.Total))
 	}
-	p.wm[node] = w
+	s.wm = w
 }
 
 // WatermarksOf returns a node's thresholds.
-func (p *Phys) WatermarksOf(node topology.NodeID) Watermarks { return p.wm[node] }
+func (p *Phys) WatermarksOf(node topology.NodeID) Watermarks { return p.shards[node].wm }
 
-// FreeFrames returns the node's available frame count.
-func (p *Phys) FreeFrames(node topology.NodeID) int64 { return p.stats[node].Free() }
+// FreeFrames returns the node's available frame count: an O(1) lock-free
+// gauge, so placement's multi-pass zonelist walks never rescan or lock a
+// shard they end up not allocating from.
+func (p *Phys) FreeFrames(node topology.NodeID) int64 {
+	s := &p.shards[node]
+	return s.stats.Total - s.allocated.Load()
+}
 
 // BoostWatermark temporarily raises a node's watermarks by amount
 // frames (kept at the maximum of outstanding boosts, like the kernel's
@@ -124,40 +159,44 @@ func (p *Phys) BoostWatermark(node topology.NodeID, amount int64) {
 	if amount <= 0 {
 		return
 	}
-	if max := p.stats[node].Total - p.wm[node].High - 1; amount > max {
+	s := &p.shards[node]
+	if max := s.stats.Total - s.wm.High - 1; amount > max {
 		amount = max
 	}
-	if amount > p.boost[node] {
-		p.boost[node] = amount
+	if amount > s.boost.Load() {
+		s.boost.Store(amount)
 	}
 }
 
 // DecayBoost halves a node's watermark boost (called once per kswapd
 // period by the node's daemon), dropping the remainder at 1 frame.
 func (p *Phys) DecayBoost(node topology.NodeID) {
-	p.boost[node] /= 2
+	s := &p.shards[node]
+	s.boost.Store(s.boost.Load() / 2)
 }
 
 // BoostOf returns a node's current watermark boost in frames.
-func (p *Phys) BoostOf(node topology.NodeID) int64 { return p.boost[node] }
+func (p *Phys) BoostOf(node topology.NodeID) int64 { return p.shards[node].boost.Load() }
 
 // EffectiveLow returns the node's boosted low watermark: the pressure
 // threshold allocation fallback and the kswapd wake check compare
 // against.
 func (p *Phys) EffectiveLow(node topology.NodeID) int64 {
-	return p.wm[node].Low + p.boost[node]
+	s := &p.shards[node]
+	return s.wm.Low + s.boost.Load()
 }
 
 // UnderPressure reports whether the node's free frames have sunk to or
 // below its (boosted) low watermark (the kswapd wake condition).
 func (p *Phys) UnderPressure(node topology.NodeID) bool {
-	return p.stats[node].Free() <= p.EffectiveLow(node)
+	return p.FreeFrames(node) <= p.EffectiveLow(node)
 }
 
 // Reclaimed reports whether the node's free frames have recovered above
 // its (boosted) high watermark (the kswapd stop condition).
 func (p *Phys) Reclaimed(node topology.NodeID) bool {
-	return p.stats[node].Free() > p.wm[node].High+p.boost[node]
+	s := &p.shards[node]
+	return p.FreeFrames(node) > s.wm.High+s.boost.Load()
 }
 
 // Headroom returns how many frames the node can accept while staying
@@ -166,7 +205,7 @@ func (p *Phys) Reclaimed(node topology.NodeID) bool {
 // pressure itself. Non-positive when the node is at or below the
 // watermark.
 func (p *Phys) Headroom(node topology.NodeID) int64 {
-	return p.stats[node].Free() - p.EffectiveLow(node) - 1
+	return p.FreeFrames(node) - p.EffectiveLow(node) - 1
 }
 
 // ErrNoMemory is returned when a node's frame pool is exhausted.
@@ -180,15 +219,19 @@ func (e ErrNoMemory) Error() string {
 
 // Alloc allocates one frame on the given node.
 func (p *Phys) Alloc(node topology.NodeID) (*Frame, error) {
-	st := &p.stats[node]
-	if st.Allocated >= st.Total {
+	s := &p.shards[node]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stats.Allocated >= s.stats.Total {
 		return nil, ErrNoMemory{Node: node}
 	}
-	st.Allocated++
-	st.Cumulative++
-	if fl := p.free[node]; len(fl) > 0 {
+	s.stats.Allocated++
+	s.stats.Cumulative++
+	s.allocated.Add(1)
+	if fl := s.free; len(fl) > 0 {
 		f := fl[len(fl)-1]
-		p.free[node] = fl[:len(fl)-1]
+		fl[len(fl)-1] = nil
+		s.free = fl[:len(fl)-1]
 		if f.Data != nil {
 			for i := range f.Data {
 				f.Data[i] = 0
@@ -196,8 +239,15 @@ func (p *Phys) Alloc(node topology.NodeID) (*Frame, error) {
 		}
 		return f, nil
 	}
-	p.nextPFN++
-	f := &Frame{Node: node, PFN: p.nextPFN}
+	if s.used == len(s.slab) {
+		s.slab = make([]Frame, slabFrames)
+		s.used = 0
+	}
+	f := &s.slab[s.used]
+	s.used++
+	s.pfn++
+	f.Node = node
+	f.PFN = pfnBase(node) | s.pfn
 	if p.Backed {
 		f.Data = make([]byte, model.PageSize)
 	}
@@ -209,52 +259,69 @@ func (p *Phys) Free(f *Frame) {
 	if f == nil {
 		panic("mem: free of nil frame")
 	}
-	st := &p.stats[f.Node]
-	if st.Allocated <= 0 {
+	s := &p.shards[f.Node]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stats.Allocated <= 0 {
 		panic("mem: free underflow")
 	}
-	st.Allocated--
-	st.Freed++
-	p.free[f.Node] = append(p.free[f.Node], f)
+	s.stats.Allocated--
+	s.stats.Freed++
+	s.allocated.Add(-1)
+	s.free = append(s.free, f)
 }
 
 // AllocFootprint reserves n frames' worth of memory on the node without
 // materializing frame objects; used for huge-page footprints where one
 // representative Frame stands for 512 small frames.
 func (p *Phys) AllocFootprint(node topology.NodeID, n int) error {
-	st := &p.stats[node]
-	if st.Allocated+int64(n) > st.Total {
+	s := &p.shards[node]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stats.Allocated+int64(n) > s.stats.Total {
 		return ErrNoMemory{Node: node}
 	}
-	st.Allocated += int64(n)
-	st.Cumulative += int64(n)
+	s.stats.Allocated += int64(n)
+	s.stats.Cumulative += int64(n)
+	s.allocated.Add(int64(n))
 	return nil
 }
 
 // ReleaseFootprint returns n frames' worth of accounting reserved with
 // AllocFootprint.
 func (p *Phys) ReleaseFootprint(node topology.NodeID, n int) {
-	st := &p.stats[node]
-	if st.Allocated < int64(n) {
+	s := &p.shards[node]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stats.Allocated < int64(n) {
 		panic("mem: footprint release underflow")
 	}
-	st.Allocated -= int64(n)
-	st.Freed += int64(n)
+	s.stats.Allocated -= int64(n)
+	s.stats.Freed += int64(n)
+	s.allocated.Add(-int64(n))
 }
 
 // NoteMigration records that data was migrated into a frame on dst.
 func (p *Phys) NoteMigration(dst topology.NodeID) {
-	p.stats[dst].MigratedIn++
+	s := &p.shards[dst]
+	s.mu.Lock()
+	s.stats.MigratedIn++
+	s.mu.Unlock()
 }
 
 // Stats returns a copy of the node's statistics.
-func (p *Phys) Stats(node topology.NodeID) NodeStats { return p.stats[node] }
+func (p *Phys) Stats(node topology.NodeID) NodeStats {
+	s := &p.shards[node]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // TotalAllocated returns the machine-wide allocated frame count.
 func (p *Phys) TotalAllocated() int64 {
 	var n int64
-	for i := range p.stats {
-		n += p.stats[i].Allocated
+	for i := range p.shards {
+		n += p.shards[i].allocated.Load()
 	}
 	return n
 }

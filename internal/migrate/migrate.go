@@ -45,6 +45,8 @@
 package migrate
 
 import (
+	"sync"
+
 	"numamig/internal/mem"
 	"numamig/internal/model"
 	"numamig/internal/sim"
@@ -369,12 +371,15 @@ func (e *Engine) Migrate(req *Request) Result {
 	var res Result
 	e.Stats.Requests++
 
-	pending := make([]int, len(req.Ops))
-	for i := range pending {
-		pending[i] = i
+	s := getScratch()
+	defer putScratch(s)
+	pending := s.pending
+	for i := range req.Ops {
+		pending = append(pending, i)
 	}
+	s.pending = pending
 	for attempt := 0; ; attempt++ {
-		busy := e.pass(req, c, pending, &res)
+		busy := e.pass(req, c, s, pending, &res)
 		if len(busy) == 0 {
 			break
 		}
@@ -440,29 +445,36 @@ func (e *Engine) batchSpan(ops []Op, idx []int, i int) (int, uint64) {
 }
 
 // copyGroups accumulates bulk-copy bytes per (src, dst) node pair in
-// first-appearance order.
+// first-appearance order. Batches touch at most a handful of node
+// pairs, so a linear scan over a small slice beats a per-batch map.
 type copyGroups struct {
-	bytes map[[2]topology.NodeID]float64
-	order [][2]topology.NodeID
+	keys  [][2]topology.NodeID
+	bytes []float64
 }
 
 func (g *copyGroups) add(src, dst topology.NodeID, bytes float64) {
-	if g.bytes == nil {
-		g.bytes = map[[2]topology.NodeID]float64{}
-	}
 	key := [2]topology.NodeID{src, dst}
-	if _, ok := g.bytes[key]; !ok {
-		g.order = append(g.order, key)
+	for i, k := range g.keys {
+		if k == key {
+			g.bytes[i] += bytes
+			return
+		}
 	}
-	g.bytes[key] += bytes
+	g.keys = append(g.keys, key)
+	g.bytes = append(g.bytes, bytes)
+}
+
+func (g *copyGroups) reset() {
+	g.keys = g.keys[:0]
+	g.bytes = g.bytes[:0]
 }
 
 // flushCopies issues one migration-channel transfer per accumulated
 // node pair, under the request's copy accounting category.
 func (e *Engine) flushCopies(req *Request, g *copyGroups, syncChan bool) {
 	copyAll := func() {
-		for _, key := range g.order {
-			e.env.Copy(req.P, g.bytes[key], req.Core, key[0], key[1], syncChan)
+		for i, key := range g.keys {
+			e.env.Copy(req.P, g.bytes[i], req.Core, key[0], key[1], syncChan)
 		}
 	}
 	if req.CopyCat != "" {
@@ -472,14 +484,47 @@ func (e *Engine) flushCopies(req *Request, g *copyGroups, syncChan bool) {
 	}
 }
 
+// mov is one classified movable page (or huge unit) of a batch.
+type mov struct {
+	pte  *vm.PTE
+	huge *vm.Chunk
+	dst  topology.NodeID
+	slot int
+}
+
+// reqScratch holds one in-flight request's reusable buffers. Requests
+// interleave in simulated time (Migrate sleeps while other procs run),
+// so the buffers pool per request rather than living on the Engine.
+type reqScratch struct {
+	pending []int
+	movs    []mov
+	groups  copyGroups
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(reqScratch) }}
+
+func getScratch() *reqScratch { return scratchPool.Get().(*reqScratch) }
+
+func putScratch(s *reqScratch) {
+	// Drop PTE/chunk references so a pooled scratch never retains a
+	// dead process's page table.
+	for i := range s.movs {
+		s.movs[i] = mov{}
+	}
+	s.movs = s.movs[:0]
+	s.pending = s.pending[:0]
+	s.groups.reset()
+	scratchPool.Put(s)
+}
+
 // pass runs one gather pass over the pending op indices, batching by
 // PTE chunk and pagevec size, and returns the indices left busy.
-func (e *Engine) pass(req *Request, c pathCosts, pending []int, res *Result) []int {
+func (e *Engine) pass(req *Request, c pathCosts, s *reqScratch, pending []int, res *Result) []int {
 	var busy []int
 	i := 0
 	for i < len(pending) {
 		j, ci := e.batchSpan(req.Ops, pending, i)
-		busy = append(busy, e.batch(req, c, pending[i:j], ci, res)...)
+		busy = append(busy, e.batch(req, c, s, pending[i:j], ci, res)...)
 		i = j
 	}
 	return busy
@@ -487,7 +532,7 @@ func (e *Engine) pass(req *Request, c pathCosts, pending []int, res *Result) []i
 
 // batch migrates one batch of pages sharing a PTE chunk: classify and
 // rewrite under the chunk lock, then bulk-copy per node pair outside it.
-func (e *Engine) batch(req *Request, c pathCosts, idx []int, ci uint64, res *Result) []int {
+func (e *Engine) batch(req *Request, c pathCosts, s *reqScratch, idx []int, ci uint64, res *Result) []int {
 	p := e.env.Params()
 	pt := req.Space.PageTable()
 
@@ -501,13 +546,7 @@ func (e *Engine) batch(req *Request, c pathCosts, idx []int, ci uint64, res *Res
 	cl.Acquire(req.P)
 
 	// Classify: movable / local / absent / busy.
-	type mov struct {
-		pte  *vm.PTE
-		huge *vm.Chunk
-		dst  topology.NodeID
-		slot int
-	}
-	var movs []mov
+	movs := s.movs[:0]
 	var busy []int
 	for _, x := range idx {
 		op := req.Ops[x]
@@ -591,7 +630,9 @@ func (e *Engine) batch(req *Request, c pathCosts, idx []int, ci uint64, res *Res
 
 	// Rewrite: allocate destinations, copy bytes, swap PTEs while the
 	// chunk is locked, accumulating bytes per (src, dst) node pair.
-	var groups copyGroups
+	s.movs = movs
+	groups := &s.groups
+	groups.reset()
 	for _, m := range movs {
 		if m.huge != nil {
 			// Whole 2 MiB unit: release the source footprint first so a
@@ -636,11 +677,11 @@ func (e *Engine) batch(req *Request, c pathCosts, idx []int, ci uint64, res *Res
 	// channel. The batched syscall paths copy outside the PTE lock; the
 	// fault path copies while holding it (see pathCosts.copyLocked).
 	if c.copyLocked {
-		e.flushCopies(req, &groups, c.syncChan)
+		e.flushCopies(req, groups, c.syncChan)
 		cl.Release()
 	} else {
 		cl.Release()
-		e.flushCopies(req, &groups, c.syncChan)
+		e.flushCopies(req, groups, c.syncChan)
 	}
 	return busy
 }
@@ -656,10 +697,13 @@ func (e *Engine) batch(req *Request, c pathCosts, idx []int, ci uint64, res *Res
 func (e *Engine) Replicate(req *Request) {
 	pt := req.Space.PageTable()
 	e.Stats.Requests++
-	idx := make([]int, len(req.Ops))
-	for i := range idx {
-		idx[i] = i
+	s := getScratch()
+	defer putScratch(s)
+	idx := s.pending
+	for i := range req.Ops {
+		idx = append(idx, i)
 	}
+	s.pending = idx
 
 	i := 0
 	for i < len(req.Ops) {
@@ -673,7 +717,8 @@ func (e *Engine) Replicate(req *Request) {
 
 		cl := req.Space.ChunkLock(ci)
 		cl.Acquire(req.P)
-		var groups copyGroups
+		groups := &s.groups
+		groups.reset()
 		for x := i; x < j; x++ {
 			op := req.Ops[x]
 			pte := pt.Lookup(op.VPN)
@@ -696,7 +741,7 @@ func (e *Engine) Replicate(req *Request) {
 			}
 		}
 		cl.Release()
-		e.flushCopies(req, &groups, false)
+		e.flushCopies(req, groups, false)
 		i = j
 	}
 

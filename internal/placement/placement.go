@@ -66,6 +66,7 @@ type Placer struct {
 
 	p          *model.Params
 	boostAlive bool // burst boosting armed (EnableBurstBoost)
+	anySlow    bool // any node on a slow tier (tier > 0)
 	zonelists  [][]topology.NodeID
 }
 
@@ -85,6 +86,9 @@ func New(m *topology.Machine, phys *mem.Phys, p *model.Params) *Placer {
 	n := m.NumNodes()
 	for i := 0; i < n; i++ {
 		phys.SetTier(topology.NodeID(i), p.TierOf(i))
+		if p.TierOf(i) > 0 {
+			pl.anySlow = true
+		}
 	}
 	pl.zonelists = make([][]topology.NodeID, n)
 	for i := 0; i < n; i++ {
@@ -158,6 +162,9 @@ func (pl *Placer) Resolve(vmaPol, procPol vm.Policy) vm.Policy {
 // of slow nodes (an explicit CXL binding) may place pages there. The
 // weights stay parallel to the surviving nodes.
 func (pl *Placer) allocPolicy(pol vm.Policy) vm.Policy {
+	if !pl.anySlow { // flat machine: no node can be slow
+		return pol
+	}
 	hasFast, hasSlow := false, false
 	for _, n := range pol.Nodes {
 		if pl.slow(n) {
@@ -189,7 +196,7 @@ func (pl *Placer) allocPolicy(pol vm.Policy) vm.Policy {
 // scheduled onto a CXL node's cores), then the nearest fast-tier node:
 // first-touch never places pages on slow memory.
 func (pl *Placer) fastLocal(local topology.NodeID) topology.NodeID {
-	if !pl.slow(local) {
+	if !pl.anySlow || !pl.slow(local) {
 		return local
 	}
 	for _, n := range pl.zonelists[local] {
@@ -249,6 +256,13 @@ func (pl *Placer) Place(vmaPol, procPol vm.Policy, v vm.VPN, local topology.Node
 // across the DRAM tier (near nodes first) and then fails toward the
 // min pass rather than silently leaking onto CXL.
 func (pl *Placer) pick(target topology.NodeID, need int64) (topology.NodeID, int, bool) {
+	// Fast path: the target itself clears its low watermark. The full
+	// walk's first probe is exactly this check (a zonelist starts with
+	// its own node, whose tier never exceeds itself), so bailing here is
+	// behavior-identical and skips the walk setup on the common path.
+	if pl.Phys.FreeFrames(target)-need >= pl.Phys.EffectiveLow(target) {
+		return target, 0, true
+	}
 	zl := pl.zonelists[target]
 	maxTier := pl.Phys.TierOf(target)
 	for pass := 0; pass < 3; pass++ {

@@ -22,6 +22,15 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{Title: title, Headers: headers}
 }
 
+// Grow pre-sizes the row list for n more Add calls.
+func (t *Table) Grow(n int) {
+	if need := len(t.Rows) + n; need > cap(t.Rows) {
+		rows := make([][]string, len(t.Rows), need)
+		copy(rows, t.Rows)
+		t.Rows = rows
+	}
+}
+
 // Add appends a row; values are formatted with %v.
 func (t *Table) Add(cells ...interface{}) {
 	row := make([]string, len(cells))
@@ -76,12 +85,26 @@ func (t *Table) Write(w io.Writer) {
 	if t.Title != "" {
 		fmt.Fprintf(w, "## %s\n", t.Title)
 	}
+	// One line buffer reused for every row: cells are written padded
+	// with two-space separators, trailing pad spaces stripped — the
+	// same bytes the per-row join used to produce.
+	buf := make([]byte, 0, 128)
 	line := func(cells []string) {
-		parts := make([]string, len(cells))
+		buf = buf[:0]
 		for i, c := range cells {
-			parts[i] = pad(c, widths[i])
+			if i > 0 {
+				buf = append(buf, ' ', ' ')
+			}
+			buf = append(buf, c...)
+			for n := widths[i] - len(c); n > 0; n-- {
+				buf = append(buf, ' ')
+			}
 		}
-		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		for len(buf) > 0 && buf[len(buf)-1] == ' ' {
+			buf = buf[:len(buf)-1]
+		}
+		buf = append(buf, '\n')
+		w.Write(buf)
 	}
 	line(t.Headers)
 	sep := make([]string, len(t.Headers))
@@ -103,9 +126,12 @@ func (t *Table) String() string {
 
 // CSV renders the table as CSV.
 func (t *Table) CSV(w io.Writer) {
-	writeCSVRow(w, t.Headers)
+	buf := make([]byte, 0, 128)
+	buf = appendCSVRow(buf, t.Headers)
+	w.Write(buf)
 	for _, r := range t.Rows {
-		writeCSVRow(w, r)
+		buf = appendCSVRow(buf[:0], r)
+		w.Write(buf)
 	}
 }
 
@@ -128,22 +154,27 @@ func JSONString(v interface{}) (string, error) {
 	return sb.String(), nil
 }
 
-func writeCSVRow(w io.Writer, cells []string) {
-	out := make([]string, len(cells))
+// appendCSVRow appends one CSV line to buf (quoting like the previous
+// string-join implementation, byte for byte) and returns it.
+func appendCSVRow(buf []byte, cells []string) []byte {
 	for i, c := range cells {
-		if strings.ContainsAny(c, ",\"\n") {
-			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		if i > 0 {
+			buf = append(buf, ',')
 		}
-		out[i] = c
+		if strings.ContainsAny(c, ",\"\n") {
+			buf = append(buf, '"')
+			for j := 0; j < len(c); j++ {
+				if c[j] == '"' {
+					buf = append(buf, '"')
+				}
+				buf = append(buf, c[j])
+			}
+			buf = append(buf, '"')
+		} else {
+			buf = append(buf, c...)
+		}
 	}
-	fmt.Fprintln(w, strings.Join(out, ","))
-}
-
-func pad(s string, w int) string {
-	if len(s) >= w {
-		return s
-	}
-	return s + strings.Repeat(" ", w-len(s))
+	return append(buf, '\n')
 }
 
 // Series is one named curve of (x, y) points, matching a figure line.
@@ -200,8 +231,10 @@ func (f *Figure) Write(w io.Writer) {
 			}
 		}
 	}
+	tbl.Grow(len(xs))
+	row := make([]interface{}, 0, len(f.Series)+1)
 	for _, x := range xs {
-		row := []interface{}{x}
+		row = append(row[:0], x)
 		for _, s := range f.Series {
 			v := ""
 			for i, sx := range s.X {

@@ -1,6 +1,9 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Link is a capacity-limited channel in the fluid bandwidth network: a
 // memory controller, a HyperTransport link, a per-core copy engine, or the
@@ -16,7 +19,15 @@ type Link struct {
 	residual float64
 	njobs    int
 	settled  bool
+	wfMark   uint64 // generation stamp: dedup without a per-call map
 }
+
+// wfGen issues globally unique waterfill generation stamps. Global and
+// atomic because links may be shared between Fluid instances and
+// engines run concurrently in parallel scenario workers; the stamp only
+// ever answers "seen in this waterfill call?" so its value never
+// influences simulated behaviour.
+var wfGen atomic.Uint64
 
 // NewLink creates a link with the given capacity in bytes/second.
 func NewLink(name string, capacity float64) *Link {
@@ -45,6 +56,7 @@ type Fluid struct {
 	jobs    []*fjob
 	lastUpd Time
 	gen     uint64
+	wfLinks []*Link // waterfill scratch, reused across reconfigures
 }
 
 // NewFluid creates a fluid network on the engine.
@@ -149,14 +161,14 @@ func (f *Fluid) complete() {
 // that share for its jobs, subtract, and continue. Deterministic: links
 // and jobs are visited in stable slice order.
 func (f *Fluid) waterfill() {
-	links := make([]*Link, 0, 8)
-	seen := map[*Link]bool{}
+	gen := wfGen.Add(1)
+	links := f.wfLinks[:0]
 	for _, j := range f.jobs {
 		j.rate = 0
 		j.settled = false
 		for _, l := range j.links {
-			if !seen[l] {
-				seen[l] = true
+			if l.wfMark != gen {
+				l.wfMark = gen
 				l.residual = l.Cap
 				l.njobs = 0
 				l.settled = false
@@ -164,6 +176,7 @@ func (f *Fluid) waterfill() {
 			}
 		}
 	}
+	f.wfLinks = links
 	for _, j := range f.jobs {
 		for _, l := range j.links {
 			l.njobs++

@@ -26,11 +26,19 @@ func (p *Proc) ID() int { return p.id }
 // Now returns current virtual time.
 func (p *Proc) Now() Time { return p.eng.now }
 
-// park yields the token to the engine and blocks until rescheduled.
-// Callers must have arranged for a future wake-up (timer event, resource
-// grant, event fire), otherwise Run reports a deadlock.
+// park yields the token and blocks until rescheduled. Callers must have
+// arranged for a future wake-up (timer event, resource grant, event
+// fire), otherwise Run reports a deadlock. The proc dispatches the next
+// events itself: when its own wake is the next proc event (the common
+// consecutive-sleep case) it continues with no goroutine switch at all,
+// and otherwise it hands the token straight to the next runnable proc.
 func (p *Proc) park() {
-	p.eng.yield <- struct{}{}
+	switch p.eng.dispatch(p) {
+	case dispatchSelf:
+		return
+	case dispatchDrained:
+		p.eng.yield <- struct{}{} // return the token to Run
+	}
 	<-p.resume
 }
 

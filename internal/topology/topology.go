@@ -132,14 +132,21 @@ func Opteron4x4() *Machine {
 	return Grid(4, 4, 8<<30, 2<<20)
 }
 
-// Grid builds an n-node machine (1 <= n <= 8) with coresPerNode cores
+// Grid builds an n-node machine (1 <= n <= 64) with coresPerNode cores
 // per node and hop-count distances (10 + 2*hops). Power-of-two node
-// counts get the square/cube HT-style hypercube links of the paper's
-// host; other counts (3, 5, 6, 7 — e.g. a DRAM machine with CXL
-// expander nodes appended) are linked in a ring.
+// counts get HT-style hypercube links (the square/cube of the paper's
+// host, up to a 6-cube at 64); other counts up to 8 (3, 5, 6, 7 — e.g.
+// a DRAM machine with CXL expander nodes appended) are linked in a
+// ring. Non-power-of-two counts above 8 are built as a hierarchy — a
+// ring within each contiguous group of up to 8 nodes, and the group
+// leaders (each group's first node) interconnected as a hypercube when
+// the group count is a power of two, a ring otherwise — so big machines
+// keep a bounded link degree and a hop gradient like real multi-board
+// interconnects. The 1..8 shapes are unchanged from when 8 was the
+// upper bound.
 func Grid(nodes, coresPerNode int, memPerNode, l3PerNode int64) *Machine {
-	if nodes < 1 || nodes > 8 {
-		panic(fmt.Sprintf("topology: unsupported node count %d (want 1..8)", nodes))
+	if nodes < 1 || nodes > 64 {
+		panic(fmt.Sprintf("topology: unsupported node count %d (want 1..64)", nodes))
 	}
 	m := &Machine{}
 	coreID := CoreID(0)
@@ -170,17 +177,47 @@ func Grid(nodes, coresPerNode int, memPerNode, l3PerNode int64) *Machine {
 		linkIdx[[2]int{i, j}] = len(m.Links)
 		m.Links = append(m.Links, Link{ID: len(m.Links), A: NodeID(i), B: NodeID(j)})
 	}
-	if popcount(nodes) == 1 {
-		for i := 0; i < nodes; i++ {
-			for j := i + 1; j < nodes; j++ {
+	ring := func(ids []int) {
+		if len(ids) < 2 {
+			return
+		}
+		for i := range ids {
+			addLink(ids[i], ids[(i+1)%len(ids)])
+		}
+	}
+	hypercube := func(ids []int) {
+		for i := range ids {
+			for j := i + 1; j < len(ids); j++ {
 				if popcount(i^j) == 1 {
-					addLink(i, j)
+					addLink(ids[i], ids[j])
 				}
 			}
 		}
-	} else {
-		for i := 0; i < nodes; i++ {
-			addLink(i, (i+1)%nodes)
+	}
+	all := make([]int, nodes)
+	for i := range all {
+		all[i] = i
+	}
+	switch {
+	case popcount(nodes) == 1:
+		hypercube(all)
+	case nodes <= 8:
+		ring(all)
+	default:
+		// Hierarchy: rings of up to 8 nodes, leaders interconnected.
+		var leaders []int
+		for base := 0; base < nodes; base += 8 {
+			end := base + 8
+			if end > nodes {
+				end = nodes
+			}
+			ring(all[base:end])
+			leaders = append(leaders, base)
+		}
+		if popcount(len(leaders)) == 1 {
+			hypercube(leaders)
+		} else {
+			ring(leaders)
 		}
 	}
 	// BFS hop counts and routes.

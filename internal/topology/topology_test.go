@@ -113,10 +113,66 @@ func TestGridShapes(t *testing.T) {
 func TestGridUnsupportedPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Grid(9) should panic")
+			t.Fatal("Grid(65) should panic")
 		}
 	}()
-	Grid(9, 2, 1<<30, 1<<20)
+	Grid(65, 2, 1<<30, 1<<20)
+}
+
+// The 1..8 shapes predate the 9..64 extension and must stay exactly as
+// they were: hypercubes at powers of two, rings otherwise.
+func TestGridSmallShapesUnchanged(t *testing.T) {
+	wantLinks := map[int]int{1: 0, 2: 1, 3: 3, 4: 4, 5: 5, 6: 6, 7: 7, 8: 12}
+	for n, want := range wantLinks {
+		m := Grid(n, 1, 1<<30, 1<<20)
+		if len(m.Links) != want {
+			t.Errorf("Grid(%d): %d links, want %d", n, len(m.Links), want)
+		}
+	}
+	// Spot-check the 8-node cube's farthest pair: 3 bit flips = 3 hops.
+	m := Grid(8, 1, 1<<30, 1<<20)
+	if m.Dist[0][7] != 16 {
+		t.Errorf("Grid(8) dist 0->7 = %d, want 16", m.Dist[0][7])
+	}
+}
+
+func TestGridLargeShapes(t *testing.T) {
+	for n := 9; n <= 64; n++ {
+		m := Grid(n, 1, 1<<30, 1<<20)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Grid(%d): %v", n, err)
+		}
+		if m.NumNodes() != n {
+			t.Fatalf("Grid(%d): %d nodes", n, m.NumNodes())
+		}
+		// Bounded degree: ring membership contributes at most 2 links
+		// per node and the leader interconnect at most 6 more (the
+		// 64-node hypercube's dimension).
+		deg := make(map[NodeID]int)
+		for _, l := range m.Links {
+			deg[l.A]++
+			deg[l.B]++
+		}
+		for id, d := range deg {
+			if d > 8 {
+				t.Fatalf("Grid(%d): node %d has degree %d", n, id, d)
+			}
+		}
+	}
+	// Pure hypercubes at 16/32/64: n*log2(n)/2 links, diameter log2(n).
+	for _, n := range []int{16, 32, 64} {
+		m := Grid(n, 1, 1<<30, 1<<20)
+		dim := 0
+		for 1<<dim < n {
+			dim++
+		}
+		if want := n * dim / 2; len(m.Links) != want {
+			t.Errorf("Grid(%d): %d links, want %d", n, len(m.Links), want)
+		}
+		if m.Dist[0][n-1] != 10+2*dim {
+			t.Errorf("Grid(%d): dist 0->%d = %d, want %d", n, n-1, m.Dist[0][n-1], 10+2*dim)
+		}
+	}
 }
 
 // Property: distances are symmetric, triangle-inequality-ish (hop metric)

@@ -1,8 +1,11 @@
 package vm
 
 import (
+	"sync"
+
 	"numamig/internal/mem"
 	"numamig/internal/model"
+	"numamig/internal/topology"
 )
 
 // PTE flag bits.
@@ -86,6 +89,12 @@ type Chunk struct {
 // ChunkIndex returns the page-table-chunk index of a VPN.
 func ChunkIndex(v VPN) uint64 { return uint64(v) / model.PTEChunkPages }
 
+// PTE returns the chunk's entry at index i (0..model.PTEChunkPages-1),
+// aliasing chunk storage. Callers that already hold the chunk use it to
+// scan the PTE array directly instead of re-resolving the chunk map for
+// every page (PageTable.Lookup). Meaningless on huge chunks.
+func (c *Chunk) PTE(i int) *PTE { return &c.ptes[i] }
+
 // PageTable is a sparse two-level table: chunk index -> chunk.
 type PageTable struct {
 	chunks map[uint64]*Chunk
@@ -99,15 +108,32 @@ func NewPageTable() *PageTable {
 // Chunk returns the chunk covering v, or nil.
 func (t *PageTable) Chunk(v VPN) *Chunk { return t.chunks[ChunkIndex(v)] }
 
+// chunkPool recycles page-table chunks across tables and scenarios.
+// Chunks are zeroed before release (releaseChunk), so Get returns a
+// clean chunk without a 12 KiB clear on the allocation path.
+var chunkPool = sync.Pool{New: func() interface{} { return new(Chunk) }}
+
 // ChunkOrCreate returns the chunk covering v, creating it if needed.
 func (t *PageTable) ChunkOrCreate(v VPN) *Chunk {
 	ci := ChunkIndex(v)
 	c := t.chunks[ci]
 	if c == nil {
-		c = &Chunk{}
+		c = chunkPool.Get().(*Chunk)
 		t.chunks[ci] = c
 	}
 	return c
+}
+
+// releaseChunk detaches the chunk at index ci and recycles it. The
+// caller must have freed every frame the chunk referenced.
+func (t *PageTable) releaseChunk(ci uint64) {
+	c := t.chunks[ci]
+	if c == nil {
+		return
+	}
+	delete(t.chunks, ci)
+	*c = Chunk{}
+	chunkPool.Put(c)
 }
 
 // Lookup returns the PTE for v, or nil if the covering chunk does not
@@ -155,4 +181,137 @@ func (t *PageTable) ForEach(start, end VPN, fn func(v VPN, pte *PTE)) {
 			}
 		}
 	}
+}
+
+// Run is one maximal extent of present PTEs inside a single chunk that
+// share identical Flags and an identical backing node — the unit the
+// bulk access, scan and hinting paths charge and mutate at, instead of
+// one closure call per 4 KiB page. PTEs aliases chunk storage: index i
+// covers VPN Start+i, and mutating entries through it mutates the
+// table. Node is -1 when the run's PTEs carry no frame.
+type Run struct {
+	Start VPN
+	PTEs  []PTE
+	Flags uint8
+	Node  topology.NodeID
+}
+
+// Len returns the page count of the run.
+func (r *Run) Len() int { return len(r.PTEs) }
+
+// PTE returns the entry covering VPN Start+i, aliasing table state.
+func (r *Run) PTE(i int) *PTE { return &r.PTEs[i] }
+
+func frameNode(pte *PTE) topology.NodeID {
+	if pte.Frame == nil {
+		return -1
+	}
+	return pte.Frame.Node
+}
+
+// ForEachRun visits every present 4 KiB PTE in [start, end) in ascending
+// order, grouped into maximal same-state runs (equal Flags, equal
+// backing node, contiguous VPNs, one chunk). It never creates chunks;
+// huge chunks are skipped like ForEach. Visiting per run instead of per
+// page keeps per-page work out of the hot loops: a sweep over an
+// untouched, uniformly-placed gigabyte costs ~512 run visits rather
+// than ~260k closure calls. fn may mutate the run's PTEs (the iterator
+// has already advanced past them) but must not unmap pages or mutate
+// chunk structure.
+func (t *PageTable) ForEachRun(start, end VPN, fn func(r Run)) {
+	for v := start; v < end; {
+		ci := ChunkIndex(v)
+		c := t.chunks[ci]
+		if c == nil || c.Huge {
+			v = VPN((ci + 1) * model.PTEChunkPages)
+			continue
+		}
+		chunkEnd := VPN((ci + 1) * model.PTEChunkPages)
+		stop := end
+		if chunkEnd < stop {
+			stop = chunkEnd
+		}
+		base := VPN(ci * model.PTEChunkPages)
+		for v < stop {
+			off := int(v - base)
+			pte := &c.ptes[off]
+			if pte.Flags&PTEPresent == 0 {
+				v++
+				continue
+			}
+			runStart := v
+			flags := pte.Flags
+			node := frameNode(pte)
+			v++
+			for v < stop {
+				q := &c.ptes[int(v-base)]
+				if q.Flags != flags || frameNode(q) != node {
+					break
+				}
+				v++
+			}
+			fn(Run{
+				Start: runStart,
+				PTEs:  c.ptes[off : off+int(v-runStart)],
+				Flags: flags,
+				Node:  node,
+			})
+		}
+	}
+}
+
+// SetProtRange installs hardware permission bits on every present PTE
+// in [start, end) and returns the number of entries touched — the bulk
+// equivalent of calling PTE.SetProt under ForEach.
+func (t *PageTable) SetProtRange(start, end VPN, prot Prot) int {
+	n := 0
+	t.ForEachRun(start, end, func(r Run) {
+		for i := range r.PTEs {
+			r.PTEs[i].SetProt(prot)
+		}
+		n += len(r.PTEs)
+	})
+	return n
+}
+
+// ArmRange arms the PTENumaHint mark on present pages of [start, end)
+// that are not already next-touch-marked, hint-armed or pinned, and for
+// which skip (when non-nil) returns false. It returns the pages armed
+// and the present pages examined — the two counts the AutoNUMA scanner
+// charges its costs by. Runs whose shared flags disqualify them are
+// rejected wholesale without touching their PTEs.
+func (t *PageTable) ArmRange(start, end VPN, skip func(v VPN) bool) (armed, examined int) {
+	t.ForEachRun(start, end, func(r Run) {
+		examined += len(r.PTEs)
+		if r.Flags&(PTENextTouch|PTENumaHint|PTEPinned) != 0 {
+			return
+		}
+		for i := range r.PTEs {
+			if skip != nil && skip(r.Start+VPN(i)) {
+				continue
+			}
+			r.PTEs[i].Flags |= PTENumaHint
+			armed++
+		}
+	})
+	return armed, examined
+}
+
+// ClearAccessedRange clears the accessed bit (and resets the clock-scan
+// age) of every present, accessed page in [start, end), returning the
+// number of pages cleared — the bulk form of the clock scan's aging
+// step. Runs without the accessed bit are skipped wholesale.
+func (t *PageTable) ClearAccessedRange(start, end VPN) int {
+	n := 0
+	t.ForEachRun(start, end, func(r Run) {
+		if r.Flags&PTEAccessed == 0 {
+			return
+		}
+		for i := range r.PTEs {
+			r.PTEs[i].Flags &^= PTEAccessed
+			r.PTEs[i].Age = 0
+		}
+		n += len(r.PTEs)
+	})
+	return n
 }

@@ -1,0 +1,187 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+
+	"numamig/internal/mem"
+	"numamig/internal/topology"
+)
+
+// buildRandomTable populates a fresh page table with a randomized
+// mixture of absent pages, present pages with varying flags and
+// backing nodes, and gaps spanning chunk boundaries — the state space
+// the extent iterator has to group correctly.
+func buildRandomTable(rng *rand.Rand, npages int) *PageTable {
+	t := NewPageTable()
+	flagSets := []uint8{
+		PTEPresent | PTERead,
+		PTEPresent | PTERead | PTEWrite,
+		PTEPresent | PTERead | PTEAccessed,
+		PTEPresent | PTERead | PTEWrite | PTEDirty | PTEAccessed,
+		PTEPresent | PTENumaHint,
+		PTEPresent | PTENextTouch,
+		PTEPresent | PTERead | PTEPinned,
+	}
+	// Walk in variable-length segments so same-state extents of many
+	// lengths arise, including ones that straddle chunk boundaries.
+	for v := VPN(0); v < VPN(npages); {
+		segLen := 1 + rng.Intn(700) // can exceed a 512-page chunk
+		state := rng.Intn(len(flagSets) + 2)
+		for i := 0; i < segLen && v < VPN(npages); i++ {
+			if state >= len(flagSets) {
+				v++ // absent segment: leave the PTE (or chunk) unmapped
+				continue
+			}
+			pte := t.Entry(v)
+			pte.Flags = flagSets[state]
+			if rng.Intn(8) != 0 { // some present pages carry no frame
+				pte.Frame = &mem.Frame{Node: topology.NodeID(rng.Intn(4))}
+			}
+			pte.Age = uint8(rng.Intn(3))
+			v++
+		}
+	}
+	return t
+}
+
+type pteState struct {
+	flags uint8
+	node  topology.NodeID
+	age   uint8
+}
+
+func snapshot(t *PageTable, start, end VPN) map[VPN]pteState {
+	m := map[VPN]pteState{}
+	t.ForEach(start, end, func(v VPN, pte *PTE) {
+		node := topology.NodeID(-1)
+		if pte.Frame != nil {
+			node = pte.Frame.Node
+		}
+		m[v] = pteState{flags: pte.Flags, node: node, age: pte.Age}
+	})
+	return m
+}
+
+// ForEachRun must visit exactly the pages ForEach visits, in the same
+// ascending order, with every run internally uniform (one chunk, equal
+// flags, equal node) and maximal state reported on the Run header.
+func TestForEachRunMatchesForEach(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		npages := 256 + rng.Intn(4096)
+		pt := buildRandomTable(rng, npages)
+		start := VPN(rng.Intn(npages / 2))
+		end := start + VPN(rng.Intn(npages))
+
+		var perPage []VPN
+		pt.ForEach(start, end, func(v VPN, pte *PTE) {
+			perPage = append(perPage, v)
+		})
+
+		var perRun []VPN
+		pt.ForEachRun(start, end, func(r Run) {
+			if r.Len() == 0 {
+				t.Fatal("empty run")
+			}
+			if ChunkIndex(r.Start) != ChunkIndex(r.Start+VPN(r.Len()-1)) {
+				t.Fatalf("run %d+%d crosses a chunk boundary", r.Start, r.Len())
+			}
+			for i := 0; i < r.Len(); i++ {
+				pte := r.PTE(i)
+				if pte.Flags != r.Flags {
+					t.Fatalf("run at %d: PTE %d flags %x, run header %x", r.Start, i, pte.Flags, r.Flags)
+				}
+				node := topology.NodeID(-1)
+				if pte.Frame != nil {
+					node = pte.Frame.Node
+				}
+				if node != r.Node {
+					t.Fatalf("run at %d: PTE %d node %d, run header %d", r.Start, i, node, r.Node)
+				}
+				perRun = append(perRun, r.Start+VPN(i))
+			}
+		})
+
+		if len(perPage) != len(perRun) {
+			t.Fatalf("trial %d: ForEach visited %d pages, ForEachRun %d", trial, len(perPage), len(perRun))
+		}
+		for i := range perPage {
+			if perPage[i] != perRun[i] {
+				t.Fatalf("trial %d: visit %d is %d per-page but %d per-run", trial, i, perPage[i], perRun[i])
+			}
+		}
+	}
+}
+
+// The bulk mutators must leave the table in exactly the state the
+// equivalent per-page ForEach loop produces, and report the same
+// charged counts.
+func TestBulkMutatorsMatchPerPage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		npages := 256 + rng.Intn(4096)
+		seed := rng.Int63()
+		start := VPN(rng.Intn(npages / 2))
+		end := start + VPN(rng.Intn(npages))
+		// Two identical tables: mutate one with the bulk op, the other
+		// with the per-page reference loop, then diff the snapshots.
+		bulk := buildRandomTable(rand.New(rand.NewSource(seed)), npages)
+		ref := buildRandomTable(rand.New(rand.NewSource(seed)), npages)
+
+		switch trial % 3 {
+		case 0:
+			prot := []Prot{0, ProtRead, ProtRW}[rng.Intn(3)]
+			gotN := bulk.SetProtRange(start, end, prot)
+			wantN := 0
+			ref.ForEach(start, end, func(v VPN, pte *PTE) {
+				pte.SetProt(prot)
+				wantN++
+			})
+			if gotN != wantN {
+				t.Fatalf("trial %d: SetProtRange touched %d, reference %d", trial, gotN, wantN)
+			}
+		case 1:
+			skip := func(v VPN) bool { return v%5 == 0 }
+			gotArmed, gotExamined := bulk.ArmRange(start, end, skip)
+			wantArmed, wantExamined := 0, 0
+			ref.ForEach(start, end, func(v VPN, pte *PTE) {
+				wantExamined++
+				if pte.Flags&(PTENextTouch|PTENumaHint|PTEPinned) != 0 || skip(v) {
+					return
+				}
+				pte.Flags |= PTENumaHint
+				wantArmed++
+			})
+			if gotArmed != wantArmed || gotExamined != wantExamined {
+				t.Fatalf("trial %d: ArmRange = (%d, %d), reference (%d, %d)",
+					trial, gotArmed, gotExamined, wantArmed, wantExamined)
+			}
+		case 2:
+			gotN := bulk.ClearAccessedRange(start, end)
+			wantN := 0
+			ref.ForEach(start, end, func(v VPN, pte *PTE) {
+				if pte.Flags&PTEAccessed == 0 {
+					return
+				}
+				pte.Flags &^= PTEAccessed
+				pte.Age = 0
+				wantN++
+			})
+			if gotN != wantN {
+				t.Fatalf("trial %d: ClearAccessedRange cleared %d, reference %d", trial, gotN, wantN)
+			}
+		}
+
+		got := snapshot(bulk, 0, VPN(npages))
+		want := snapshot(ref, 0, VPN(npages))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d present pages after bulk op, %d after reference", trial, len(got), len(want))
+		}
+		for v, ws := range want {
+			if gs, ok := got[v]; !ok || gs != ws {
+				t.Fatalf("trial %d: page %d diverged: bulk %+v, reference %+v", trial, v, got[v], ws)
+			}
+		}
+	}
+}

@@ -126,15 +126,19 @@ func (s *Space) Unmap(start Addr, length int64) error {
 	if err := s.split(end); err != nil {
 		return err
 	}
-	kept := s.vmas[:0]
-	for _, v := range s.vmas {
-		if v.Start >= start && v.End <= end {
-			s.freeRange(v.Start, v.End)
-			continue
-		}
-		kept = append(kept, v)
+	// After the boundary splits every VMA is entirely inside or entirely
+	// outside [start, end), and the inside ones are one contiguous index
+	// range — locate it by binary search and cut it out, instead of
+	// filtering the whole list on every unmap.
+	i := sort.Search(len(s.vmas), func(i int) bool { return s.vmas[i].Start >= start })
+	j := i
+	for j < len(s.vmas) && s.vmas[j].End <= end {
+		s.freeRange(s.vmas[j].Start, s.vmas[j].End)
+		j++
 	}
-	s.vmas = kept
+	if j > i {
+		s.vmas = append(s.vmas[:i], s.vmas[j:]...)
+	}
 	return nil
 }
 
@@ -145,7 +149,10 @@ func (s *Space) freeRange(start, end Addr) {
 		s.Phys.Free(pte.Frame)
 		*pte = PTE{}
 	})
-	// Huge chunks fully inside the range.
+	// Huge chunks fully inside the range, and chunk recycling: a chunk
+	// whose whole VPN span was just freed is detached and returned to
+	// the chunk pool (its PTEs are all zero again — the loop above wiped
+	// the present ones and non-present entries never carry state).
 	for ci := uint64(sv) / model.PTEChunkPages; ci <= uint64(ev-1)/model.PTEChunkPages; ci++ {
 		c := s.PT.chunks[ci]
 		if c == nil {
@@ -157,6 +164,10 @@ func (s *Space) freeRange(start, end Addr) {
 			c.HugeFlags = 0
 		}
 		c.HugeFallback = false
+		cs, ce := VPN(ci*model.PTEChunkPages), VPN((ci+1)*model.PTEChunkPages)
+		if sv <= cs && ce <= ev {
+			s.PT.releaseChunk(ci)
+		}
 	}
 }
 

@@ -1,0 +1,122 @@
+// Command benchcmp compares two numamig-bench/v1 reports (the
+// BENCH_core.json / BENCH_exp.json files written by
+// `numabench -perf`) point by point, matched on point name.
+//
+// For each point present in both reports it prints old and new
+// wall_ns, the wall-clock delta, and the allocs_per_op delta. Points
+// present in only one report are listed as added/removed. The
+// comparison is warn-only by default so a CI bench job can surface a
+// drift without blocking merges on a noisy runner; pass
+// -fail-over=25 to exit non-zero when any matched point's wall time
+// regressed by more than 25%.
+//
+// Usage (from the module root):
+//
+//	go run ./tools/benchcmp old/BENCH_core.json BENCH_core.json
+//	go run ./tools/benchcmp -fail-over=25 old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type point struct {
+	Name        string `json:"name"`
+	Scenarios   int    `json:"scenarios"`
+	WallNS      int64  `json:"wall_ns"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+}
+
+type benchReport struct {
+	Schema string  `json:"schema"`
+	Points []point `json:"points"`
+}
+
+func load(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != "numamig-bench/v1" {
+		return nil, fmt.Errorf("%s: schema %q, want numamig-bench/v1", path, r.Schema)
+	}
+	return &r, nil
+}
+
+func pct(old, new int64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * float64(new-old) / float64(old)
+}
+
+func main() {
+	failOver := flag.Float64("fail-over", 0,
+		"exit non-zero if any point's wall_ns regresses by more than this percentage (0 = warn only)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchcmp [-fail-over=PCT] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	oldByName := map[string]point{}
+	for _, p := range oldRep.Points {
+		oldByName[p.Name] = p
+	}
+	failed := false
+	seen := map[string]bool{}
+	for _, np := range newRep.Points {
+		op, ok := oldByName[np.Name]
+		if !ok {
+			fmt.Printf("%-44s added (%d ns)\n", np.Name, np.WallNS)
+			continue
+		}
+		seen[np.Name] = true
+		wallDelta := pct(op.WallNS, np.WallNS)
+		allocDelta := pct(int64(op.AllocsPerOp), int64(np.AllocsPerOp))
+		status := "ok"
+		switch {
+		case *failOver > 0 && wallDelta > *failOver:
+			status = "FAIL"
+			failed = true
+		case wallDelta > 5:
+			status = "warn"
+		case wallDelta < -5:
+			status = "improved"
+		}
+		fmt.Printf("%-44s %12d -> %12d ns  %+7.1f%%  allocs %+7.1f%%  %s\n",
+			np.Name, op.WallNS, np.WallNS, wallDelta, allocDelta, status)
+	}
+	for _, op := range oldRep.Points {
+		if !seen[op.Name] {
+			fmt.Printf("%-44s removed\n", op.Name)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcmp: wall-time regression over %.0f%% threshold\n", *failOver)
+		os.Exit(1)
+	}
+}
