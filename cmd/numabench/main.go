@@ -33,8 +33,10 @@ import (
 	"strings"
 	"time"
 
+	numamig "numamig"
 	"numamig/internal/bench"
 	"numamig/internal/exp"
+	"numamig/internal/telemetry"
 )
 
 func main() {
@@ -49,6 +51,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base deterministic seed for -grid scenarios")
 	nodes := flag.String("nodes", "", "comma-separated topology.Grid node counts to sweep for -grid/-list (subset of 1..64; default per family)")
 	coresPerNode := flag.Int("cores-per-node", 0, "cores per node for -grid/-list scenarios (0 = the Opteron host's 4)")
+	scenario := flag.String("scenario", "", "run only the -grid scenario with this exact ID")
+	trace := flag.String("trace", "", "write a chrome-trace (chrome://tracing / Perfetto) JSON of the run to this file; requires -grid narrowed to exactly one scenario")
 	perf := flag.Bool("perf", false, "run the perf harness and write BENCH_core.json / BENCH_exp.json to -perf-out")
 	perfOut := flag.String("perf-out", ".", "directory the -perf reports are written to")
 	repeats := flag.Int("repeats", 0, "-perf repeats per point, fastest kept (0 = 3)")
@@ -84,7 +88,7 @@ func main() {
 		}()
 	}
 	if err := run(*expID, *all, *quick, *grid, *list, *families, *parallel, *format,
-		*seed, *nodes, *coresPerNode, *perf, *perfOut, *repeats); err != nil {
+		*seed, *nodes, *coresPerNode, *scenario, *trace, *perf, *perfOut, *repeats); err != nil {
 		if code, ok := err.(exitCode); ok {
 			// Profile defers must run before exiting.
 			pprof.StopCPUProfile()
@@ -103,7 +107,7 @@ func (c exitCode) Error() string { return fmt.Sprintf("exit %d", int(c)) }
 
 func run(expID string, all, quick, grid, list bool, families string, parallel int,
 	format string, seed int64, nodes string, coresPerNode int,
-	perf bool, perfOut string, repeats int) error {
+	scenario, trace string, perf bool, perfOut string, repeats int) error {
 
 	nodeList, err := parseNodeList(nodes)
 	if err != nil {
@@ -128,7 +132,11 @@ func run(expID string, all, quick, grid, list bool, families string, parallel in
 		}, perfOut, os.Stdout)
 	}
 	if grid {
-		return runGrid(families, parallel, format, opts)
+		return runGrid(families, parallel, format, scenario, trace, opts)
+	}
+	if scenario != "" || trace != "" {
+		fmt.Fprintln(os.Stderr, "numabench: -scenario and -trace require -grid")
+		return exitCode(2)
 	}
 
 	o := bench.Options{Quick: quick}
@@ -200,8 +208,10 @@ func listFamilies(w io.Writer, opts exp.Options) error {
 }
 
 // runGrid expands the requested families and executes them through the
-// concurrent runner, rendering in the requested format.
-func runGrid(families string, parallel int, format string, opts exp.Options) error {
+// concurrent runner, rendering in the requested format. scenario
+// filters to one exact scenario ID; trace additionally records that
+// run's telemetry stream as chrome-trace JSON.
+func runGrid(families string, parallel int, format, scenario, trace string, opts exp.Options) error {
 	var names []string
 	if families != "" {
 		for _, n := range strings.Split(families, ",") {
@@ -217,11 +227,56 @@ func runGrid(families string, parallel int, format string, opts exp.Options) err
 	if err != nil {
 		return err
 	}
+	if scenario != "" {
+		kept := scs[:0]
+		for _, s := range scs {
+			if s.ID == scenario {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("no scenario with ID %q (check -families/-quick/-nodes)", scenario)
+		}
+		scs = kept
+	}
 	if len(scs) == 0 {
 		return fmt.Errorf("no scenarios generated (the requested -families need more than the given -nodes)")
 	}
+
+	var rec *telemetry.Recorder
+	if trace != "" {
+		if len(scs) != 1 {
+			return fmt.Errorf("-trace needs exactly one scenario, have %d (narrow with -scenario)", len(scs))
+		}
+		// One scenario, one System: serialize and hook its bus. The
+		// observer is process-global, so clear it before returning.
+		parallel = 1
+		numamig.SetSystemObserver(func(sys *numamig.System) {
+			rec = telemetry.Record(sys.Bus())
+		})
+		defer numamig.SetSystemObserver(nil)
+	}
+
 	start := time.Now()
 	results := exp.Runner{Parallel: parallel}.Run(scs)
+
+	if trace != "" {
+		if rec == nil {
+			return fmt.Errorf("-trace: the scenario built no simulated system")
+		}
+		f, err := os.Create(trace)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "numabench: wrote %d trace events to %s\n", len(rec.Events), trace)
+	}
 	failed := 0
 	for _, r := range results {
 		if r.Err != "" {

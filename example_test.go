@@ -1,9 +1,12 @@
 package numamig_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 
 	"numamig"
+	"numamig/internal/telemetry"
 )
 
 // ExampleSystem_Run demonstrates kernel next-touch: pages follow the
@@ -229,6 +232,109 @@ func Example_promoteRateLimit() {
 	// unlimited run throttled: false
 	// limited run throttled: true
 	// limiter slowed promotion: true
+}
+
+// Example_adaptiveRateLimit demonstrates the closed-loop promotion
+// rate-limit controller (internal/control): instead of a fixed
+// Params.PromoteRateLimitMBps, an in-sim daemon subscribes to the
+// telemetry bus and widens the limit only while RateLimitDrop events
+// show the token bucket is the bottleneck, decaying it back when
+// demand stops. Starting from the floor, it holds only bandwidth the
+// workload demonstrably asked for.
+func Example_adaptiveRateLimit() {
+	p := numamig.DefaultParams()
+	p.TierClasses = []numamig.TierClass{{Name: "dram"}, numamig.CXLTier()}
+	p.NodeTier = []int{0, 0, 1}
+	sys := numamig.New(numamig.Config{
+		Nodes:      3,
+		MemPerNode: 512 * numamig.PageSize,
+		Demotion:   true,
+		Params:     &p,
+	})
+	sys.EnableAutoNUMA(numamig.AutoNUMAConfig{})
+	ctrl := sys.EnableAdaptiveRateLimit(numamig.AdaptiveRateLimitConfig{})
+	err := sys.Run(func(t *numamig.Task) {
+		cold := numamig.MustAlloc(t, 640*numamig.PageSize, numamig.Preferred(0))
+		if err := cold.Prefault(t); err != nil {
+			panic(err)
+		}
+		hot := numamig.MustAlloc(t, 32*numamig.PageSize, numamig.Preferred(0))
+		if err := hot.Prefault(t); err != nil {
+			panic(err)
+		}
+		// Demote the cold buffer down to CXL, then turn hot on it so
+		// promotion demand hits the controller's bucket.
+		for i := 0; i < 60; i++ {
+			if err := hot.Access(t, numamig.Blocked, false); err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < 30; i++ {
+			if err := cold.Access(t, numamig.Blocked, false); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("controller ticked:", ctrl.Stats.Ticks > 0)
+	fmt.Println("saw drops and widened:", ctrl.Stats.Drops > 0 && ctrl.Stats.Widens > 0)
+	fmt.Println("peak above the floor:", ctrl.Stats.PeakMBps > 1)
+	fmt.Println("still rate-limited:", sys.Stats().PromoteRateLimited > 0)
+	// Output:
+	// controller ticked: true
+	// saw drops and widened: true
+	// peak above the floor: true
+	// still rate-limited: true
+}
+
+// Example_traceExport demonstrates the chrome-trace exporter: a
+// telemetry.Recorder subscribed to the System's bus captures the full
+// deterministic event stream, and WriteTrace renders it as JSON that
+// chrome://tracing or Perfetto loads directly (numabench surfaces the
+// same path as `-grid ... -scenario <id> -trace out.json`).
+func Example_traceExport() {
+	sys := numamig.New(numamig.Config{MemPerNode: 512 * numamig.PageSize})
+	rec := telemetry.Record(sys.Bus())
+	err := sys.Run(func(t *numamig.Task) {
+		buf := numamig.MustAlloc(t, 64*numamig.PageSize, numamig.Bind(0))
+		if err := buf.Prefault(t); err != nil {
+			panic(err)
+		}
+		if err := buf.MoveTo(t, 1, true); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	var out bytes.Buffer
+	if err := rec.WriteTrace(&out); err != nil {
+		panic(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &tf); err != nil {
+		panic(err)
+	}
+	topics := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "M" { // skip process/thread metadata
+			topics[ev.Name] = true
+		}
+	}
+	fmt.Println("recorded events:", len(rec.Events) > 0)
+	fmt.Println("faults in trace:", topics["PageFault"])
+	fmt.Println("migration batch in trace:", topics["MigrateBatch"])
+	// Output:
+	// recorded events: true
+	// faults in trace: true
+	// migration batch in trace: true
 }
 
 // ExampleSystem_Stats demonstrates reading the kernel and engine

@@ -1,0 +1,58 @@
+package numamig_test
+
+import (
+	"testing"
+
+	numamig "numamig"
+	"numamig/internal/exp"
+	"numamig/internal/telemetry"
+)
+
+// mpScenarios expands the migration+pressure quick grid once per
+// benchmark; expansion cost stays out of the measured loop.
+func mpScenarios(b *testing.B) []exp.Scenario {
+	b.Helper()
+	scs, err := exp.Scenarios([]string{"migration", "pressure"}, exp.Options{Quick: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return scs
+}
+
+func runMP(b *testing.B, scs []exp.Scenario) {
+	b.Helper()
+	results := exp.Runner{Parallel: 1}.Run(scs)
+	for _, r := range results {
+		if r.Err != "" {
+			b.Fatalf("scenario %s failed: %s", r.ID, r.Err)
+		}
+	}
+}
+
+// BenchmarkGridMP is the bus-off baseline: the migration+pressure
+// quick grid, serial, no telemetry subscribers — every Publish takes
+// the zero-subscriber early return.
+func BenchmarkGridMP(b *testing.B) {
+	scs := mpScenarios(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runMP(b, scs)
+	}
+}
+
+// BenchmarkGridMPBus is the same grid with every topic of every System
+// subscribed. Comparing against BenchmarkGridMP bounds the bus's
+// fully-lit overhead; the acceptance ceiling is 5%.
+func BenchmarkGridMPBus(b *testing.B) {
+	scs := mpScenarios(b)
+	numamig.SetSystemObserver(func(sys *numamig.System) {
+		events := 0
+		sys.Bus().SubscribeAll(func(telemetry.Event) { events++ })
+		_ = events
+	})
+	defer numamig.SetSystemObserver(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runMP(b, scs)
+	}
+}

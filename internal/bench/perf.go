@@ -19,6 +19,7 @@ import (
 	numamig "numamig"
 	"numamig/internal/exp"
 	"numamig/internal/sim"
+	"numamig/internal/telemetry"
 )
 
 // PerfSchema identifies the report layout; bump on incompatible change.
@@ -253,6 +254,20 @@ func RunPerf(o PerfOptions, dir string, log io.Writer) error {
 	serial := o
 	serial.Parallel = 1
 	pt, err = gridPoint("grid/migration+pressure/"+suffix+"/p1", serial, mp, o.Quick)
+	if err != nil {
+		return err
+	}
+	core = emit(core, pt)
+	// The same serial grid with a subscriber on every telemetry topic of
+	// every System: p1-bus vs p1 is the recorded cost of a fully lit
+	// event bus (the acceptance bound is <= 5%).
+	numamig.SetSystemObserver(func(sys *numamig.System) {
+		events := 0
+		sys.Bus().SubscribeAll(func(telemetry.Event) { events++ })
+		_ = events
+	})
+	pt, err = gridPoint("grid/migration+pressure/"+suffix+"/p1-bus", serial, mp, o.Quick)
+	numamig.SetSystemObserver(nil)
 	if err != nil {
 		return err
 	}

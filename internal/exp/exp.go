@@ -59,6 +59,10 @@ type Scenario struct {
 	SlowNodes     int     `json:"slow_nodes,omitempty"`
 	SlowRatio     float64 `json:"slow_ratio,omitempty"`
 	RateLimitMBps float64 `json:"rate_limit_mbps,omitempty"`
+	// Adaptive replaces the static promotion rate limit with the
+	// closed-loop controller (internal/control); RateLimitMBps is
+	// ignored then.
+	Adaptive bool `json:"adaptive,omitempty"`
 }
 
 // Result is the outcome of one scenario: the virtual-time metrics and
@@ -80,7 +84,12 @@ type Result struct {
 	Flips         uint64  `json:"promote_demote_flips,omitempty"` // pages demoted within the flip window of their promotion
 	SlowResident  int64   `json:"slow_tier_resident,omitempty"`   // tiered: pages resident on slow-tier (CXL) nodes at run end
 	RateLimited   uint64  `json:"promote_rate_limited,omitempty"` // promotions dropped by the slow-tier token bucket
-	Err           string  `json:"err,omitempty"`
+	// Windowed telemetry columns (telemetry.Windows subscribers on the
+	// event bus; tiered family).
+	FaultRateHz     float64 `json:"fault_rate_hz,omitempty"`             // peak per-window page-fault rate
+	MigrateBWPeak   float64 `json:"migrate_bw_mbps_peak,omitempty"`      // peak per-window migration bandwidth
+	P99SlowResident float64 `json:"p99_slow_residency_window,omitempty"` // p99 of the windowed slow-tier residency gauge
+	Err             string  `json:"err,omitempty"`
 }
 
 // Options scales scenario generation.

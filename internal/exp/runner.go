@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"fmt"
 	"io"
 	"runtime"
 	"sync"
@@ -53,21 +52,22 @@ func (r Runner) Run(scs []Scenario) []Result {
 	return out
 }
 
-// Table renders results as an aligned report table (also the CSV shape).
+// Table renders results as an aligned report table (also the CSV
+// shape), with the column set and order defined once by Columns().
 func Table(results []Result) *report.Table {
-	tbl := report.NewTable("Experiment grid",
-		"id", "patched", "mode", "workload", "pages", "nodes", "seed",
-		"sim_seconds", "mbps", "pages_moved", "migrated_mb",
-		"faults", "syscalls", "tlb_shootdowns", "remote_mb", "local_mb",
-		"numa_hints", "pages_demoted", "hot_local", "promote_demote_flips",
-		"slow_tier_resident", "promote_rate_limited", "err")
+	cols := Columns()
+	headers := make([]string, len(cols))
+	for i, c := range cols {
+		headers[i] = c.Name
+	}
+	tbl := report.NewTable("Experiment grid", headers...)
 	tbl.Grow(len(results))
-	for _, r := range results {
-		tbl.Add(r.ID, r.Patched, r.Mode, r.Workload, r.Pages, r.Nodes, r.Seed,
-			fmt.Sprintf("%.6f", r.SimSeconds), r.MBps, r.PagesMoved, r.MigratedMB,
-			r.Faults, r.Syscalls, r.TLBShootdowns, r.RemoteMB, r.LocalMB,
-			r.NumaHints, r.Demoted, fmt.Sprintf("%.3f", r.HotLocal), r.Flips,
-			r.SlowResident, r.RateLimited, r.Err)
+	cells := make([]interface{}, len(cols))
+	for i := range results {
+		for j, c := range cols {
+			cells[j] = c.Cell(&results[i])
+		}
+		tbl.Add(cells...)
 	}
 	return tbl
 }

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"fmt"
+
+	"numamig/internal/report"
+)
+
+// Column is one table/CSV column of the grid report: its header name
+// and the cell renderer. The table and CSV encodings are positional, so
+// every consumer that joins on columns (tools/benchcmp-style diffs,
+// spreadsheet imports) depends on one stable registration order — this
+// schema is that single point of registration. Add new columns here,
+// before the trailing "err" column, and nowhere else.
+type Column struct {
+	Name string
+	Cell func(r *Result) string
+}
+
+func str(v interface{}) string { return fmt.Sprintf("%v", v) }
+
+func flt(v float64) string { return report.FormatFloat(v) }
+
+// Columns returns the grid report schema, in output order.
+func Columns() []Column {
+	return []Column{
+		{"id", func(r *Result) string { return r.ID }},
+		{"patched", func(r *Result) string { return str(r.Patched) }},
+		{"mode", func(r *Result) string { return r.Mode }},
+		{"workload", func(r *Result) string { return r.Workload }},
+		{"pages", func(r *Result) string { return str(r.Pages) }},
+		{"nodes", func(r *Result) string { return str(r.Nodes) }},
+		{"seed", func(r *Result) string { return str(r.Seed) }},
+		{"sim_seconds", func(r *Result) string { return fmt.Sprintf("%.6f", r.SimSeconds) }},
+		{"mbps", func(r *Result) string { return flt(r.MBps) }},
+		{"pages_moved", func(r *Result) string { return str(r.PagesMoved) }},
+		{"migrated_mb", func(r *Result) string { return flt(r.MigratedMB) }},
+		{"faults", func(r *Result) string { return str(r.Faults) }},
+		{"syscalls", func(r *Result) string { return str(r.Syscalls) }},
+		{"tlb_shootdowns", func(r *Result) string { return str(r.TLBShootdowns) }},
+		{"remote_mb", func(r *Result) string { return flt(r.RemoteMB) }},
+		{"local_mb", func(r *Result) string { return flt(r.LocalMB) }},
+		{"numa_hints", func(r *Result) string { return str(r.NumaHints) }},
+		{"pages_demoted", func(r *Result) string { return str(r.Demoted) }},
+		{"hot_local", func(r *Result) string { return fmt.Sprintf("%.3f", r.HotLocal) }},
+		{"promote_demote_flips", func(r *Result) string { return str(r.Flips) }},
+		{"slow_tier_resident", func(r *Result) string { return str(r.SlowResident) }},
+		{"promote_rate_limited", func(r *Result) string { return str(r.RateLimited) }},
+		{"fault_rate_hz", func(r *Result) string { return flt(r.FaultRateHz) }},
+		{"migrate_bw_mbps_peak", func(r *Result) string { return flt(r.MigrateBWPeak) }},
+		{"p99_slow_residency_window", func(r *Result) string { return flt(r.P99SlowResident) }},
+		{"err", func(r *Result) string { return r.Err }},
+	}
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSchemaIsTheOnlyColumnSource pins the report schema: the CSV
+// header (and therefore the table) comes from Columns() and nowhere
+// else, the order is stable with "id" first and "err" last, and every
+// cell renders on a zero Result. Positional consumers (spreadsheet
+// imports, diff tools) depend on this exact order — extend Columns()
+// before "err", never reorder.
+func TestSchemaIsTheOnlyColumnSource(t *testing.T) {
+	cols := Columns()
+	if len(cols) < 2 || cols[0].Name != "id" || cols[len(cols)-1].Name != "err" {
+		t.Fatalf("schema must start with id and end with err, got %q ... %q",
+			cols[0].Name, cols[len(cols)-1].Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		if c.Name == "" || c.Cell == nil {
+			t.Fatalf("column %q incompletely registered", c.Name)
+		}
+		if seen[c.Name] {
+			t.Fatalf("duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+
+	var zero Result
+	for _, c := range cols {
+		_ = c.Cell(&zero) // must not panic
+	}
+
+	var buf bytes.Buffer
+	WriteCSV(&buf, []Result{{Scenario: Scenario{ID: "x/y"}}})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV of one result has %d lines, want header + row", len(lines))
+	}
+	var names []string
+	for _, c := range cols {
+		names = append(names, c.Name)
+	}
+	if got, want := lines[0], strings.Join(names, ","); got != want {
+		t.Fatalf("CSV header diverged from Columns():\n got %s\nwant %s", got, want)
+	}
+	if n := len(strings.Split(lines[1], ",")); n != len(cols) {
+		t.Fatalf("CSV row has %d cells, schema has %d columns", n, len(cols))
+	}
+}
+
+// TestSchemaCoversResultMeasurements keeps the positional report and
+// the JSON report aligned for measurements: every field declared
+// directly on Result (not the embedded Scenario, whose config axes are
+// JSON-only — they are encoded in the scenario ID) must be a
+// registered column, so a measurement added to Result cannot silently
+// skip the table/CSV surface.
+func TestSchemaCoversResultMeasurements(t *testing.T) {
+	known := map[string]bool{}
+	for _, c := range Columns() {
+		known[c.Name] = true
+	}
+	rt := reflect.TypeOf(Result{})
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if f.Anonymous { // the embedded Scenario
+			continue
+		}
+		tag := f.Tag.Get("json")
+		name := strings.Split(tag, ",")[0]
+		if name == "" || name == "-" {
+			t.Errorf("Result.%s has no json name", f.Name)
+			continue
+		}
+		if !known[name] {
+			t.Errorf("Result.%s (json %q) has no registered column — add it to Columns() before \"err\"",
+				f.Name, name)
+		}
+	}
+}

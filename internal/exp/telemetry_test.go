@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"testing"
+
+	numamig "numamig"
+	"numamig/internal/telemetry"
+)
+
+// logHasher folds one System's full event stream into an FNV-64a hash
+// and checks the (Time, Seq) total order as it goes. Handlers run under
+// the owning system's engine token, so no locking is needed inside.
+type logHasher struct {
+	h         interface{ Sum64() uint64 }
+	write     func([]byte)
+	last      telemetry.Event
+	any       bool
+	misorder  bool
+	numEvents int
+}
+
+func newLogHasher() *logHasher {
+	h := fnv.New64a()
+	return &logHasher{h: h, write: func(b []byte) { h.Write(b) }}
+}
+
+func (l *logHasher) observe(ev telemetry.Event) {
+	if l.any {
+		if ev.Time < l.last.Time || (ev.Time == l.last.Time && ev.Seq <= l.last.Seq) {
+			l.misorder = true
+		}
+	}
+	l.last, l.any = ev, true
+	l.numEvents++
+	var buf [8 * 8]byte
+	fields := [...]uint64{
+		uint64(ev.Time), uint64(ev.Seq), uint64(ev.Topic),
+		uint64(int64(ev.Node)), uint64(int64(ev.Dst)),
+		uint64(ev.Task), uint64(ev.Pages), uint64(ev.Dur),
+	}
+	for i, f := range fields {
+		for b := 0; b < 8; b++ {
+			buf[i*8+b] = byte(f >> (8 * b))
+		}
+	}
+	l.write(buf[:])
+}
+
+// hashGrid runs every registered family's quick grid at the given
+// parallelism with a log hasher attached to each System, returning the
+// sorted multiset of per-system (hash, count) pairs.
+func hashGrid(t *testing.T, parallelism int) []uint64 {
+	t.Helper()
+	var mu sync.Mutex
+	var hashers []*logHasher
+	numamig.SetSystemObserver(func(sys *numamig.System) {
+		l := newLogHasher()
+		mu.Lock()
+		hashers = append(hashers, l)
+		mu.Unlock()
+		sys.Bus().SubscribeAll(l.observe)
+	})
+	defer numamig.SetSystemObserver(nil)
+
+	scs, err := Scenarios(nil, Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := Runner{Parallel: parallelism}.Run(scs)
+	for _, r := range results {
+		if r.Err != "" {
+			t.Fatalf("scenario %s failed: %s", r.ID, r.Err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hashers) == 0 {
+		t.Fatal("no systems observed")
+	}
+	sums := make([]uint64, 0, len(hashers))
+	events := 0
+	for _, l := range hashers {
+		if l.misorder {
+			t.Fatal("a system's event log violated the (Time, Seq) total order")
+		}
+		sums = append(sums, l.h.Sum64())
+		events += l.numEvents
+	}
+	if events == 0 {
+		t.Fatal("the grid published no events — the property test exercised nothing")
+	}
+	sort.Slice(sums, func(i, j int) bool { return sums[i] < sums[j] })
+	return sums
+}
+
+// TestEventLogParallelismInvariant pins the tentpole determinism
+// property: the full telemetry stream of every System in the quick
+// grid — all registered families — is byte-identical (here:
+// FNV-64a-identical, field by field) whether the runner uses one
+// worker or eight. Event stamps come only from virtual time and the
+// per-instant sequence, so the executing goroutine must not matter.
+func TestEventLogParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick grid twice")
+	}
+	seq := hashGrid(t, 1)
+	par := hashGrid(t, 8)
+	if len(seq) != len(par) {
+		t.Fatalf("system counts differ: %d sequential vs %d parallel", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("event-log hash multiset differs at %d: %#x vs %#x", i, seq[i], par[i])
+		}
+	}
+}

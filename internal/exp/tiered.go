@@ -31,24 +31,32 @@ func init() {
 			if o.Quick {
 				ratios = []float64{1}
 			}
+			// The rate-limit axis: limiter off, the static limit, and
+			// the closed-loop adaptive controller — so static vs
+			// adaptive promotion throttling is one grid comparison.
+			limits := []struct {
+				rate     float64
+				adaptive bool
+				label    string
+			}{
+				{0, false, "nolimit"},
+				{1, false, "rl1"},
+				{0, true, "rladapt"},
+			}
 			var out []Scenario
 			for _, fast := range o.nodes() {
 				if fast < 2 || fast+1 > 8 {
 					continue
 				}
 				for _, ratio := range ratios {
-					for _, rate := range []float64{0, 1} {
-						rl := "nolimit"
-						if rate > 0 {
-							rl = fmt.Sprintf("rl%g", rate)
-						}
+					for _, lim := range limits {
 						for _, hyst := range []bool{true, false} {
 							suffix := "nohyst"
 							if hyst {
 								suffix = "hyst"
 							}
 							out = append(out, Scenario{
-								ID:            fmt.Sprintf("tiered/%s/%s/r%g/f%d", rl, suffix, ratio, fast),
+								ID:            fmt.Sprintf("tiered/%s/%s/r%g/f%d", lim.label, suffix, ratio, fast),
 								Family:        "tiered",
 								Patched:       true,
 								Mode:          "autonuma",
@@ -60,7 +68,8 @@ func init() {
 								Hysteresis:    hyst,
 								SlowNodes:     1,
 								SlowRatio:     ratio,
-								RateLimitMBps: rate,
+								RateLimitMBps: lim.rate,
+								Adaptive:      lim.adaptive,
 							})
 						}
 					}
@@ -85,6 +94,7 @@ func runTiered(s Scenario) Result {
 		NodePages:     s.Pages,
 		SlowRatio:     s.SlowRatio,
 		RateLimitMBps: s.RateLimitMBps,
+		Adaptive:      s.Adaptive,
 		Hysteresis:    s.Hysteresis,
 		Seed:          s.Seed,
 	})
@@ -109,15 +119,24 @@ func runTiered(s Scenario) Result {
 	case r.WindowSlowAfter >= r.WindowSlowBefore:
 		res.Err = fmt.Sprintf("slow-tier residency of the hot window did not fall: %d -> %d",
 			r.WindowSlowBefore, r.WindowSlowAfter)
-	case s.RateLimitMBps > 0 && r.RateLimited == 0:
+	case !s.Adaptive && s.RateLimitMBps > 0 && r.RateLimited == 0:
 		res.Err = "rate limiter on but no promotion was ever rate-limited"
-	case s.RateLimitMBps <= 0 && r.RateLimited != 0:
+	case !s.Adaptive && s.RateLimitMBps <= 0 && r.RateLimited != 0:
 		res.Err = fmt.Sprintf("rate limiter off but %d promotions rate-limited", r.RateLimited)
+	case s.Adaptive && r.RateLimited == 0:
+		// The controller starts at its floor, so the promote burst must
+		// hit the bucket at least once before the loop widens it.
+		res.Err = "adaptive controller ran but no promotion was ever rate-limited"
+	case s.Adaptive && r.Control.Widens == 0:
+		res.Err = "adaptive controller observed drops but never widened the limit"
 	}
 	if res.Err != "" {
 		return res
 	}
 	fillStats(&res, r.Stats, r.MigratedMB, r.Bytes, r.Dur)
 	res.SlowResident = r.SlowResident
+	res.FaultRateHz = r.FaultRateHz
+	res.MigrateBWPeak = r.MigrateBWPeakMBps
+	res.P99SlowResident = r.P99SlowResident
 	return res
 }

@@ -6,6 +6,7 @@ import (
 
 	"numamig/internal/model"
 	"numamig/internal/sim"
+	"numamig/internal/telemetry"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
 )
@@ -132,6 +133,13 @@ func (t *Task) FaultIn(addr vm.Addr, length int64, write bool) (int, error) {
 			return serviced, nil
 		}
 		k.Stats.Faults++
+		if k.bus.Active(telemetry.TopicPageFault) {
+			k.bus.Publish(telemetry.Event{
+				Topic: telemetry.TopicPageFault,
+				Node:  t.Node(), Dst: telemetry.NoNode,
+				Task: t.P.ID(), Pages: 1,
+			})
+		}
 		t.P.Sleep(k.P.FaultBase)
 		if err := t.raiseSegv(segvAt, write); err != nil {
 			return serviced, err
@@ -172,6 +180,13 @@ func (t *Task) serviceChunk(ci uint64, absent, stale []vm.VPN) {
 	// Demand allocations.
 	if len(absent) > 0 {
 		k.Stats.Faults += uint64(len(absent))
+		if k.bus.Active(telemetry.TopicPageFault) {
+			k.bus.Publish(telemetry.Event{
+				Topic: telemetry.TopicPageFault,
+				Node:  t.Node(), Dst: telemetry.NoNode,
+				Task: t.P.ID(), Pages: len(absent),
+			})
+		}
 		k.Stats.DemandAllocs += uint64(len(absent))
 		t.P.Sleep(sim.Time(len(absent)) * (k.P.FaultBase + k.P.DemandZero))
 		for _, p := range absent {

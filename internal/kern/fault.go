@@ -6,6 +6,7 @@ import (
 	"numamig/internal/mem"
 	"numamig/internal/migrate"
 	"numamig/internal/sim"
+	"numamig/internal/telemetry"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
 )
@@ -51,6 +52,13 @@ func (t *Task) Touch(addr vm.Addr, write bool) error {
 func (t *Task) fault(addr vm.Addr, write bool) error {
 	k := t.Proc.K
 	k.Stats.Faults++
+	if k.bus.Active(telemetry.TopicPageFault) {
+		k.bus.Publish(telemetry.Event{
+			Topic: telemetry.TopicPageFault,
+			Node:  t.Node(), Dst: telemetry.NoNode,
+			Task: t.P.ID(), Pages: 1,
+		})
+	}
 	t.P.Sleep(k.P.FaultBase)
 
 	sp := t.Proc.Space
@@ -134,6 +142,11 @@ func (t *Task) allocFrame(target topology.NodeID) *mem.Frame {
 func (t *Task) ntServiceFaults(pages []vm.VPN) {
 	k := t.Proc.K
 	k.Stats.Faults += uint64(len(pages))
+	k.bus.Publish(telemetry.Event{
+		Topic: telemetry.TopicPageFault,
+		Node:  t.Node(), Dst: telemetry.NoNode,
+		Task: t.P.ID(), Pages: len(pages),
+	})
 	t.P.InCat(CatNTCtl, func() {
 		t.P.Sleep(sim.Time(len(pages)) * k.P.FaultBase)
 	})

@@ -6,6 +6,7 @@ import (
 	"numamig/internal/migrate"
 	"numamig/internal/model"
 	"numamig/internal/sim"
+	"numamig/internal/telemetry"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
 )
@@ -84,6 +85,13 @@ func (t *Task) TouchHuge(addr vm.Addr, length int64) (int, error) {
 		cl.Acquire(t.P)
 		if !populated(c) {
 			k.Stats.Faults++
+			if k.bus.Active(telemetry.TopicPageFault) {
+				k.bus.Publish(telemetry.Event{
+					Topic: telemetry.TopicPageFault,
+					Node:  t.Node(), Dst: telemetry.NoNode,
+					Task: t.P.ID(), Pages: 1,
+				})
+			}
 			t.P.Sleep(k.P.FaultBase)
 			// Key policy interleaving on the huge-unit index, not the
 			// base VPN: chunk bases are multiples of 512, so a VPN key

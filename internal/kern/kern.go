@@ -16,6 +16,7 @@ import (
 	"numamig/internal/model"
 	"numamig/internal/placement"
 	"numamig/internal/sim"
+	"numamig/internal/telemetry"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
 )
@@ -116,6 +117,12 @@ type Kernel struct {
 	// only slow-tier source nodes ever consume from them.
 	promoBuckets []promoBucket
 
+	// bus is the machine's telemetry event bus (internal/telemetry):
+	// every Stats increment with a time dimension also publishes a
+	// typed event here. Unexported so the Bus accessor can satisfy
+	// migrate.Env.
+	bus *telemetry.Bus
+
 	Stats Stats
 }
 
@@ -148,11 +155,17 @@ func New(eng *sim.Engine, m *topology.Machine, p model.Params, backed bool) *Ker
 	for _, l := range m.Links {
 		k.HT = append(k.HT, sim.NewLink(fmt.Sprintf("ht%d-%d", l.A, l.B), p.HTLinkBW))
 	}
+	k.bus = telemetry.NewBus(eng.Now)
 	k.Placer = placement.New(m, k.Phys, &k.P)
+	k.Placer.SetBus(k.bus)
 	k.migPatched = migrate.New(k, migrate.Patched)
 	k.migUnpatched = migrate.New(k, migrate.Unpatched)
 	return k
 }
+
+// Bus returns the kernel's telemetry event bus (also the migrate.Env
+// hook the shared migration engines publish through).
+func (k *Kernel) Bus() *telemetry.Bus { return k.bus }
 
 // PromoGeneration returns the current kswapd scan-period generation:
 // virtual time quantized by KswapdPeriod, offset so a valid generation
@@ -261,6 +274,10 @@ func (k *Kernel) AllowSlowPromotion(src topology.NodeID) bool {
 	}
 	if b.tokens < model.PageSize {
 		k.Stats.PromoteRateLimited++
+		k.bus.Publish(telemetry.Event{
+			Topic: telemetry.TopicRateLimitDrop,
+			Node:  src, Dst: telemetry.NoNode, Pages: 1,
+		})
 		return false
 	}
 	b.tokens -= model.PageSize
@@ -370,6 +387,11 @@ func (k *Kernel) NewProcess(name string) *Process {
 	k.procs = append(k.procs, pr)
 	return pr
 }
+
+// LiveThreads returns the number of live tasks across every process.
+// The kernel daemons — and any control daemon built on the telemetry
+// bus — retire once it reaches zero, so the engine drains normally.
+func (k *Kernel) LiveThreads() int { return k.liveThreads() }
 
 // liveThreads returns the number of live tasks across every process;
 // the kernel daemons retire once it reaches zero.

@@ -6,6 +6,7 @@ import (
 	"numamig/internal/migrate"
 	"numamig/internal/model"
 	"numamig/internal/sim"
+	"numamig/internal/telemetry"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
 )
@@ -109,7 +110,13 @@ func (d *kswapd) daemon(p *sim.Proc) {
 		switch {
 		case d.k.Phys.UnderPressure(d.node):
 			d.k.Stats.KswapdWakeups++
+			t0 := p.Now()
 			d.reclaim(p)
+			d.k.bus.Publish(telemetry.Event{
+				Topic: telemetry.TopicKswapdWake,
+				Node:  d.node, Dst: telemetry.NoNode,
+				Task: p.ID(), Dur: p.Now() - t0,
+			})
 		case !d.k.Phys.Reclaimed(d.node) && d.k.P.KswapdProactiveBatch > 0:
 			// Between low and high: demote a small batch of genuinely
 			// cold pages so the next allocation burst finds headroom
@@ -439,7 +446,7 @@ func (d *kswapd) shrink(p *sim.Proc, pr *Process, near, far topology.NodeID, bat
 	// Count (and report as progress) only the pages that actually left
 	// this node: a racing allocation can still exhaust dst mid-batch
 	// and bounce the engine's fallback right back here.
-	demoted := 0
+	demoted, coldOut := 0, 0
 	for i, s := range status {
 		if s < 0 || topology.NodeID(s) == d.node {
 			continue
@@ -447,11 +454,19 @@ func (d *kswapd) shrink(p *sim.Proc, pr *Process, near, far topology.NodeID, bat
 		demoted++
 		if cands[i].cold {
 			k.Stats.PagesDemotedCold++
+			coldOut++
 		}
 		if cands[i].flip {
 			k.Stats.PromoteDemoteFlips++
 		}
 	}
 	k.Stats.PagesDemoted += uint64(demoted)
+	if demoted > 0 {
+		k.bus.Publish(telemetry.Event{
+			Topic: telemetry.TopicDemote,
+			Node:  d.node, Dst: telemetry.NoNode,
+			Task: p.ID(), Pages: demoted, Value: float64(coldOut),
+		})
+	}
 	return demoted
 }

@@ -4,6 +4,7 @@ import (
 	"numamig/internal/migrate"
 	"numamig/internal/model"
 	"numamig/internal/sim"
+	"numamig/internal/telemetry"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
 )
@@ -133,6 +134,11 @@ func (pr *Process) ArmNumaHints(p *sim.Proc, cursor vm.VPN, max int) (int, vm.VP
 func (t *Task) numaServiceFaults(pages []vm.VPN) {
 	k := t.Proc.K
 	k.Stats.Faults += uint64(len(pages))
+	k.bus.Publish(telemetry.Event{
+		Topic: telemetry.TopicPageFault,
+		Node:  t.Node(), Dst: telemetry.NoNode,
+		Task: t.P.ID(), Pages: len(pages),
+	})
 	t.P.InCat(CatNumaHint, func() {
 		t.P.Sleep(sim.Time(len(pages)) * k.P.FaultBase)
 	})
@@ -186,6 +192,11 @@ func (t *Task) numaHintFaults(pages []vm.VPN) {
 		return
 	}
 	k.Stats.NumaHintFaults += uint64(len(faulted))
+	k.bus.Publish(telemetry.Event{
+		Topic: telemetry.TopicNumaHintFault,
+		Node:  t.Node(), Dst: telemetry.NoNode,
+		Task: t.P.ID(), Pages: len(faulted),
+	})
 	t.P.Sleep(sim.Time(len(faulted)) * k.P.NumaHintFault)
 
 	b := t.Proc.numaBalancer
@@ -230,4 +241,11 @@ func (t *Task) numaHintFaults(pages []vm.VPN) {
 		StampPromoGen: k.PromoGeneration(),
 	})
 	k.Stats.NumaPagesPromoted += uint64(res.Moved)
+	if res.Moved > 0 {
+		k.bus.Publish(telemetry.Event{
+			Topic: telemetry.TopicPromote,
+			Node:  telemetry.NoNode, Dst: t.Node(),
+			Task: t.P.ID(), Pages: res.Moved,
+		})
+	}
 }

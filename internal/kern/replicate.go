@@ -7,6 +7,7 @@ import (
 	"numamig/internal/migrate"
 	"numamig/internal/model"
 	"numamig/internal/sim"
+	"numamig/internal/telemetry"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
 )
@@ -231,6 +232,13 @@ func (t *Task) WriteReplicated(addr vm.Addr) error {
 	if _, ok := pr.replicas[p]; ok {
 		k := pr.K
 		k.Stats.Faults++
+		if k.bus.Active(telemetry.TopicPageFault) {
+			k.bus.Publish(telemetry.Event{
+				Topic: telemetry.TopicPageFault,
+				Node:  t.Node(), Dst: telemetry.NoNode,
+				Task: t.P.ID(), Pages: 1,
+			})
+		}
 		t.P.Sleep(k.P.FaultBase + k.P.NTFaultCtl)
 		cl := pr.chunkLock(vm.ChunkIndex(p))
 		cl.Acquire(t.P)

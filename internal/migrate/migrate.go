@@ -50,6 +50,7 @@ import (
 	"numamig/internal/mem"
 	"numamig/internal/model"
 	"numamig/internal/sim"
+	"numamig/internal/telemetry"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
 )
@@ -141,6 +142,9 @@ type Env interface {
 	// slower); the engine uses it to break its traffic down by tier
 	// direction (Stats.PagesTierDown / PagesTierUp).
 	TierOf(n topology.NodeID) int
+	// Bus returns the machine's telemetry event bus; the engine
+	// publishes MigrateBatch and TierTraffic events on it.
+	Bus() *telemetry.Bus
 	// MigLock is the global serialized migration-setup lock (task
 	// lookup, per-CPU pagevec drains).
 	MigLock() *sim.Resource
@@ -285,13 +289,25 @@ func (e *Engine) Strategy() Strategy { return e.strategy }
 // counters when source and destination sit on different memory tiers.
 func (e *Engine) noteTier(src, dst topology.NodeID, bytes float64) {
 	st, dt := e.env.TierOf(src), e.env.TierOf(dst)
+	dir := 0.0
 	switch {
 	case dt > st:
 		e.Stats.PagesTierDown++
 		e.Stats.BytesTierDown += bytes
+		dir = 1
 	case dt < st:
 		e.Stats.PagesTierUp++
 		e.Stats.BytesTierUp += bytes
+		dir = -1
+	default:
+		return
+	}
+	if bus := e.env.Bus(); bus.Active(telemetry.TopicTierTraffic) {
+		bus.Publish(telemetry.Event{
+			Topic: telemetry.TopicTierTraffic,
+			Node:  src, Dst: dst,
+			Pages: 1, Bytes: bytes, Value: dir,
+		})
 	}
 }
 
@@ -370,6 +386,7 @@ func (e *Engine) Migrate(req *Request) Result {
 	c := e.costs(req.Path)
 	var res Result
 	e.Stats.Requests++
+	t0 := req.P.Now()
 
 	s := getScratch()
 	defer putScratch(s)
@@ -424,6 +441,17 @@ func (e *Engine) Migrate(req *Request) Result {
 	e.Stats.PagesRaced += uint64(res.Raced)
 	e.Stats.RetryPasses += uint64(res.Retries)
 	e.Stats.BytesMoved += res.Bytes
+	if res.Moved > 0 {
+		if bus := e.env.Bus(); bus.Active(telemetry.TopicMigrateBatch) {
+			bus.Publish(telemetry.Event{
+				Topic: telemetry.TopicMigrateBatch,
+				Node:  telemetry.NoNode, Dst: telemetry.NoNode,
+				Task: req.P.ID(), Pages: res.Moved,
+				Dur: req.P.Now() - t0, Bytes: res.Bytes,
+				Value: float64(req.Path),
+			})
+		}
+	}
 	return res
 }
 

@@ -55,6 +55,7 @@ package placement
 import (
 	"numamig/internal/mem"
 	"numamig/internal/model"
+	"numamig/internal/telemetry"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
 )
@@ -68,7 +69,13 @@ type Placer struct {
 	boostAlive bool // burst boosting armed (EnableBurstBoost)
 	anySlow    bool // any node on a slow tier (tier > 0)
 	zonelists  [][]topology.NodeID
+	bus        *telemetry.Bus // optional: WatermarkBoost events
 }
+
+// SetBus attaches the machine's telemetry bus; the placer publishes
+// WatermarkBoost events on it. Optional — a nil bus (the placement
+// unit tests construct Placers bare) just disables the events.
+func (pl *Placer) SetBus(b *telemetry.Bus) { pl.bus = b }
 
 // EnableBurstBoost arms watermark boosting under allocation bursts
 // (Params.WatermarkBoostFactor). The kernel calls it when it starts
@@ -298,7 +305,15 @@ func (pl *Placer) boostAfterBurst(target topology.NodeID) {
 		return
 	}
 	wm := pl.Phys.WatermarksOf(target)
-	pl.Phys.BoostWatermark(target, int64(float64(wm.High-wm.Low)*pl.p.WatermarkBoostFactor))
+	boost := int64(float64(wm.High-wm.Low) * pl.p.WatermarkBoostFactor)
+	pl.Phys.BoostWatermark(target, boost)
+	if pl.bus != nil {
+		pl.bus.Publish(telemetry.Event{
+			Topic: telemetry.TopicWatermarkBoost,
+			Node:  target, Dst: telemetry.NoNode,
+			Value: float64(boost),
+		})
+	}
 }
 
 // AllocPage allocates one frame as near target as the watermarks and

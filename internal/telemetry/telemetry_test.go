@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"numamig/internal/sim"
+	"numamig/internal/topology"
+)
+
+// fakeClock drives the bus without a full engine.
+type fakeClock struct{ t sim.Time }
+
+func (c *fakeClock) now() sim.Time { return c.t }
+
+// TestPublishStampsTimeAndSeq pins the (Time, Seq) contract: Seq
+// counts up within an instant and resets to zero when time advances.
+func TestPublishStampsTimeAndSeq(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBus(clk.now)
+	var got []Event
+	b.SubscribeAll(func(ev Event) { got = append(got, ev) })
+
+	clk.t = 10
+	b.Publish(Event{Topic: TopicPageFault, Pages: 1})
+	b.Publish(Event{Topic: TopicDemote, Pages: 2})
+	clk.t = 20
+	b.Publish(Event{Topic: TopicPromote, Pages: 3})
+	clk.t = 20 // same instant
+	b.Publish(Event{Topic: TopicPromote, Pages: 4})
+
+	want := []struct {
+		time sim.Time
+		seq  uint32
+	}{{10, 0}, {10, 1}, {20, 0}, {20, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Time != w.time || got[i].Seq != w.seq {
+			t.Errorf("event %d: (time,seq) = (%d,%d), want (%d,%d)",
+				i, got[i].Time, got[i].Seq, w.time, w.seq)
+		}
+	}
+}
+
+// TestPublishWithoutSubscribersConsumesNoSeq pins the rule that makes
+// subscriber sets composable: an unobserved topic never advances the
+// per-instant sequence, so attaching a PageFault subscriber cannot
+// change the stamps a Demote subscriber sees.
+func TestPublishWithoutSubscribersConsumesNoSeq(t *testing.T) {
+	clk := &fakeClock{t: 5}
+	b := NewBus(clk.now)
+	var got []Event
+	b.Subscribe(TopicDemote, func(ev Event) { got = append(got, ev) })
+
+	b.Publish(Event{Topic: TopicPageFault}) // no subscriber: dropped, no seq
+	b.Publish(Event{Topic: TopicDemote})
+	b.Publish(Event{Topic: TopicPageFault}) // dropped again
+	b.Publish(Event{Topic: TopicDemote})
+
+	if len(got) != 2 {
+		t.Fatalf("got %d Demote events, want 2", len(got))
+	}
+	if got[0].Seq != 0 || got[1].Seq != 1 {
+		t.Errorf("Demote seqs = %d,%d; want 0,1 (unobserved topics must not consume sequence numbers)",
+			got[0].Seq, got[1].Seq)
+	}
+}
+
+// TestActive pins the hot-path guard: Active flips per topic as
+// subscriptions land, and SubscribeAll lights every topic.
+func TestActive(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBus(clk.now)
+	if b.Active(TopicPageFault) {
+		t.Fatal("fresh bus reports TopicPageFault active")
+	}
+	b.Subscribe(TopicPageFault, func(Event) {})
+	if !b.Active(TopicPageFault) {
+		t.Fatal("Active false after Subscribe")
+	}
+	if b.Active(TopicDemote) {
+		t.Fatal("subscribing to PageFault activated Demote")
+	}
+	b.SubscribeAll(func(Event) {})
+	for topic := Topic(0); topic < NumTopics; topic++ {
+		if !b.Active(topic) {
+			t.Errorf("SubscribeAll left %v inactive", topic)
+		}
+	}
+}
+
+// TestTopicsNamesEveryTopic guards the docscheck contract.
+func TestTopicsNamesEveryTopic(t *testing.T) {
+	names := Topics()
+	if len(names) != int(NumTopics) {
+		t.Fatalf("Topics() returned %d names, want %d", len(names), NumTopics)
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" {
+			t.Errorf("topic %d has no name", i)
+		}
+		if seen[n] {
+			t.Errorf("duplicate topic name %q", n)
+		}
+		seen[n] = true
+		if Topic(i).String() != n {
+			t.Errorf("Topic(%d).String() = %q, want %q", i, Topic(i).String(), n)
+		}
+	}
+}
+
+// TestWindowsAggregation feeds a hand-built stream through the window
+// aggregator and checks the three derived grid columns.
+func TestWindowsAggregation(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBus(clk.now)
+	gauge := int64(0)
+	w := NewWindows(b, 1000, func() int64 { return gauge })
+
+	// Window 0 [0,1000): 4 faulted pages, 2 MiB migrated.
+	gauge = 10
+	clk.t = 100
+	b.Publish(Event{Topic: TopicPageFault, Pages: 4})
+	b.Publish(Event{Topic: TopicMigrateBatch, Pages: 512, Bytes: 2 << 20})
+	// Window 2 [2000,3000): 2 pages, no migration. Window 1 is a gap —
+	// it must still contribute a gauge sample. Window 0 closes (and
+	// samples the gauge, still 10) while observing this event.
+	clk.t = 2500
+	b.Publish(Event{Topic: TopicPageFault, Pages: 2})
+	gauge = 7 // seen only by the Finalize close
+
+	ws := w.Finalize()
+	if ws.Windows != 3 {
+		t.Fatalf("Windows = %d, want 3 (two active + one gap)", ws.Windows)
+	}
+	// Peak per-window fault rate: 4 pages in one 1000 ns window.
+	wantRate := 4.0 / 1000e-9
+	if !near(ws.FaultRateHz, wantRate) {
+		t.Errorf("FaultRateHz = %g, want %g", ws.FaultRateHz, wantRate)
+	}
+	// Peak bandwidth: 2 MiB in one 1000 ns window, reported in MB/s.
+	wantBW := float64(2<<20) / 1000e-9 / 1e6
+	if !near(ws.MigrateBWPeakMBps, wantBW) {
+		t.Errorf("MigrateBWPeakMBps = %g, want %g", ws.MigrateBWPeakMBps, wantBW)
+	}
+	// Gauge samples: 10 (window 0 close), 10 (gap window 1), 7 (final).
+	// p99 over a sorted 3-sample set indexes 3*99/100 = 2 -> 10.
+	if ws.P99SlowResident != 10 {
+		t.Errorf("P99SlowResident = %g, want 10", ws.P99SlowResident)
+	}
+}
+
+func near(got, want float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= want*1e-9
+}
+
+// TestTraceDeterministic records the same synthetic stream twice and
+// requires byte-identical trace JSON that parses and carries every
+// recorded event.
+func TestTraceDeterministic(t *testing.T) {
+	build := func() *bytes.Buffer {
+		clk := &fakeClock{}
+		b := NewBus(clk.now)
+		rec := Record(b)
+		clk.t = 1000
+		b.Publish(Event{Topic: TopicPageFault, Node: 0, Task: 3, Pages: 1})
+		b.Publish(Event{Topic: TopicKswapdWake, Node: 1, Task: 9, Dur: 500})
+		clk.t = 4000
+		b.Publish(Event{Topic: TopicMigrateBatch, Node: NoNode, Dst: NoNode, Task: 3, Pages: 32, Dur: 2000, Bytes: 1 << 17})
+		b.Publish(Event{Topic: TopicRateLimitDrop, Node: 2, Dst: topology.NodeID(-1), Pages: 1})
+		var buf bytes.Buffer
+		if err := rec.WriteTrace(&buf); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+		return &buf
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical recordings produced different trace bytes")
+	}
+	var tf struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &tf); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	slices := 0
+	for _, ev := range tf.TraceEvents {
+		if ev["ph"] == "X" {
+			slices++
+			if d, ok := ev["dur"].(float64); !ok || d < 0 {
+				t.Errorf("X slice with bad dur: %v", ev)
+			}
+		}
+	}
+	if slices == 0 {
+		t.Error("no X slices for the KswapdWake/MigrateBatch events")
+	}
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"sort"
+
+	"numamig/internal/sim"
+)
+
+// WindowStats is the summary a Windows aggregator produces after a run:
+// the windowed grid columns of the tiered/tiering families.
+type WindowStats struct {
+	// Windows is the number of closed windows the run spanned.
+	Windows int
+	// FaultRateHz is the peak per-window page-fault rate, in
+	// faults/second of virtual time.
+	FaultRateHz float64
+	// MigrateBWPeakMBps is the peak per-window migration-engine
+	// bandwidth (MigrateBatch bytes), in MB/s of virtual time.
+	MigrateBWPeakMBps float64
+	// P99SlowResident is the 99th percentile of the slow-tier
+	// residency gauge sampled at each window close, in pages.
+	P99SlowResident float64
+}
+
+// Windows turns the event stream into fixed-width time windows and
+// aggregates per-window fault and migration-bandwidth rates, plus a
+// caller-supplied gauge (slow-tier residency) sampled once per closed
+// window. It subscribes to every topic so any event — not only the
+// ones it accumulates — can close a window, which keeps the sampling
+// grid dense whenever the system is doing anything at all.
+type Windows struct {
+	width sim.Time
+	gauge func() int64
+
+	started   bool
+	winIdx    int64
+	faults    int
+	bytes     float64
+	peakFault int
+	peakBytes float64
+	samples   []int64
+	windows   int
+}
+
+// NewWindows attaches a window aggregator of the given width to b.
+// gauge is sampled at each window close (may be nil).
+func NewWindows(b *Bus, width sim.Time, gauge func() int64) *Windows {
+	if width <= 0 {
+		width = sim.FromSeconds(0.001)
+	}
+	w := &Windows{width: width, gauge: gauge}
+	b.SubscribeAll(w.observe)
+	return w
+}
+
+func (w *Windows) observe(ev Event) {
+	idx := int64(ev.Time / w.width)
+	if !w.started {
+		w.started = true
+		w.winIdx = idx
+	} else if idx != w.winIdx {
+		// Close every window up to idx: the one that accumulated, then
+		// one empty window per gap so the gauge sampling grid stays
+		// uniform across idle stretches.
+		w.close()
+		for g := w.winIdx + 1; g < idx; g++ {
+			w.sample()
+			w.windows++
+		}
+		w.winIdx = idx
+	}
+	switch ev.Topic {
+	case TopicPageFault:
+		w.faults += ev.Pages
+	case TopicMigrateBatch:
+		w.bytes += ev.Bytes
+	}
+}
+
+// close finishes the current window: fold its accumulators into the
+// peaks, sample the gauge, reset.
+func (w *Windows) close() {
+	if w.faults > w.peakFault {
+		w.peakFault = w.faults
+	}
+	if w.bytes > w.peakBytes {
+		w.peakBytes = w.bytes
+	}
+	w.faults, w.bytes = 0, 0
+	w.sample()
+	w.windows++
+}
+
+func (w *Windows) sample() {
+	if w.gauge != nil {
+		w.samples = append(w.samples, w.gauge())
+	}
+}
+
+// Finalize closes the in-progress window and returns the run's
+// windowed stats. Call once, after the simulation has drained.
+func (w *Windows) Finalize() WindowStats {
+	if w.started {
+		w.close()
+		w.started = false
+	}
+	st := WindowStats{
+		Windows:           w.windows,
+		FaultRateHz:       float64(w.peakFault) / w.width.Seconds(),
+		MigrateBWPeakMBps: w.peakBytes / w.width.Seconds() / 1e6,
+	}
+	if len(w.samples) > 0 {
+		s := append([]int64(nil), w.samples...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		st.P99SlowResident = float64(s[(len(s)*99)/100])
+	}
+	return st
+}

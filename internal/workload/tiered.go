@@ -4,9 +4,11 @@ import (
 	"fmt"
 
 	"numamig/internal/autonuma"
+	"numamig/internal/control"
 	"numamig/internal/kern"
 	"numamig/internal/model"
 	"numamig/internal/sim"
+	"numamig/internal/telemetry"
 	"numamig/internal/topology"
 
 	numamig "numamig"
@@ -53,6 +55,11 @@ type TieredConfig struct {
 	SlowRatio float64
 	// RateLimitMBps is Params.PromoteRateLimitMBps (0: unlimited).
 	RateLimitMBps float64
+	// Adaptive replaces the static rate limit with the closed-loop
+	// controller (internal/control): the limit starts at the
+	// controller's floor and widens only on observed rate-limit drops.
+	// RateLimitMBps is ignored when set.
+	Adaptive bool
 	// Hysteresis enables promotion hysteresis (the model default);
 	// false zeroes Params.PromotionHysteresisPeriods.
 	Hysteresis bool
@@ -138,6 +145,16 @@ type TieredResult struct {
 	Stats      kern.Stats
 	Auto       autonuma.Stats
 	MigratedMB float64
+	// Windowed telemetry columns (telemetry.Windows over the event
+	// bus, window width 5 x KswapdPeriod): peak per-window fault rate,
+	// peak per-window migration bandwidth, and the p99 of the
+	// slow-tier residency gauge sampled at window closes.
+	FaultRateHz       float64
+	MigrateBWPeakMBps float64
+	P99SlowResident   float64
+	// Control snapshots the adaptive controller's run (zero unless
+	// Config.Adaptive).
+	Control control.Stats
 }
 
 // Tiered builds a deterministic DRAM+CXL System and runs the
@@ -183,6 +200,11 @@ func Tiered(cfg TieredConfig) (TieredResult, error) {
 		Params:       &p,
 	})
 	bal := sys.EnableAutoNUMA(cfg.Auto)
+	var ctrl *control.Controller
+	if cfg.Adaptive {
+		ctrl = sys.EnableAdaptiveRateLimit(control.Config{})
+	}
+	win := telemetry.NewWindows(sys.Bus(), 5*p.KswapdPeriod, sys.SlowTierResident)
 
 	slowIDs := make([]topology.NodeID, 0, cfg.SlowNodes)
 	for n := cfg.FastNodes; n < nodes; n++ {
@@ -294,5 +316,12 @@ func Tiered(cfg TieredConfig) (TieredResult, error) {
 	res.TierUp = eng.Stats.PagesTierUp
 	res.MigratedMB = sys.MigratedBytes() / 1e6
 	res.Auto = bal.Stats
+	ws := win.Finalize()
+	res.FaultRateHz = ws.FaultRateHz
+	res.MigrateBWPeakMBps = ws.MigrateBWPeakMBps
+	res.P99SlowResident = ws.P99SlowResident
+	if ctrl != nil {
+		res.Control = ctrl.Stats
+	}
 	return res, nil
 }

@@ -87,6 +87,38 @@ func TestTieredRateLimiterThrottles(t *testing.T) {
 	}
 }
 
+// TestTieredAdaptiveMeetsOrBeatsStatic is the closed-loop acceptance
+// property: the adaptive controller starts at the static floor (1
+// MB/s) and widens only on observed drops, so its end-of-run slow-tier
+// residency must meet or beat every static positive limit — here the
+// grid's static cell — while still rate-limiting (it is not simply the
+// limiter turned off).
+func TestTieredAdaptiveMeetsOrBeatsStatic(t *testing.T) {
+	static, err := Tiered(tieredQuick(1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tieredQuick(0, true)
+	cfg.Adaptive = true
+	adaptive, err := Tiered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.SlowResident > static.SlowResident {
+		t.Fatalf("adaptive left more on the slow tier than the static limit: %d > %d",
+			adaptive.SlowResident, static.SlowResident)
+	}
+	if adaptive.RateLimited == 0 {
+		t.Fatal("adaptive run never rate-limited — the controller was signal-blind")
+	}
+	if adaptive.Control.Widens == 0 {
+		t.Fatalf("controller saw %d drops but never widened", adaptive.Control.Drops)
+	}
+	if adaptive.Control.PeakMBps <= 1 {
+		t.Fatalf("controller never rose above the floor: peak %g", adaptive.Control.PeakMBps)
+	}
+}
+
 // TestTieredDeterminism: same seed, same counters — including the
 // token bucket's drop count.
 func TestTieredDeterminism(t *testing.T) {

@@ -177,14 +177,17 @@ package numamig
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"numamig/internal/autonuma"
+	"numamig/internal/control"
 	"numamig/internal/core"
 	"numamig/internal/kern"
 	"numamig/internal/migrate"
 	"numamig/internal/model"
 	"numamig/internal/omp"
 	"numamig/internal/sim"
+	"numamig/internal/telemetry"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
 )
@@ -384,7 +387,33 @@ func New(cfg Config) *System {
 	if cfg.Demotion {
 		k.EnableDemotion()
 	}
-	return &System{Eng: eng, Machine: m, Kernel: k, Proc: k.NewProcess("app")}
+	s := &System{Eng: eng, Machine: m, Kernel: k, Proc: k.NewProcess("app")}
+	if f := sysObserver.Load(); f != nil {
+		(*f)(s)
+	}
+	return s
+}
+
+// sysObserver is the process-wide System construction hook
+// (SetSystemObserver).
+var sysObserver atomic.Pointer[func(*System)]
+
+// SetSystemObserver installs f to be called with every System New
+// constructs, before any simulated code runs — the attachment point for
+// telemetry subscribers (trace recorders, event-log hashers, counters)
+// on Systems built deep inside workloads or the experiment runner,
+// without threading configuration through every layer. Pass nil to
+// clear. f runs on whichever goroutine calls New, so it must be safe
+// for concurrent calls when scenarios run in parallel; install or clear
+// it only while no runner is active. The state each f invocation
+// touches should be per-System (e.g. subscribers on sys.Bus()) — the
+// bus itself must only be published from that System's simulated code.
+func SetSystemObserver(f func(*System)) {
+	if f == nil {
+		sysObserver.Store(nil)
+		return
+	}
+	sysObserver.Store(&f)
 }
 
 // EnableDemotion starts the per-node kswapd-style demotion daemons
@@ -407,6 +436,26 @@ func (s *System) RunOn(core CoreID, main func(t *Task)) error {
 
 // Now returns current virtual time.
 func (s *System) Now() Time { return s.Eng.Now() }
+
+// Bus returns the system's telemetry event bus (internal/telemetry):
+// subscribe before Run to observe the typed event stream the kernel,
+// migration engine and placement layer publish.
+func (s *System) Bus() *telemetry.Bus { return s.Kernel.Bus() }
+
+// AdaptiveRateLimitConfig tunes EnableAdaptiveRateLimit; the zero value
+// selects the defaults documented on control.Config.
+type AdaptiveRateLimitConfig = control.Config
+
+// RateLimitController is the running adaptive-rate-limit daemon.
+type RateLimitController = control.Controller
+
+// EnableAdaptiveRateLimit starts the closed-loop promotion rate-limit
+// controller (internal/control): a simulated daemon that widens
+// Params.PromoteRateLimitMBps when the token bucket drops promotions
+// and decays it when nothing wants promoting. Call before Run.
+func (s *System) EnableAdaptiveRateLimit(cfg AdaptiveRateLimitConfig) *RateLimitController {
+	return control.EnableAdaptiveRateLimit(s.Kernel, cfg)
+}
 
 // Stats returns the kernel statistics.
 func (s *System) Stats() kern.Stats { return s.Kernel.Stats }

@@ -8,10 +8,14 @@
 //     family by name, so the family-composition section cannot
 //     silently go stale when a new family lands (the check imports
 //     internal/exp, so a family registered in code is a family the
-//     doc must cover).
+//     doc must cover);
+//   - ARCHITECTURE.md must likewise name every registered telemetry
+//     topic (telemetry.Topics()), so the "Telemetry & control" topic
+//     table stays complete as emitters are added.
 //
 // CI runs it as the docs job; it exits non-zero listing every
-// undocumented package and every family ARCHITECTURE.md misses.
+// undocumented package and every family or telemetry topic
+// ARCHITECTURE.md misses.
 //
 // Usage (from the module root):
 //
@@ -29,6 +33,7 @@ import (
 	"strings"
 
 	"numamig/internal/exp"
+	"numamig/internal/telemetry"
 )
 
 func main() {
@@ -87,11 +92,23 @@ func main() {
 		}
 		failed = true
 	}
+	staleTopics, err := architectureMissingTopics("ARCHITECTURE.md")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
+	if len(staleTopics) > 0 {
+		fmt.Fprintln(os.Stderr, "docscheck: ARCHITECTURE.md does not mention these telemetry topics:")
+		for _, t := range staleTopics {
+			fmt.Fprintf(os.Stderr, "  %s\n", t)
+		}
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d packages documented, %d exp families covered by ARCHITECTURE.md\n",
-		len(dirs), len(exp.Families()))
+	fmt.Printf("docscheck: %d packages documented, %d exp families and %d telemetry topics covered by ARCHITECTURE.md\n",
+		len(dirs), len(exp.Families()), len(telemetry.Topics()))
 }
 
 // architectureMissingFamilies returns the registered exp family names
@@ -105,6 +122,25 @@ func architectureMissingFamilies(path string) ([]string, error) {
 	text := string(data)
 	var missing []string
 	for _, name := range exp.Families() {
+		if !strings.Contains(text, name) {
+			missing = append(missing, name)
+		}
+	}
+	return missing, nil
+}
+
+// architectureMissingTopics returns the registered telemetry topic
+// names the architecture document never mentions, keeping the topic
+// table in the "Telemetry & control" section in lockstep with the
+// telemetry package's registry.
+func architectureMissingTopics(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	text := string(data)
+	var missing []string
+	for _, name := range telemetry.Topics() {
 		if !strings.Contains(text, name) {
 			missing = append(missing, name)
 		}
