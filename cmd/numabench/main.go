@@ -37,6 +37,7 @@ import (
 	"numamig/internal/bench"
 	"numamig/internal/exp"
 	"numamig/internal/telemetry"
+	"numamig/internal/topology"
 )
 
 func main() {
@@ -49,11 +50,12 @@ func main() {
 	parallel := flag.Int("parallel", 0, "grid worker goroutines (0 = GOMAXPROCS)")
 	format := flag.String("format", "table", "grid output format: table, csv or json")
 	seed := flag.Int64("seed", 1, "base deterministic seed for -grid scenarios")
-	nodes := flag.String("nodes", "", "comma-separated topology.Grid node counts to sweep for -grid/-list (subset of 1..64; default per family)")
+	nodes := flag.String("nodes", "", "comma-separated topology.Grid node counts to sweep for -grid/-list (subset of 1..1024; default per family)")
 	coresPerNode := flag.Int("cores-per-node", 0, "cores per node for -grid/-list scenarios (0 = the Opteron host's 4)")
 	scenario := flag.String("scenario", "", "run only the -grid scenario with this exact ID")
 	trace := flag.String("trace", "", "write a chrome-trace (chrome://tracing / Perfetto) JSON of the run to this file; requires -grid narrowed to exactly one scenario")
 	perf := flag.Bool("perf", false, "run the perf harness and write BENCH_core.json / BENCH_exp.json to -perf-out")
+	scale := flag.Bool("scale", false, "with -perf: run only the datacenter-scale points and write BENCH_scale.json")
 	perfOut := flag.String("perf-out", ".", "directory the -perf reports are written to")
 	repeats := flag.Int("repeats", 0, "-perf repeats per point, fastest kept (0 = 3)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -88,7 +90,7 @@ func main() {
 		}()
 	}
 	if err := run(*expID, *all, *quick, *grid, *list, *families, *parallel, *format,
-		*seed, *nodes, *coresPerNode, *scenario, *trace, *perf, *perfOut, *repeats); err != nil {
+		*seed, *nodes, *coresPerNode, *scenario, *trace, *perf, *scale, *perfOut, *repeats); err != nil {
 		if code, ok := err.(exitCode); ok {
 			// Profile defers must run before exiting.
 			pprof.StopCPUProfile()
@@ -107,7 +109,7 @@ func (c exitCode) Error() string { return fmt.Sprintf("exit %d", int(c)) }
 
 func run(expID string, all, quick, grid, list bool, families string, parallel int,
 	format string, seed int64, nodes string, coresPerNode int,
-	scenario, trace string, perf bool, perfOut string, repeats int) error {
+	scenario, trace string, perf, scale bool, perfOut string, repeats int) error {
 
 	nodeList, err := parseNodeList(nodes)
 	if err != nil {
@@ -124,12 +126,20 @@ func run(expID string, all, quick, grid, list bool, families string, parallel in
 		return listFamilies(os.Stdout, opts)
 	}
 	if perf {
-		return bench.RunPerf(bench.PerfOptions{
+		po := bench.PerfOptions{
 			Quick:    quick,
 			Parallel: parallel,
 			Repeats:  repeats,
 			Seed:     seed,
-		}, perfOut, os.Stdout)
+		}
+		if scale {
+			return bench.RunScalePerf(po, perfOut, os.Stdout)
+		}
+		return bench.RunPerf(po, perfOut, os.Stdout)
+	}
+	if scale {
+		fmt.Fprintln(os.Stderr, "numabench: -scale requires -perf")
+		return exitCode(2)
 	}
 	if grid {
 		return runGrid(families, parallel, format, scenario, trace, opts)
@@ -172,8 +182,8 @@ func parseNodeList(s string) ([]int, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad -nodes entry %q", part)
 		}
-		if n < 1 || n > 64 {
-			return nil, fmt.Errorf("-nodes entry %d unsupported (topology.Grid builds 1..64 nodes)", n)
+		if n < 1 || n > topology.MaxNodes {
+			return nil, fmt.Errorf("-nodes entry %d unsupported (topology.Grid builds 1..%d nodes)", n, topology.MaxNodes)
 		}
 		out = append(out, n)
 	}

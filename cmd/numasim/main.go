@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"numamig"
+	"numamig/internal/topology"
 )
 
 func main() {
@@ -57,10 +58,10 @@ func printHardware(sys *numamig.System) {
 		fmt.Printf("%4d", j)
 	}
 	fmt.Println()
-	for i, row := range m.Dist {
+	for i := range m.Nodes {
 		fmt.Printf("%4d:", i)
-		for _, d := range row {
-			fmt.Printf("%4d", d)
+		for j := range m.Nodes {
+			fmt.Printf("%4d", m.Distance(topology.NodeID(i), topology.NodeID(j)))
 		}
 		fmt.Println()
 	}

@@ -159,8 +159,10 @@ type Balancer struct {
 }
 
 // Enable builds a balancer for the process, registers its fault hook,
-// and spawns the scanner daemon on the DES engine. The daemon retires
-// itself on the first tick after the process's last thread exits.
+// and registers the scanner on the kernel's daemon hub (one batched
+// tick per period instead of a parked proc per scanner). The scanner
+// retires itself on the first poll after the process's last thread
+// exits.
 func Enable(proc *kern.Process, cfg Config) *Balancer {
 	b := &Balancer{
 		Proc:  proc,
@@ -170,7 +172,7 @@ func Enable(proc *kern.Process, cfg Config) *Balancer {
 	}
 	b.period = b.Cfg.ScanPeriod
 	proc.SetNumaBalancer(b)
-	proc.K.Eng.Spawn(fmt.Sprintf("%s.numa_scand", proc.Name), b.daemon)
+	proc.K.Hub().Register(b)
 	return b
 }
 
@@ -186,45 +188,51 @@ func (b *Balancer) Stop() {
 // Period returns the current adaptive scan period.
 func (b *Balancer) Period() sim.Time { return b.period }
 
-// daemon is the scanner kernel thread: decay statistics, adapt the
-// period to the fault traffic of the last window, arm the next window
-// of pages, sleep.
-func (b *Balancer) daemon(p *sim.Proc) {
-	for {
-		p.Sleep(b.period)
-		if b.stopped || b.Proc.NumThreads() == 0 {
-			return
-		}
-		b.decay()
-		// Adapt to the fault traffic of the last window — but only once
-		// a window has actually been sampled: before the first arming
-		// pass, zero remote faults says nothing.
-		if b.Stats.ScanTicks > 0 {
-			if b.remote == 0 {
-				// Quiet window: everything local, back off
-				// (numa_scan_period growth) so a converged workload stops
-				// paying for sampling.
-				if b.period < b.Cfg.ScanPeriodMax {
-					b.period *= 2
-					if b.period > b.Cfg.ScanPeriodMax {
-						b.period = b.Cfg.ScanPeriodMax
-					}
-					b.Stats.Backoffs++
+// Name labels the proc spawned for a scanner tick.
+func (b *Balancer) Name() string { return fmt.Sprintf("%s.numa_scand", b.Proc.Name) }
+
+// Poll is the hub-driven tick decision. The scanner never idles: decay
+// mutates the fault statistics every period, so every non-retired tick
+// does work.
+func (b *Balancer) Poll() kern.TickVerdict {
+	if b.stopped || b.Proc.NumThreads() == 0 {
+		return kern.TickRetire
+	}
+	return kern.TickRun
+}
+
+// Run is one scanner tick: decay statistics, adapt the period to the
+// fault traffic of the last window, arm the next window of pages.
+func (b *Balancer) Run(p *sim.Proc) {
+	b.decay()
+	// Adapt to the fault traffic of the last window — but only once
+	// a window has actually been sampled: before the first arming
+	// pass, zero remote faults says nothing.
+	if b.Stats.ScanTicks > 0 {
+		if b.remote == 0 {
+			// Quiet window: everything local, back off
+			// (numa_scan_period growth) so a converged workload stops
+			// paying for sampling.
+			if b.period < b.Cfg.ScanPeriodMax {
+				b.period *= 2
+				if b.period > b.Cfg.ScanPeriodMax {
+					b.period = b.Cfg.ScanPeriodMax
 				}
-			} else {
-				// Remote traffic: rescan aggressively.
-				b.period /= 2
-				if b.period < b.Cfg.ScanPeriodMin {
-					b.period = b.Cfg.ScanPeriodMin
-				}
+				b.Stats.Backoffs++
+			}
+		} else {
+			// Remote traffic: rescan aggressively.
+			b.period /= 2
+			if b.period < b.Cfg.ScanPeriodMin {
+				b.period = b.Cfg.ScanPeriodMin
 			}
 		}
-		b.remote = 0
-		armed, next := b.Proc.ArmNumaHints(p, b.cursor, b.Cfg.ScanPages)
-		b.cursor = next
-		b.Stats.ScanTicks++
-		b.Stats.PagesArmed += uint64(armed)
 	}
+	b.remote = 0
+	armed, next := b.Proc.ArmNumaHints(p, b.cursor, b.Cfg.ScanPages)
+	b.cursor = next
+	b.Stats.ScanTicks++
+	b.Stats.PagesArmed += uint64(armed)
 }
 
 // decay ages every task's fault history by one tick.

@@ -20,6 +20,7 @@ import (
 	"numamig/internal/exp"
 	"numamig/internal/sim"
 	"numamig/internal/telemetry"
+	"numamig/internal/topology"
 )
 
 // PerfSchema identifies the report layout; bump on incompatible change.
@@ -74,6 +75,12 @@ type PerfPoint struct {
 	// scenario, from runtime.MemStats deltas of the fastest repeat.
 	AllocsPerOp uint64 `json:"allocs_per_op"`
 	BytesPerOp  uint64 `json:"bytes_per_op"`
+	// PeakRSSDeltaBytes is how much this point raised the process
+	// high-water RSS (Linux VmHWM) across all its repeats. Per-point
+	// (unlike the report-level PeakRSSBytes), so a memory regression is
+	// attributable; 0 when the point stayed under an earlier point's
+	// peak, since the high-water mark is monotonic.
+	PeakRSSDeltaBytes int64 `json:"peak_rss_delta_bytes,omitempty"`
 }
 
 // PerfReport is one BENCH_*.json document.
@@ -97,6 +104,7 @@ type PerfReport struct {
 // one run (deterministic across repeats).
 func measure(name string, repeats int, fn func() (int, uint64)) PerfPoint {
 	pt := PerfPoint{Name: name}
+	rss0 := peakRSS()
 	var m0, m1 runtime.MemStats
 	for r := 0; r < repeats; r++ {
 		runtime.GC()
@@ -121,6 +129,7 @@ func measure(name string, repeats int, fn func() (int, uint64)) PerfPoint {
 		pt.ScenariosPerSec = float64(pt.Scenarios) / secs
 		pt.PagesMigratedPerSec = float64(pt.PagesMigrated) / secs
 	}
+	pt.PeakRSSDeltaBytes = peakRSS() - rss0
 	return pt
 }
 
@@ -144,65 +153,147 @@ func gridPoint(name string, o PerfOptions, families []string, quick bool) (PerfP
 	return pt, nil
 }
 
-// smokePoint is the scale smoke: a 64-node machine running 10k
+// churnRun is one task-churn run: an n-node grid machine running tasks
 // short-lived tasks, each first-touching a small buffer and pushing it
 // one node over with move_pages. Tasks are pinned round-robin over the
-// 128 cores and launched one wave per core count — a core runs one
-// thread at a time on real hardware, and an unbounded spawn would put
-// thousands of concurrent flows on the fluid network, which costs
-// O(flows) per rate reconfiguration. The point exercises the sharded
-// frame allocator, the extent page-table walks and the pooled event
-// queue at a machine size the paper's host never had, and must finish
-// in seconds.
+// machine's cores and launched one wave per core count — a core runs
+// one thread at a time on real hardware, and an unbounded spawn would
+// put thousands of concurrent flows on the fluid network, which costs
+// O(flows) per rate reconfiguration. The run exercises the sharded
+// frame allocator, the extent page-table storage and the pooled event
+// queue at machine sizes the paper's host never had. demotion
+// additionally starts all n kswapd daemons on the batched hub.
+func churnRun(o PerfOptions, nodes, coresPerNode, tasks int, demotion bool) (int, uint64) {
+	const pagesPerTask = 8
+	sys := numamig.New(numamig.Config{
+		Nodes:        nodes,
+		CoresPerNode: coresPerNode,
+		MemPerNode:   1 << 30,
+		Seed:         o.seed(),
+		Demotion:     demotion,
+	})
+	ncores := sys.Machine.NumCores()
+	err := sys.Run(func(main *numamig.Task) {
+		for done := 0; done < tasks; {
+			wave := ncores
+			if left := tasks - done; left < wave {
+				wave = left
+			}
+			wg := sim.NewWaitGroup(sys.Eng, wave)
+			for i := 0; i < wave; i++ {
+				core := numamig.CoreID((done + i) % ncores)
+				main.Proc.Spawn("churn", core, func(t *numamig.Task) {
+					defer wg.Done()
+					b := numamig.MustAlloc(t, pagesPerTask*numamig.PageSize, numamig.Policy{})
+					if err := b.Access(t, numamig.Stream, true); err != nil {
+						panic(err)
+					}
+					dst := (t.Node() + 1) % numamig.NodeID(nodes)
+					if err := b.MoveTo(t, dst, true); err != nil {
+						panic(err)
+					}
+					if err := b.Access(t, numamig.Stream, false); err != nil {
+						panic(err)
+					}
+					if err := b.Free(t); err != nil {
+						panic(err)
+					}
+				})
+			}
+			done += wave
+			wg.Wait(main.P)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return tasks, sys.Migrator(numamig.Patched).Stats.PagesMoved
+}
+
+// smokePoint is the original 64-node task smoke, kept under its
+// historical name so the recorded trajectory stays comparable.
 func smokePoint(o PerfOptions) PerfPoint {
 	tasks := 10000
 	if o.Quick {
 		tasks = 1000
 	}
-	const nodes, coresPerNode, pagesPerTask = 64, 2, 8
-	return measure(fmt.Sprintf("smoke/%dnode-%dtask", nodes, tasks), o.repeats(), func() (int, uint64) {
+	return measure(fmt.Sprintf("smoke/64node-%dtask", tasks), o.repeats(), func() (int, uint64) {
+		return churnRun(o, 64, 2, tasks, false)
+	})
+}
+
+// scalePoint is the ROADMAP's datacenter target: a 256-node machine
+// pushing 100k short-lived tasks through the churn loop with every
+// node's demotion daemon live on the batched hub. The acceptance bound
+// is single-digit seconds per run on CI hardware.
+func scalePoint(o PerfOptions) PerfPoint {
+	nodes, tasks := 256, 100000
+	if o.Quick {
+		nodes, tasks = 64, 5000
+	}
+	return measure(fmt.Sprintf("scale/%dnode-%dtask", nodes, tasks), o.repeats(), func() (int, uint64) {
+		return churnRun(o, nodes, 2, tasks, true)
+	})
+}
+
+// scaleConstructPoint measures cold construction of 1024-node machines
+// — a generated grid plus kernel, and a 16-socket hierarchical machine
+// with CXL expanders — the path that used to pay dense O(n²) distance
+// and O(n³) route precomputes and an O(n²) zonelist build.
+func scaleConstructPoint(o PerfOptions) PerfPoint {
+	builds := 4
+	if o.Quick {
+		builds = 1
+	}
+	return measure("scale/1024node-construct", o.repeats(), func() (int, uint64) {
+		for i := 0; i < builds; i++ {
+			sys := numamig.New(numamig.Config{
+				Nodes:        1024,
+				CoresPerNode: 1,
+				MemPerNode:   1 << 30,
+				Seed:         o.seed(),
+			})
+			_ = sys.Machine.NumCores()
+			m := topology.Hierarchy(topology.HierarchyConfig{
+				Sockets: 16, DiesPerSocket: 4, NodesPerDie: 15, CXLPerSocket: 4,
+				CoresPerNode: 1, MemPerNode: 1 << 30, L3PerNode: 2 << 20,
+				CXLMemPerNode: 4 << 30,
+			})
+			if m.NumNodes() != 1024 {
+				panic("scale: hierarchy is not 1024 nodes")
+			}
+		}
+		return builds, 0
+	})
+}
+
+// scaleIdlePoint measures a 1024-node machine where every kswapd daemon
+// is registered and idle: one application task sleeps through many
+// kswapd periods while 1024 unpressured daemons tick. With per-daemon
+// parked procs this was ~1024 queue entries per period; the hub
+// coalesces each period into one group event, so the point's cost is
+// the determinism tax of keeping the daemons armed, not their count.
+func scaleIdlePoint(o PerfOptions) PerfPoint {
+	periods := 200
+	if o.Quick {
+		periods = 50
+	}
+	return measure(fmt.Sprintf("scale/1024node-idle-%dperiods", periods), o.repeats(), func() (int, uint64) {
 		sys := numamig.New(numamig.Config{
-			Nodes:        nodes,
-			CoresPerNode: coresPerNode,
+			Nodes:        1024,
+			CoresPerNode: 1,
 			MemPerNode:   1 << 30,
 			Seed:         o.seed(),
+			Demotion:     true,
 		})
-		ncores := sys.Machine.NumCores()
+		span := sys.Kernel.P.KswapdPeriod * sim.Time(periods)
 		err := sys.Run(func(main *numamig.Task) {
-			for done := 0; done < tasks; {
-				wave := ncores
-				if left := tasks - done; left < wave {
-					wave = left
-				}
-				wg := sim.NewWaitGroup(sys.Eng, wave)
-				for i := 0; i < wave; i++ {
-					core := numamig.CoreID((done + i) % ncores)
-					main.Proc.Spawn("smoke", core, func(t *numamig.Task) {
-						defer wg.Done()
-						b := numamig.MustAlloc(t, pagesPerTask*numamig.PageSize, numamig.Policy{})
-						if err := b.Access(t, numamig.Stream, true); err != nil {
-							panic(err)
-						}
-						dst := (t.Node() + 1) % numamig.NodeID(nodes)
-						if err := b.MoveTo(t, dst, true); err != nil {
-							panic(err)
-						}
-						if err := b.Access(t, numamig.Stream, false); err != nil {
-							panic(err)
-						}
-						if err := b.Free(t); err != nil {
-							panic(err)
-						}
-					})
-				}
-				done += wave
-				wg.Wait(main.P)
-			}
+			main.P.Sleep(span)
 		})
 		if err != nil {
 			panic(err)
 		}
-		return tasks, sys.Migrator(numamig.Patched).Stats.PagesMoved
+		return periods, 0
 	})
 }
 
@@ -273,6 +364,7 @@ func RunPerf(o PerfOptions, dir string, log io.Writer) error {
 	}
 	core = emit(core, pt)
 	core = emit(core, smokePoint(o))
+	core = emit(core, scalePoint(o))
 	core.PeakRSSBytes = peakRSS()
 	if err := writeReport(dir, "BENCH_core.json", core); err != nil {
 		return err
@@ -288,6 +380,31 @@ func RunPerf(o PerfOptions, dir string, log io.Writer) error {
 	}
 	expRep.PeakRSSBytes = peakRSS()
 	return writeReport(dir, "BENCH_exp.json", expRep)
+}
+
+// RunScalePerf executes only the datacenter-scale points — the
+// 256-node × 100k-task churn, 1024-node construction, and the
+// 1024-node idle-daemon smoke — and writes BENCH_scale.json into dir.
+// cmd/numabench -perf -scale drives it; the CI bench-scale job runs
+// the quick sizes and gates them with tools/benchcmp like the core
+// trajectory.
+func RunScalePerf(o PerfOptions, dir string, log io.Writer) error {
+	rep := PerfReport{
+		Schema:     PerfSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Parallel:   o.Parallel,
+		Repeats:    o.repeats(),
+		Seed:       o.seed(),
+		Quick:      o.Quick,
+	}
+	for _, pt := range []PerfPoint{scalePoint(o), scaleConstructPoint(o), scaleIdlePoint(o)} {
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(log, "%-40s %4d ops  %12d ns  %10.1f ops/s  %9.0f pages/s  %7d allocs/op\n",
+			pt.Name, pt.Scenarios, pt.WallNs, pt.ScenariosPerSec, pt.PagesMigratedPerSec, pt.AllocsPerOp)
+	}
+	rep.PeakRSSBytes = peakRSS()
+	return writeReport(dir, "BENCH_scale.json", rep)
 }
 
 func writeReport(dir, name string, r PerfReport) error {

@@ -63,6 +63,9 @@ type Scenario struct {
 	// closed-loop controller (internal/control); RateLimitMBps is
 	// ignored then.
 	Adaptive bool `json:"adaptive,omitempty"`
+	// Tasks is the short-lived task count of the scale family's churn
+	// workloads.
+	Tasks int `json:"tasks,omitempty"`
 }
 
 // Result is the outcome of one scenario: the virtual-time metrics and

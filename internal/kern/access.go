@@ -62,8 +62,6 @@ func (t *Task) FaultIn(addr vm.Addr, length int64, write bool) (int, error) {
 			numaPages := t.scratch.numa[:0]
 			absent := t.scratch.absent[:0]
 			stale := t.scratch.stale[:0]
-			c := sp.PT.Chunk(cstart)
-			base := vm.VPN(ci * model.PTEChunkPages)
 			for p := cstart; p < cend; {
 				for vi < len(vmas) && vmas[vi].End <= p.Base() {
 					vi++
@@ -79,34 +77,39 @@ func (t *Task) FaultIn(addr vm.Addr, length int64, write bool) (int, error) {
 					haveSegv = true
 					break
 				}
-				// Classify this VMA's span of the chunk in one pass over
-				// the PTE array (no per-page map lookups).
+				// Classify this VMA's span of the chunk extent-at-a-time:
+				// unmapped spans (including whole missing chunks and huge
+				// chunks, whose 4 KiB lookups resolve to nil) arrive as
+				// gaps, everything else as maximal same-flag runs — no
+				// per-page work and no materialization.
 				vEnd := vm.PageOf(v.End-1) + 1
 				if vEnd > cend {
 					vEnd = cend
 				}
-				if c == nil || c.Huge {
-					// No chunk (or a huge chunk, whose 4 KiB lookups
-					// resolve to nil): every page classifies absent.
-					for ; p < vEnd; p++ {
-						absent = append(absent, p)
-					}
-					continue
-				}
-				for ; p < vEnd; p++ {
-					pte := c.PTE(int(p - base))
+				sp.PT.Extents(p, vEnd, true, func(e vm.Ext) bool {
+					pEnd := e.Start + vm.VPN(e.N)
 					switch {
-					case pte.Allows(write):
-					case !pte.Present():
-						absent = append(absent, p)
-					case pte.Flags&vm.PTENextTouch != 0:
-						ntPages = append(ntPages, p)
-					case pte.Flags&vm.PTENumaHint != 0:
-						numaPages = append(numaPages, p)
+					case vm.FlagsAllow(e.Flags, write):
+					case e.Flags&vm.PTEPresent == 0:
+						for q := e.Start; q < pEnd; q++ {
+							absent = append(absent, q)
+						}
+					case e.Flags&vm.PTENextTouch != 0:
+						for q := e.Start; q < pEnd; q++ {
+							ntPages = append(ntPages, q)
+						}
+					case e.Flags&vm.PTENumaHint != 0:
+						for q := e.Start; q < pEnd; q++ {
+							numaPages = append(numaPages, q)
+						}
 					default:
-						stale = append(stale, p)
+						for q := e.Start; q < pEnd; q++ {
+							stale = append(stale, q)
+						}
 					}
-				}
+					return true
+				})
+				p = vEnd
 			}
 			t.scratch.nt, t.scratch.numa = ntPages, numaPages
 			t.scratch.absent, t.scratch.stale = absent, stale
@@ -169,12 +172,19 @@ func (t *Task) serviceChunk(ci uint64, absent, stale []vm.VPN) {
 		}
 		return cached
 	}
-	// Minor fixups.
+	// Minor fixups: consecutive stale pages of one VMA restore their
+	// protection as a single range operation on the extent store.
 	if len(stale) > 0 {
 		k.Stats.MinorFaults += uint64(len(stale))
 		t.P.Sleep(sim.Time(len(stale)) * k.P.FaultBase)
-		for _, p := range stale {
-			sp.PT.Entry(p).SetProt(vmaOf(p).Prot)
+		for i := 0; i < len(stale); {
+			v := vmaOf(stale[i])
+			j := i + 1
+			for j < len(stale) && stale[j] == stale[j-1]+1 && v.Contains(stale[j].Base()) {
+				j++
+			}
+			sp.PT.SetProtRange(stale[i], stale[j-1]+1, v.Prot)
+			i = j
 		}
 	}
 	// Demand allocations.
@@ -191,10 +201,9 @@ func (t *Task) serviceChunk(ci uint64, absent, stale []vm.VPN) {
 		t.P.Sleep(sim.Time(len(absent)) * (k.P.FaultBase + k.P.DemandZero))
 		for _, p := range absent {
 			v := vmaOf(p)
-			pte := sp.PT.Entry(p)
-			pte.Frame = t.allocFrame(t.placeTarget(v, p))
-			pte.Flags = vm.PTEPresent | vm.PTEAccessed
-			pte.SetProt(v.Prot)
+			e := vm.PTE{Frame: t.allocFrame(t.placeTarget(v, p)), Flags: vm.PTEPresent | vm.PTEAccessed}
+			e.SetProt(v.Prot)
+			sp.PT.Install(p, e)
 		}
 	}
 }
@@ -231,26 +240,24 @@ func (t *Task) AccessRange(addr vm.Addr, length int64, kind AccessKind, write bo
 	if write {
 		mark |= vm.PTEDirty
 	}
-	sp.PT.ForEachRun(first, last, func(r vm.Run) {
-		if r.Flags&mark != mark {
-			for i := range r.PTEs {
-				r.PTEs[i].Flags |= mark
-			}
-		}
-		// Byte overlap of this run with the range. Per-page overlaps are
-		// whole numbers, so summing them per run instead of per page
-		// yields the identical float64 total.
-		lo, hi := r.Start.Base(), (r.Start + vm.VPN(len(r.PTEs))).Base()
+	// Mark run-at-a-time, then sum the traffic per home node from the
+	// extent walk. Per-page byte overlaps are whole numbers, so summing
+	// them per extent yields the identical float64 total, and the
+	// first-appearance node order of an ascending walk is unchanged.
+	sp.PT.OrFlagsRange(first, last, mark)
+	sp.PT.Extents(first, last, false, func(e vm.Ext) bool {
+		lo, hi := e.Start.Base(), (e.Start + vm.VPN(e.N)).Base()
 		if lo < addr {
 			lo = addr
 		}
 		if hi > end {
 			hi = end
 		}
-		if bytesByNode[r.Node] == 0 {
-			order = append(order, r.Node)
+		if bytesByNode[e.Node] == 0 {
+			order = append(order, e.Node)
 		}
-		bytesByNode[r.Node] += float64(hi - lo)
+		bytesByNode[e.Node] += float64(hi - lo)
+		return true
 	})
 	t.scratch.nodeBytes, t.scratch.nodeOrder = bytesByNode, order
 	for _, node := range order {
@@ -310,8 +317,9 @@ func (t *Task) dominantNode(addr vm.Addr, length int64) topology.NodeID {
 	}
 	sp := t.Proc.Space
 	first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
-	sp.PT.ForEachRun(first, last, func(r vm.Run) {
-		counts[r.Node] += len(r.PTEs)
+	sp.PT.Extents(first, last, false, func(e vm.Ext) bool {
+		counts[e.Node] += e.N
+		return true
 	})
 	t.scratch.nodeCount = counts
 	best, bestN := t.Node(), -1

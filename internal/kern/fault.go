@@ -31,12 +31,9 @@ func (e ErrSegv) Error() string {
 // AccessRange/FaultIn.
 func (t *Task) Touch(addr vm.Addr, write bool) error {
 	for attempt := 0; attempt < 16; attempt++ {
-		pte := t.Proc.Space.PT.Lookup(vm.PageOf(addr))
-		if pte.Allows(write) {
-			pte.Flags |= vm.PTEAccessed
-			if write {
-				pte.Flags |= vm.PTEDirty
-			}
+		// Hardware fast path: sets accessed/dirty without materializing
+		// the chunk (a compact run only splits when it gains a new bit).
+		if t.Proc.Space.PT.Touch(vm.PageOf(addr), write) {
 			return nil
 		}
 		if err := t.fault(addr, write); err != nil {
@@ -76,14 +73,14 @@ func (t *Task) fault(addr vm.Addr, write bool) error {
 	vpn := vm.PageOf(addr)
 	cl := t.Proc.chunkLock(vm.ChunkIndex(vpn))
 	cl.Acquire(t.P)
-	pte := sp.PT.Entry(vpn)
+	pte := sp.PT.Get(vpn)
 	nextTouch := false
 	numaHint := false
 	switch {
-	case pte.Allows(write):
+	case vm.FlagsAllow(pte.Flags, write):
 		// Raced with another thread that already fixed it.
-	case !pte.Present():
-		t.demandAlloc(v, vpn, pte)
+	case pte.Flags&vm.PTEPresent == 0:
+		t.demandAlloc(v, vpn)
 	case pte.Flags&vm.PTENextTouch != 0:
 		// Serviced below, after the chunk lock is dropped: the engine
 		// takes the chunk lock itself.
@@ -96,7 +93,7 @@ func (t *Task) fault(addr vm.Addr, write bool) error {
 		// Present but stale permissions (e.g. after mprotect restore):
 		// minor fault, install VMA protection.
 		k.Stats.MinorFaults++
-		pte.SetProt(v.Prot)
+		sp.PT.SetProtRange(vpn, vpn+1, v.Prot)
 	}
 	cl.Release()
 	if nextTouch {
@@ -110,15 +107,16 @@ func (t *Task) fault(addr vm.Addr, write bool) error {
 }
 
 // demandAlloc services a not-present fault: allocate per policy near the
-// toucher (first-touch), zero, map.
-func (t *Task) demandAlloc(v *vm.VMA, vpn vm.VPN, pte *vm.PTE) {
+// toucher (first-touch), zero, map. The entry is installed through the
+// extent layer, so a stream of sequential demand faults grows one run.
+func (t *Task) demandAlloc(v *vm.VMA, vpn vm.VPN) {
 	k := t.Proc.K
 	k.Stats.DemandAllocs++
 	f := t.allocFrame(t.placeTarget(v, vpn))
 	t.P.Sleep(k.P.DemandZero)
-	pte.Frame = f
-	pte.Flags = vm.PTEPresent | vm.PTEAccessed
-	pte.SetProt(v.Prot)
+	e := vm.PTE{Frame: f, Flags: vm.PTEPresent | vm.PTEAccessed}
+	e.SetProt(v.Prot)
+	t.Proc.Space.PT.Install(vpn, e)
 	// Pages populated after a next-touch mark need no mark themselves:
 	// first-touch already places them locally.
 }

@@ -112,6 +112,10 @@ type Kernel struct {
 	procs    []*Process // every process, for the demotion daemons' walks
 	kswapds  []*kswapd
 	demotion bool
+	// hub batches the periodic daemons' ticks into per-deadline group
+	// events (daemonhub.go); kswapd and the AutoNUMA scanners register
+	// here instead of each holding a parked proc.
+	hub *DaemonHub
 
 	// Per-node promotion token buckets (Params.PromoteRateLimitMBps):
 	// only slow-tier source nodes ever consume from them.
@@ -156,6 +160,7 @@ func New(eng *sim.Engine, m *topology.Machine, p model.Params, backed bool) *Ker
 		k.HT = append(k.HT, sim.NewLink(fmt.Sprintf("ht%d-%d", l.A, l.B), p.HTLinkBW))
 	}
 	k.bus = telemetry.NewBus(eng.Now)
+	k.hub = NewDaemonHub(eng)
 	k.Placer = placement.New(m, k.Phys, &k.P)
 	k.Placer.SetBus(k.bus)
 	k.migPatched = migrate.New(k, migrate.Patched)
@@ -166,6 +171,10 @@ func New(eng *sim.Engine, m *topology.Machine, p model.Params, backed bool) *Ker
 // Bus returns the kernel's telemetry event bus (also the migrate.Env
 // hook the shared migration engines publish through).
 func (k *Kernel) Bus() *telemetry.Bus { return k.bus }
+
+// Hub returns the kernel's daemon hub, where periodic kernel threads
+// (kswapd, AutoNUMA scanners) register their batched ticks.
+func (k *Kernel) Hub() *DaemonHub { return k.hub }
 
 // PromoGeneration returns the current kswapd scan-period generation:
 // virtual time quantized by KswapdPeriod, offset so a valid generation

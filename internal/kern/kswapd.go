@@ -63,10 +63,13 @@ type kswapd struct {
 	status []int
 }
 
-// EnableDemotion starts one kswapd-style demotion daemon per node.
-// Each daemon retires itself on the first wake-up after the last
-// thread of every process has exited, so the engine drains normally.
-// Idempotent; typically called before Run (numamig.Config.Demotion).
+// EnableDemotion starts one kswapd-style demotion daemon per node,
+// registered on the kernel's daemon hub: idle nodes coalesce into one
+// group poll per period instead of one parked proc each, which is what
+// keeps a 1024-node machine's event queue quiet. Each daemon retires
+// itself on the first poll after the last thread of every process has
+// exited, so the engine drains normally. Idempotent; typically called
+// before Run (numamig.Config.Demotion).
 func (k *Kernel) EnableDemotion() {
 	if k.demotion {
 		return
@@ -76,53 +79,78 @@ func (k *Kernel) EnableDemotion() {
 	// only arms together with them.
 	k.Placer.EnableBurstBoost()
 	for n := range k.M.Nodes {
+		// Memory-only nodes (CXL expanders) have no cores; their daemon's
+		// engine work is charged to the machine's first core, like a
+		// kernel thread for a CPU-less node running on a fallback CPU.
+		core := topology.CoreID(0)
+		if len(k.M.Nodes[n].Cores) > 0 {
+			core = k.M.Nodes[n].Cores[0]
+		}
 		d := &kswapd{
 			k:       k,
 			node:    topology.NodeID(n),
-			core:    k.M.Nodes[n].Cores[0],
+			core:    core,
 			cursors: map[*Process]vm.VPN{},
 		}
 		k.kswapds = append(k.kswapds, d)
-		k.Eng.Spawn(fmt.Sprintf("kswapd%d", n), d.daemon)
+		k.hub.Register(d)
 	}
 }
 
 // DemotionEnabled reports whether the demotion daemons are running.
 func (k *Kernel) DemotionEnabled() bool { return k.demotion }
 
-// daemon is the per-node kswapd loop: sleep, retire after the last
-// application thread, decay the node's burst watermark boost, reclaim
-// when the node is under its (boosted) low watermark, trickle
+// Name labels the proc spawned for a busy tick.
+func (d *kswapd) Name() string { return fmt.Sprintf("kswapd%d", d.node) }
+
+// Period is the fixed kswapd wake interval.
+func (d *kswapd) Period() sim.Time { return d.k.P.KswapdPeriod }
+
+// Poll is the hub-driven tick decision: retire after the last
+// application thread, skip the period when the node needs neither boost
+// decay nor reclaim nor a proactive trickle (exactly the iterations the
+// old per-node loop spent waking up to do nothing), run otherwise.
+func (d *kswapd) Poll() TickVerdict {
+	if d.k.liveThreads() == 0 {
+		return TickRetire
+	}
+	// Idle iff the whole tick body would be a no-op: no boost to decay
+	// (DecayBoost at boost 0 does nothing), not under pressure, and no
+	// trickle due (either fully reclaimed or trickling disabled).
+	if d.k.Phys.BoostOf(d.node) == 0 &&
+		!d.k.Phys.UnderPressure(d.node) &&
+		(d.k.Phys.Reclaimed(d.node) || d.k.P.KswapdProactiveBatch <= 0) {
+		return TickIdle
+	}
+	return TickRun
+}
+
+// Run is one busy kswapd tick: decay the node's burst watermark boost,
+// reclaim when the node is under its (boosted) low watermark, trickle
 // proactively while it merely lacks headroom. On a machine with an
 // explicit slow tier, placement.DemotionTarget points each daemon at
 // the next tier down (DRAM -> CXL) and a bottom-tier daemon only at
 // its within-tier siblings.
-func (d *kswapd) daemon(p *sim.Proc) {
-	for {
-		p.Sleep(d.k.P.KswapdPeriod)
-		if d.k.liveThreads() == 0 {
-			return
-		}
-		// The reclaim/trickle decision below still sees part of this
-		// period's boost: the burst that armed it stays visible for
-		// log2(boost) periods.
-		d.k.Phys.DecayBoost(d.node)
-		switch {
-		case d.k.Phys.UnderPressure(d.node):
-			d.k.Stats.KswapdWakeups++
-			t0 := p.Now()
-			d.reclaim(p)
-			d.k.bus.Publish(telemetry.Event{
-				Topic: telemetry.TopicKswapdWake,
-				Node:  d.node, Dst: telemetry.NoNode,
-				Task: p.ID(), Dur: p.Now() - t0,
-			})
-		case !d.k.Phys.Reclaimed(d.node) && d.k.P.KswapdProactiveBatch > 0:
-			// Between low and high: demote a small batch of genuinely
-			// cold pages so the next allocation burst finds headroom
-			// without waking the full reclaim path.
-			d.trickle(p)
-		}
+func (d *kswapd) Run(p *sim.Proc) {
+	// The reclaim/trickle decision below still sees part of this
+	// period's boost: the burst that armed it stays visible for
+	// log2(boost) periods.
+	d.k.Phys.DecayBoost(d.node)
+	switch {
+	case d.k.Phys.UnderPressure(d.node):
+		d.k.Stats.KswapdWakeups++
+		t0 := p.Now()
+		d.reclaim(p)
+		d.k.bus.Publish(telemetry.Event{
+			Topic: telemetry.TopicKswapdWake,
+			Node:  d.node, Dst: telemetry.NoNode,
+			Task: p.ID(), Dur: p.Now() - t0,
+		})
+	case !d.k.Phys.Reclaimed(d.node) && d.k.P.KswapdProactiveBatch > 0:
+		// Between low and high: demote a small batch of genuinely
+		// cold pages so the next allocation burst finds headroom
+		// without waking the full reclaim path.
+		d.trickle(p)
 	}
 }
 

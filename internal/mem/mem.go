@@ -84,6 +84,13 @@ type Phys struct {
 	M      *topology.Machine
 	Backed bool
 	shards []shard
+
+	// slowAlloc is the machine-wide count of frames allocated on
+	// slow-tier (tier > 0) nodes, maintained at every alloc/free so
+	// SlowTierResident is an O(1) gauge instead of an O(nodes) scan —
+	// the tiered telemetry columns sample it every window, which on a
+	// 1024-node machine would otherwise rescan all shards per sample.
+	slowAlloc atomic.Int64
 }
 
 // pfnBase returns the base of a node's PFN range; per-node ranges keep
@@ -108,7 +115,21 @@ func (p *Phys) SetTier(node topology.NodeID, tier int) {
 	if tier < 0 {
 		tier = 0
 	}
-	p.shards[node].tier = tier
+	s := &p.shards[node]
+	// Keep the slow-tier gauge consistent if the node changes sides
+	// while holding allocations (in practice tiers are installed before
+	// any allocation, but the gauge must not silently drift).
+	wasSlow, isSlow := s.tier > 0, tier > 0
+	if wasSlow != isSlow {
+		if n := s.allocated.Load(); n != 0 {
+			if isSlow {
+				p.slowAlloc.Add(n)
+			} else {
+				p.slowAlloc.Add(-n)
+			}
+		}
+	}
+	s.tier = tier
 }
 
 // TierOf returns a node's memory tier id.
@@ -116,16 +137,8 @@ func (p *Phys) TierOf(node topology.NodeID) int { return p.shards[node].tier }
 
 // SlowTierResident returns the frames currently allocated on slow-tier
 // (tier > 0) nodes — the slow_tier_resident gauge of the tiered
-// scenario family.
-func (p *Phys) SlowTierResident() int64 {
-	var n int64
-	for i := range p.shards {
-		if p.shards[i].tier > 0 {
-			n += p.shards[i].allocated.Load()
-		}
-	}
-	return n
-}
+// scenario family. O(1): maintained at every alloc/free.
+func (p *Phys) SlowTierResident() int64 { return p.slowAlloc.Load() }
 
 // SetWatermarks installs a node's pressure thresholds. Thresholds must
 // be ordered 0 <= min <= low <= high <= total.
@@ -228,6 +241,9 @@ func (p *Phys) Alloc(node topology.NodeID) (*Frame, error) {
 	s.stats.Allocated++
 	s.stats.Cumulative++
 	s.allocated.Add(1)
+	if s.tier > 0 {
+		p.slowAlloc.Add(1)
+	}
 	if fl := s.free; len(fl) > 0 {
 		f := fl[len(fl)-1]
 		fl[len(fl)-1] = nil
@@ -268,6 +284,9 @@ func (p *Phys) Free(f *Frame) {
 	s.stats.Allocated--
 	s.stats.Freed++
 	s.allocated.Add(-1)
+	if s.tier > 0 {
+		p.slowAlloc.Add(-1)
+	}
 	s.free = append(s.free, f)
 }
 
@@ -284,6 +303,9 @@ func (p *Phys) AllocFootprint(node topology.NodeID, n int) error {
 	s.stats.Allocated += int64(n)
 	s.stats.Cumulative += int64(n)
 	s.allocated.Add(int64(n))
+	if s.tier > 0 {
+		p.slowAlloc.Add(int64(n))
+	}
 	return nil
 }
 
@@ -299,6 +321,9 @@ func (p *Phys) ReleaseFootprint(node topology.NodeID, n int) {
 	s.stats.Allocated -= int64(n)
 	s.stats.Freed += int64(n)
 	s.allocated.Add(-int64(n))
+	if s.tier > 0 {
+		p.slowAlloc.Add(-int64(n))
+	}
 }
 
 // NoteMigration records that data was migrated into a frame on dst.

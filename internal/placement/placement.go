@@ -53,6 +53,8 @@
 package placement
 
 import (
+	"sort"
+
 	"numamig/internal/mem"
 	"numamig/internal/model"
 	"numamig/internal/telemetry"
@@ -68,7 +70,16 @@ type Placer struct {
 	p          *model.Params
 	boostAlive bool // burst boosting armed (EnableBurstBoost)
 	anySlow    bool // any node on a slow tier (tier > 0)
-	zonelists  [][]topology.NodeID
+	// zonelists rows are built lazily on first use (zonelist): a
+	// 1024-node machine only pays the O(n log n) sort for nodes that
+	// actually allocate, keeping New O(n). Tiers are static after New
+	// (SetTier has no other caller), so a built row never goes stale.
+	zonelists [][]topology.NodeID
+	// demoGroups caches DemotionTarget's per-source candidate structure
+	// — the next-tier-down node set, split into distance groups in
+	// zonelist order — which is likewise static after New. Only the
+	// pressure/free-frame scan inside the chosen group runs per call.
+	demoGroups [][][]topology.NodeID
 	bus        *telemetry.Bus // optional: WatermarkBoost events
 }
 
@@ -98,22 +109,7 @@ func New(m *topology.Machine, phys *mem.Phys, p *model.Params) *Placer {
 		}
 	}
 	pl.zonelists = make([][]topology.NodeID, n)
-	for i := 0; i < n; i++ {
-		zl := make([]topology.NodeID, 0, n)
-		for j := 0; j < n; j++ {
-			zl = append(zl, topology.NodeID(j))
-		}
-		// The node itself first (even on a slow tier: an explicit
-		// target is always the preferred landing spot), then (tier,
-		// distance from i, id): the fallback order every walk uses.
-		src := topology.NodeID(i)
-		for a := 0; a < len(zl); a++ {
-			for b := a; b > 0 && pl.less(src, zl[b], zl[b-1]); b-- {
-				zl[b], zl[b-1] = zl[b-1], zl[b]
-			}
-		}
-		pl.zonelists[i] = zl
-	}
+	pl.demoGroups = make([][][]topology.NodeID, n)
 	for i := 0; i < n; i++ {
 		total := phys.Stats(topology.NodeID(i)).Total
 		phys.SetWatermarks(topology.NodeID(i), mem.Watermarks{
@@ -142,17 +138,35 @@ func (pl *Placer) less(src, a, b topology.NodeID) bool {
 	if ta != tb {
 		return ta < tb
 	}
-	da, db := pl.M.Dist[src][a], pl.M.Dist[src][b]
+	da, db := pl.M.Distance(src, a), pl.M.Distance(src, b)
 	if da != db {
 		return da < db
 	}
 	return a < b
 }
 
+// zonelist returns n's fallback order, building the row on first use.
+// The node itself first (even on a slow tier: an explicit target is
+// always the preferred landing spot), then (tier, distance from n,
+// id): the fallback order every walk uses.
+func (pl *Placer) zonelist(n topology.NodeID) []topology.NodeID {
+	if zl := pl.zonelists[n]; zl != nil {
+		return zl
+	}
+	num := pl.M.NumNodes()
+	zl := make([]topology.NodeID, num)
+	for j := range zl {
+		zl[j] = topology.NodeID(j)
+	}
+	sort.Slice(zl, func(a, b int) bool { return pl.less(n, zl[a], zl[b]) })
+	pl.zonelists[n] = zl
+	return zl
+}
+
 // Zonelist returns the allocation fallback order for a node: the node
 // itself, then every other node by (tier, distance), ties by id. The
 // returned slice is shared; callers must not mutate it.
-func (pl *Placer) Zonelist(n topology.NodeID) []topology.NodeID { return pl.zonelists[n] }
+func (pl *Placer) Zonelist(n topology.NodeID) []topology.NodeID { return pl.zonelist(n) }
 
 // Resolve returns the effective policy of a page: the VMA policy
 // unless it is PolDefault, then the process policy.
@@ -206,7 +220,7 @@ func (pl *Placer) fastLocal(local topology.NodeID) topology.NodeID {
 	if !pl.anySlow || !pl.slow(local) {
 		return local
 	}
-	for _, n := range pl.zonelists[local] {
+	for _, n := range pl.zonelist(local) {
 		if !pl.slow(n) {
 			return n
 		}
@@ -270,7 +284,7 @@ func (pl *Placer) pick(target topology.NodeID, need int64) (topology.NodeID, int
 	if pl.Phys.FreeFrames(target)-need >= pl.Phys.EffectiveLow(target) {
 		return target, 0, true
 	}
-	zl := pl.zonelists[target]
+	zl := pl.zonelist(target)
 	maxTier := pl.Phys.TierOf(target)
 	for pass := 0; pass < 3; pass++ {
 		for _, n := range zl {
@@ -386,42 +400,15 @@ func (pl *Placer) AllowPromotion(dst topology.NodeID) bool {
 // false when every candidate is pressured too — demoting then would
 // only shift the pressure around.
 func (pl *Placer) DemotionTarget(from topology.NodeID, cold bool) (topology.NodeID, bool) {
-	fromTier := pl.Phys.TierOf(from)
-	// Next tier down: the smallest tier id above from's with any node.
-	nextTier := -1
-	for n := 0; n < pl.M.NumNodes(); n++ {
-		if t := pl.Phys.TierOf(topology.NodeID(n)); t > fromTier && (nextTier < 0 || t < nextTier) {
-			nextTier = t
+	groups := pl.demotionGroups(from)
+	// Cold pages walk the groups farthest-first; warm pages nearest-
+	// first. The cached group order is nearest-first, so cold simply
+	// iterates backwards instead of reversing (and mutating) the cache.
+	for gi := 0; gi < len(groups); gi++ {
+		g := groups[gi]
+		if cold {
+			g = groups[len(groups)-1-gi]
 		}
-	}
-	wantTier := fromTier // within-tier (flat machines, slow-tier sources)
-	if nextTier >= 0 {
-		wantTier = nextTier
-	}
-	zl := pl.zonelists[from]
-	// Distance-group boundaries of the candidate tier's nodes, in
-	// zonelist (distance) order past the node itself.
-	var cands []topology.NodeID
-	for _, n := range zl {
-		if n != from && pl.Phys.TierOf(n) == wantTier {
-			cands = append(cands, n)
-		}
-	}
-	var groups [][]topology.NodeID
-	for i := 0; i < len(cands); {
-		j := i + 1
-		for j < len(cands) && pl.M.Dist[from][cands[j]] == pl.M.Dist[from][cands[i]] {
-			j++
-		}
-		groups = append(groups, cands[i:j])
-		i = j
-	}
-	if cold {
-		for a, b := 0, len(groups)-1; a < b; a, b = a+1, b-1 {
-			groups[a], groups[b] = groups[b], groups[a]
-		}
-	}
-	for _, g := range groups {
 		best, bestFree, found := topology.NodeID(0), int64(-1), false
 		for _, n := range g {
 			if pl.Phys.UnderPressure(n) {
@@ -436,6 +423,49 @@ func (pl *Placer) DemotionTarget(from topology.NodeID, cold bool) (topology.Node
 		}
 	}
 	return 0, false
+}
+
+// demotionGroups returns from's demotion candidates — the next tier
+// down when one exists, else from's own tier — split into distance
+// groups in zonelist order, nearest group first. Built on first use
+// and cached: the tier map and the distances are static after New, so
+// every kswapd tick on a big machine reuses the structure instead of
+// re-deriving it O(nodes) per demoted page.
+func (pl *Placer) demotionGroups(from topology.NodeID) [][]topology.NodeID {
+	if g := pl.demoGroups[from]; g != nil {
+		return g
+	}
+	fromTier := pl.Phys.TierOf(from)
+	// Next tier down: the smallest tier id above from's with any node.
+	nextTier := -1
+	for n := 0; n < pl.M.NumNodes(); n++ {
+		if t := pl.Phys.TierOf(topology.NodeID(n)); t > fromTier && (nextTier < 0 || t < nextTier) {
+			nextTier = t
+		}
+	}
+	wantTier := fromTier // within-tier (flat machines, slow-tier sources)
+	if nextTier >= 0 {
+		wantTier = nextTier
+	}
+	// Distance-group boundaries of the candidate tier's nodes, in
+	// zonelist (distance) order past the node itself.
+	var cands []topology.NodeID
+	for _, n := range pl.zonelist(from) {
+		if n != from && pl.Phys.TierOf(n) == wantTier {
+			cands = append(cands, n)
+		}
+	}
+	groups := [][]topology.NodeID{}
+	for i := 0; i < len(cands); {
+		j := i + 1
+		for j < len(cands) && pl.M.Distance(from, cands[j]) == pl.M.Distance(from, cands[i]) {
+			j++
+		}
+		groups = append(groups, cands[i:j])
+		i = j
+	}
+	pl.demoGroups[from] = groups
+	return groups
 }
 
 // ReplicaNodes returns the nodes that should receive a read-only

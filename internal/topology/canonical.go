@@ -1,0 +1,42 @@
+package topology
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// CanonicalString renders every observable property of a machine —
+// nodes, cores, links, all pairwise distances and all routes — in a
+// fixed text layout that is independent of the internal representation.
+// Two machines with equal canonical strings are indistinguishable to
+// every consumer of the package API.
+func CanonicalString(m *Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes=%d cores=%d links=%d\n", m.NumNodes(), m.NumCores(), len(m.Links))
+	for _, n := range m.Nodes {
+		fmt.Fprintf(&b, "node %d mem=%d l3=%d cores=%v\n", n.ID, n.MemBytes, n.L3Bytes, n.Cores)
+	}
+	for _, c := range m.Cores {
+		fmt.Fprintf(&b, "core %d node=%d\n", c.ID, c.Node)
+	}
+	for _, l := range m.Links {
+		fmt.Fprintf(&b, "link %d %d-%d\n", l.ID, l.A, l.B)
+	}
+	for i := 0; i < m.NumNodes(); i++ {
+		for j := 0; j < m.NumNodes(); j++ {
+			fmt.Fprintf(&b, "dist %d %d %d\n", i, j, m.Distance(NodeID(i), NodeID(j)))
+			if i != j {
+				fmt.Fprintf(&b, "route %d %d %v\n", i, j, m.Route(NodeID(i), NodeID(j)))
+			}
+		}
+	}
+	return b.String()
+}
+
+// CanonicalHash returns the sha256 hex digest of CanonicalString.
+func CanonicalHash(m *Machine) string {
+	sum := sha256.Sum256([]byte(CanonicalString(m)))
+	return hex.EncodeToString(sum[:])
+}

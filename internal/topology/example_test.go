@@ -1,0 +1,39 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"numamig/internal/topology"
+)
+
+// Example_hierarchicalMachine generates a datacenter-shaped machine —
+// two sockets of two dies with four compute nodes each, plus one CXL
+// memory expander per socket — and inspects the distance gradient the
+// link hierarchy produces. Distances are computed on demand, so even a
+// 1024-node machine is cheap to construct.
+func Example_hierarchicalMachine() {
+	m := topology.Hierarchy(topology.HierarchyConfig{
+		Sockets:       2,
+		DiesPerSocket: 2,
+		NodesPerDie:   4,
+		CXLPerSocket:  1,
+		CoresPerNode:  2,
+		MemPerNode:    4 << 30,
+		L3PerNode:     2 << 20,
+		CXLMemPerNode: 32 << 30,
+	})
+	fmt.Printf("nodes=%d cores=%d links=%d\n", m.NumNodes(), m.NumCores(), len(m.Links))
+	expander := topology.NodeID(m.NumNodes() - 1) // expanders are numbered last
+	fmt.Printf("local=%d intra-die=%d cross-die=%d cross-socket=%d to-expander=%d\n",
+		m.Distance(0, 0),        // same node
+		m.Distance(0, 1),        // same die
+		m.Distance(0, 4),        // other die, same socket
+		m.Distance(0, 8),        // other socket
+		m.Distance(8, expander)) // socket 1 leader to its CXL expander
+	fmt.Printf("expander cores=%d mem=%dGiB\n",
+		len(m.Nodes[expander].Cores), m.Nodes[expander].MemBytes>>30)
+	// Output:
+	// nodes=18 cores=32 links=21
+	// local=10 intra-die=12 cross-die=12 cross-socket=12 to-expander=12
+	// expander cores=0 mem=32GiB
+}

@@ -1,0 +1,150 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGrid64Golden locks every 1..64-node Grid shape to the canonical
+// hashes captured before the lazy-distance/1024-node refactor
+// (testdata/grid64.sha256, regenerated only intentionally via
+// tools/topogold). A mismatch means existing scenario families would
+// see a different machine.
+func TestGrid64Golden(t *testing.T) {
+	f, err := os.Open("testdata/grid64.sha256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want := map[int]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var n int
+		var h string
+		if _, err := fmt.Sscanf(line, "%d %s", &n, &h); err != nil {
+			t.Fatalf("bad golden line %q: %v", line, err)
+		}
+		want[n] = h
+	}
+	if len(want) != 64 {
+		t.Fatalf("golden file has %d entries, want 64", len(want))
+	}
+	for n := 1; n <= 64; n++ {
+		m := Grid(n, 2, 1<<30, 2<<20)
+		if got := CanonicalHash(m); got != want[n] {
+			t.Errorf("Grid(%d): canonical hash %s, want %s — shape changed", n, got, want[n])
+		}
+	}
+}
+
+// TestGridLargeProperties exercises the >64-node generated shapes:
+// Validate passes, degree stays within DegreeBound, distances are
+// symmetric, and routes match hop counts.
+func TestGridLargeProperties(t *testing.T) {
+	for _, n := range []int{65, 100, 128, 256, 333, 512, 1000, 1024} {
+		m := Grid(n, 1, 1<<30, 1<<20)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Grid(%d): %v", n, err)
+		}
+		if m.NumNodes() != n {
+			t.Fatalf("Grid(%d): %d nodes", n, m.NumNodes())
+		}
+		// Grid keeps the tighter ring+ring+cube bound of 8 at any size.
+		for id := 0; id < n; id++ {
+			if d := m.Degree(NodeID(id)); d > 8 {
+				t.Fatalf("Grid(%d): node %d degree %d > 8", n, id, d)
+			}
+		}
+		// Sampled symmetry + route/hop agreement (full n^2 is slow at 1024).
+		for i := 0; i < n; i += 97 {
+			for j := 0; j < n; j += 31 {
+				di, dj := m.Distance(NodeID(i), NodeID(j)), m.Distance(NodeID(j), NodeID(i))
+				if di != dj {
+					t.Fatalf("Grid(%d): asymmetric %d<->%d: %d vs %d", n, i, j, di, dj)
+				}
+				if i != j {
+					if hops := (di - 10) / 2; len(m.Route(NodeID(i), NodeID(j))) != hops {
+						t.Fatalf("Grid(%d): route %d->%d has %d links, dist says %d hops",
+							n, i, j, len(m.Route(NodeID(i), NodeID(j))), hops)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHierarchyShape(t *testing.T) {
+	cfg := HierarchyConfig{
+		Sockets: 4, DiesPerSocket: 2, NodesPerDie: 4, CXLPerSocket: 2,
+		CoresPerNode: 2, MemPerNode: 4 << 30, L3PerNode: 2 << 20, CXLMemPerNode: 16 << 30,
+	}
+	m := Hierarchy(cfg)
+	wantCompute := 4 * 2 * 4
+	wantTotal := wantCompute + 4*2
+	if m.NumNodes() != wantTotal {
+		t.Fatalf("nodes = %d, want %d", m.NumNodes(), wantTotal)
+	}
+	if m.NumCores() != wantCompute*2 {
+		t.Fatalf("cores = %d, want %d", m.NumCores(), wantCompute*2)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Expanders are numbered last, memory-only, sized by CXLMemPerNode,
+	// and hang one hop off a die leader (their switch port).
+	for i := wantCompute; i < wantTotal; i++ {
+		n := m.Nodes[i]
+		if len(n.Cores) != 0 {
+			t.Fatalf("expander %d has %d cores", i, len(n.Cores))
+		}
+		if n.MemBytes != 16<<30 {
+			t.Fatalf("expander %d mem = %d", i, n.MemBytes)
+		}
+		if m.Degree(n.ID) != 1 {
+			t.Fatalf("expander %d degree = %d, want 1", i, m.Degree(n.ID))
+		}
+	}
+	for id := 0; id < wantTotal; id++ {
+		if d := m.Degree(NodeID(id)); d > DegreeBound {
+			t.Fatalf("node %d degree %d > %d", id, d, DegreeBound)
+		}
+	}
+	// Same-die nodes are closer than cross-socket ones.
+	if m.Distance(0, 1) >= m.Distance(0, NodeID(3*2*4)) {
+		t.Fatalf("intra-die dist %d not below cross-socket dist %d",
+			m.Distance(0, 1), m.Distance(0, NodeID(3*2*4)))
+	}
+}
+
+// TestHierarchyMax builds the largest supported hierarchical machine
+// and checks construction stays cheap enough to run inside a unit test
+// (the old dense Dist/routes precompute made this seconds of work and
+// hundreds of MB).
+func TestHierarchyMax(t *testing.T) {
+	m := Hierarchy(HierarchyConfig{
+		Sockets: 16, DiesPerSocket: 4, NodesPerDie: 15, CXLPerSocket: 4,
+		CoresPerNode: 1, MemPerNode: 1 << 30, L3PerNode: 1 << 20,
+	})
+	if m.NumNodes() != 16*4*15+16*4 {
+		t.Fatalf("nodes = %d", m.NumNodes())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyOverMaxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized hierarchy should panic")
+		}
+	}()
+	Hierarchy(HierarchyConfig{Sockets: 32, DiesPerSocket: 8, NodesPerDie: 8, CoresPerNode: 1, MemPerNode: 1 << 30})
+}

@@ -1,9 +1,32 @@
 // Package topology describes the simulated cc-NUMA machine: nodes with
 // attached memory and cores, the interconnect link graph, an ACPI
-// SLIT-style distance matrix, and per-node-pair routes through the links.
+// SLIT-style distance oracle, and per-node-pair routes through the links.
+//
+// Machines are built by generators (Grid for flat/hierarchical node
+// counts up to MaxNodes, Hierarchy for explicit sockets x dies x CXL
+// shapes). Construction is O(nodes + links): distances and routes are
+// not materialized as dense matrices but computed on demand — one BFS
+// per queried source node, cached per source, plus a per-pair route
+// cache — so a 1024-node machine costs kilobytes up front instead of
+// the O(n^2) distance matrix and O(n^3) route table the old
+// representation paid before the first scenario even ran.
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MaxNodes is the largest node count a generated machine may have.
+const MaxNodes = 1024
+
+// DegreeBound is the per-node link-degree cap generated machines stay
+// under. Grid never exceeds 8 (node ring + leader ring + top cube);
+// Hierarchy leaders can additionally carry the die-leader ring and a
+// share of the socket's CXL expander links, so the general bound is 12.
+// Hierarchy panics on configs that would exceed it.
+const DegreeBound = 12
 
 // NodeID identifies a NUMA node (memory bank + attached cores).
 type NodeID int
@@ -31,17 +54,30 @@ type Link struct {
 	A, B NodeID
 }
 
-// Machine is a complete static description of the host.
+// neighbor is one adjacency-list entry: the peer node and the link id
+// reaching it.
+type neighbor struct {
+	node NodeID
+	link int
+}
+
+// Machine is a complete static description of the host. Distances and
+// routes are served on demand (Distance, Route) from per-source BFS
+// results cached behind a mutex, so sharing one Machine between
+// goroutines is safe and construction stays O(nodes + links).
 type Machine struct {
 	Nodes []Node
 	Cores []Core
 	Links []Link
-	// Dist is the SLIT-style distance matrix: 10 = local; the NUMA
-	// factor between nodes i,j is Dist[i][j]/10.
-	Dist [][]int
-	// routes[i][j] lists link IDs on the path from node i to node j
-	// (empty for i==j).
-	routes [][][]int
+
+	// adj is the adjacency list, each row sorted by peer id so BFS tree
+	// construction (and therefore every route) is deterministic.
+	adj [][]neighbor
+
+	mu       sync.Mutex
+	hopRows  [][]int16           // lazily-filled per-source BFS hop counts
+	parRows  [][]int32           // matching BFS parents (route reconstruction)
+	routeTab map[[2]NodeID][]int // per-pair route cache
 }
 
 // NumNodes returns the node count.
@@ -53,38 +89,133 @@ func (m *Machine) NumCores() int { return len(m.Cores) }
 // NodeOf returns the node a core belongs to.
 func (m *Machine) NodeOf(c CoreID) NodeID { return m.Cores[c].Node }
 
-// Route returns the link IDs on the path between two nodes.
-func (m *Machine) Route(from, to NodeID) []int { return m.routes[from][to] }
+// finish builds the adjacency list from Links and resets the lazy
+// caches; every generator calls it once after wiring the links.
+func (m *Machine) finish() {
+	n := len(m.Nodes)
+	m.adj = make([][]neighbor, n)
+	for _, l := range m.Links {
+		m.adj[l.A] = append(m.adj[l.A], neighbor{node: l.B, link: l.ID})
+		m.adj[l.B] = append(m.adj[l.B], neighbor{node: l.A, link: l.ID})
+	}
+	for i := range m.adj {
+		row := m.adj[i]
+		sort.Slice(row, func(a, b int) bool { return row[a].node < row[b].node })
+	}
+	m.hopRows = make([][]int16, n)
+	m.parRows = make([][]int32, n)
+	m.routeTab = map[[2]NodeID][]int{}
+}
+
+// bfsFrom returns (filling the cache if needed) the hop counts and BFS
+// parents from src. Caller must hold m.mu.
+func (m *Machine) bfsFrom(src NodeID) ([]int16, []int32) {
+	if m.hopRows[src] != nil {
+		return m.hopRows[src], m.parRows[src]
+	}
+	n := len(m.Nodes)
+	hops := make([]int16, n)
+	parents := make([]int32, n)
+	for i := range hops {
+		hops[i] = -1
+		parents[i] = -1
+	}
+	hops[src] = 0
+	queue := make([]NodeID, 0, 16)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, nb := range m.adj[u] {
+			if hops[nb.node] < 0 {
+				hops[nb.node] = hops[u] + 1
+				parents[nb.node] = int32(u)
+				queue = append(queue, nb.node)
+			}
+		}
+	}
+	m.hopRows[src] = hops
+	m.parRows[src] = parents
+	return hops, parents
+}
+
+// Distance returns the SLIT-style distance between two nodes: 10 for
+// local, 10 + 2*hops for remote — identical to the dense matrix the
+// package used to precompute, now derived from a cached per-source BFS.
+func (m *Machine) Distance(from, to NodeID) int {
+	if from == to {
+		return 10
+	}
+	m.mu.Lock()
+	hops, _ := m.bfsFrom(from)
+	d := hops[to]
+	m.mu.Unlock()
+	if d < 0 {
+		panic(fmt.Sprintf("topology: no path %d->%d", from, to))
+	}
+	return 10 + 2*int(d)
+}
+
+// Route returns the link IDs on the path between two nodes (empty for
+// from == to). The slice is cached and shared; callers must not mutate
+// it. Routes follow the deterministic BFS tree from `from` (neighbors
+// explored in ascending node id), listed destination-first like the
+// dense table used to store them.
+func (m *Machine) Route(from, to NodeID) []int {
+	if from == to {
+		return nil
+	}
+	key := [2]NodeID{from, to}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r, ok := m.routeTab[key]; ok {
+		return r
+	}
+	_, parents := m.bfsFrom(from)
+	var links []int
+	for v := to; v != from; v = NodeID(parents[v]) {
+		u := NodeID(parents[v])
+		if u < 0 {
+			panic(fmt.Sprintf("topology: no route %d->%d", from, to))
+		}
+		links = append(links, m.linkBetween(u, v))
+	}
+	m.routeTab[key] = links
+	return links
+}
+
+// linkBetween returns the id of the direct link joining u and v.
+func (m *Machine) linkBetween(u, v NodeID) int {
+	for _, nb := range m.adj[u] {
+		if nb.node == v {
+			return nb.link
+		}
+	}
+	panic(fmt.Sprintf("topology: no link %d-%d", u, v))
+}
+
+// Degree returns the number of links attached to a node.
+func (m *Machine) Degree(n NodeID) int { return len(m.adj[n]) }
 
 // NUMAFactor returns the access-cost ratio between a remote pair and
 // local access (1.0 for local).
 func (m *Machine) NUMAFactor(from, to NodeID) float64 {
-	return float64(m.Dist[from][to]) / float64(m.Dist[from][from])
+	return float64(m.Distance(from, to)) / float64(m.Distance(from, from))
 }
 
-// Validate checks internal consistency.
+// Validate checks internal consistency. Structural checks (node/core
+// cross-references, link endpoints, connectivity, the degree bound for
+// machines above the flat-hypercube range) always run in O(nodes +
+// links). The quadratic distance/route checks — symmetry, remote >=
+// local, a route for every ordered pair — run in full up to 64 nodes
+// and on a deterministic sample of sources above that, so validating a
+// 1024-node machine does not force 1024 BFS passes.
 func (m *Machine) Validate() error {
 	if len(m.Nodes) == 0 {
 		return fmt.Errorf("topology: no nodes")
 	}
-	if len(m.Dist) != len(m.Nodes) {
-		return fmt.Errorf("topology: distance matrix is %dx?, want %d rows", len(m.Dist), len(m.Nodes))
-	}
-	for i, row := range m.Dist {
-		if len(row) != len(m.Nodes) {
-			return fmt.Errorf("topology: distance row %d has %d cols", i, len(row))
-		}
-		if row[i]%10 != 0 || row[i] <= 0 {
-			return fmt.Errorf("topology: local distance of node %d is %d, want positive multiple of 10", i, row[i])
-		}
-		for j, d := range row {
-			if d < row[i] && i != j {
-				return fmt.Errorf("topology: remote distance %d->%d (%d) below local (%d)", i, j, d, row[i])
-			}
-			if m.Dist[j][i] != d {
-				return fmt.Errorf("topology: asymmetric distance %d<->%d", i, j)
-			}
-		}
+	if len(m.adj) != len(m.Nodes) {
+		return fmt.Errorf("topology: adjacency has %d rows, want %d (unfinished machine?)", len(m.adj), len(m.Nodes))
 	}
 	for c, core := range m.Cores {
 		if CoreID(c) != core.ID {
@@ -104,12 +235,47 @@ func (m *Machine) Validate() error {
 			}
 		}
 	}
-	for i := range m.Nodes {
-		for j := range m.Nodes {
+	for i, l := range m.Links {
+		if l.ID != i {
+			return fmt.Errorf("topology: link %d has ID %d", i, l.ID)
+		}
+		if int(l.A) >= len(m.Nodes) || int(l.B) >= len(m.Nodes) || l.A == l.B {
+			return fmt.Errorf("topology: link %d joins invalid pair %d-%d", i, l.A, l.B)
+		}
+	}
+	if len(m.Nodes) > 64 {
+		for i := range m.adj {
+			if len(m.adj[i]) > DegreeBound {
+				return fmt.Errorf("topology: node %d has degree %d > bound %d", i, len(m.adj[i]), DegreeBound)
+			}
+		}
+	}
+	// Connectivity: one BFS from node 0 must reach everything.
+	m.mu.Lock()
+	hops0, _ := m.bfsFrom(0)
+	m.mu.Unlock()
+	for i, h := range hops0 {
+		if h < 0 && len(m.Nodes) > 1 {
+			return fmt.Errorf("topology: node %d unreachable from node 0", i)
+		}
+	}
+	srcs := validateSources(len(m.Nodes))
+	for _, i := range srcs {
+		if m.Distance(NodeID(i), NodeID(i)) != 10 {
+			return fmt.Errorf("topology: local distance of node %d is %d", i, m.Distance(NodeID(i), NodeID(i)))
+		}
+		for j := 0; j < len(m.Nodes); j++ {
 			if i == j {
 				continue
 			}
-			r := m.routes[i][j]
+			d := m.Distance(NodeID(i), NodeID(j))
+			if d < 10 {
+				return fmt.Errorf("topology: remote distance %d->%d (%d) below local", i, j, d)
+			}
+			if m.Distance(NodeID(j), NodeID(i)) != d {
+				return fmt.Errorf("topology: asymmetric distance %d<->%d", i, j)
+			}
+			r := m.Route(NodeID(i), NodeID(j))
 			if len(r) == 0 {
 				return fmt.Errorf("topology: no route %d->%d", i, j)
 			}
@@ -123,6 +289,24 @@ func (m *Machine) Validate() error {
 	return nil
 }
 
+// validateSources picks the BFS sources Validate checks exhaustively:
+// every node up to 64, a fixed-stride sample (first, last, every 37th)
+// above.
+func validateSources(n int) []int {
+	if n <= 64 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := []int{0, n - 1}
+	for i := 37; i < n-1; i += 37 {
+		out = append(out, i)
+	}
+	return out
+}
+
 // Opteron4x4 builds the paper's experimentation host (Fig. 3): four
 // quad-core Opteron 8347HE sockets, 8 GB and one 2 MB shared L3 per
 // socket, HyperTransport links in a square (0-1, 0-2, 1-3, 2-3) so that
@@ -132,117 +316,198 @@ func Opteron4x4() *Machine {
 	return Grid(4, 4, 8<<30, 2<<20)
 }
 
-// Grid builds an n-node machine (1 <= n <= 64) with coresPerNode cores
-// per node and hop-count distances (10 + 2*hops). Power-of-two node
-// counts get HT-style hypercube links (the square/cube of the paper's
-// host, up to a 6-cube at 64); other counts up to 8 (3, 5, 6, 7 — e.g.
-// a DRAM machine with CXL expander nodes appended) are linked in a
-// ring. Non-power-of-two counts above 8 are built as a hierarchy — a
-// ring within each contiguous group of up to 8 nodes, and the group
-// leaders (each group's first node) interconnected as a hypercube when
-// the group count is a power of two, a ring otherwise — so big machines
-// keep a bounded link degree and a hop gradient like real multi-board
-// interconnects. The 1..8 shapes are unchanged from when 8 was the
-// upper bound.
-func Grid(nodes, coresPerNode int, memPerNode, l3PerNode int64) *Machine {
-	if nodes < 1 || nodes > 64 {
-		panic(fmt.Sprintf("topology: unsupported node count %d (want 1..64)", nodes))
+// linker accumulates deduplicated links for a machine under
+// construction and provides the ring/hypercube/cluster wiring shapes
+// the generators share.
+type linker struct {
+	m    *Machine
+	seen map[[2]int]bool
+}
+
+func newLinker(m *Machine) *linker { return &linker{m: m, seen: map[[2]int]bool{}} }
+
+func (lk *linker) add(i, j int) {
+	if i > j {
+		i, j = j, i
 	}
-	m := &Machine{}
-	coreID := CoreID(0)
-	for n := 0; n < nodes; n++ {
-		node := Node{ID: NodeID(n), MemBytes: memPerNode, L3Bytes: l3PerNode}
+	if lk.seen[[2]int{i, j}] {
+		return
+	}
+	lk.seen[[2]int{i, j}] = true
+	lk.m.Links = append(lk.m.Links, Link{ID: len(lk.m.Links), A: NodeID(i), B: NodeID(j)})
+}
+
+func (lk *linker) ring(ids []int) {
+	if len(ids) < 2 {
+		return
+	}
+	for i := range ids {
+		lk.add(ids[i], ids[(i+1)%len(ids)])
+	}
+}
+
+func (lk *linker) hypercube(ids []int) {
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			if popcount(i^j) == 1 {
+				lk.add(ids[i], ids[j])
+			}
+		}
+	}
+}
+
+// cluster wires an id set hierarchically: a ring within each contiguous
+// group of up to 8, then the group leaders (each group's first id)
+// interconnected recursively — a hypercube once the leader set is a
+// power of two of at most 16, a ring while it fits in 8, another
+// cluster level otherwise. The recursion keeps every node's degree
+// within DegreeBound at any size up to MaxNodes (a deepest-level leader
+// carries its node ring, its leader ring and the top cube: 2+2+4).
+func (lk *linker) cluster(ids []int) {
+	if popcount(len(ids)) == 1 && len(ids) <= 16 {
+		lk.hypercube(ids)
+		return
+	}
+	if len(ids) <= 8 {
+		lk.ring(ids)
+		return
+	}
+	var leaders []int
+	for base := 0; base < len(ids); base += 8 {
+		end := base + 8
+		if end > len(ids) {
+			end = len(ids)
+		}
+		lk.ring(ids[base:end])
+		leaders = append(leaders, ids[base])
+	}
+	lk.cluster(leaders)
+}
+
+// addNodes appends count nodes of the given shape to the machine,
+// returning their ids.
+func addNodes(m *Machine, count, coresPerNode int, memPerNode, l3PerNode int64) []int {
+	ids := make([]int, 0, count)
+	for i := 0; i < count; i++ {
+		id := NodeID(len(m.Nodes))
+		node := Node{ID: id, MemBytes: memPerNode, L3Bytes: l3PerNode}
 		for c := 0; c < coresPerNode; c++ {
-			node.Cores = append(node.Cores, coreID)
-			m.Cores = append(m.Cores, Core{ID: coreID, Node: NodeID(n)})
-			coreID++
+			cid := CoreID(len(m.Cores))
+			node.Cores = append(node.Cores, cid)
+			m.Cores = append(m.Cores, Core{ID: cid, Node: id})
 		}
 		m.Nodes = append(m.Nodes, node)
+		ids = append(ids, int(id))
 	}
-	// Power of two: hypercube adjacency (nodes differing in one bit are
-	// linked). Otherwise: a ring.
-	adj := make([][]bool, nodes)
-	for i := range adj {
-		adj[i] = make([]bool, nodes)
+	return ids
+}
+
+// Grid builds an n-node machine (1 <= n <= MaxNodes) with coresPerNode
+// cores per node and hop-count distances (10 + 2*hops). Power-of-two
+// node counts up to 64 get HT-style hypercube links (the square/cube of
+// the paper's host, up to a 6-cube at 64); other counts up to 8 (3, 5,
+// 6, 7 — e.g. a DRAM machine with CXL expander nodes appended) are
+// linked in a ring. Everything else is built as a hierarchy — a ring
+// within each contiguous group of up to 8 nodes, and the group leaders
+// interconnected recursively (see linker.cluster) — so big machines
+// keep a link degree within DegreeBound and a hop gradient like real
+// multi-board interconnects. Every shape up to 64 nodes is unchanged
+// from when 64 was the upper bound (the grid64.sha256 golden test
+// enforces this).
+func Grid(nodes, coresPerNode int, memPerNode, l3PerNode int64) *Machine {
+	if nodes < 1 || nodes > MaxNodes {
+		panic(fmt.Sprintf("topology: unsupported node count %d (want 1..%d)", nodes, MaxNodes))
 	}
-	linkIdx := map[[2]int]int{}
-	addLink := func(i, j int) {
-		if i > j {
-			i, j = j, i
-		}
-		if adj[i][j] {
-			return
-		}
-		adj[i][j], adj[j][i] = true, true
-		linkIdx[[2]int{i, j}] = len(m.Links)
-		m.Links = append(m.Links, Link{ID: len(m.Links), A: NodeID(i), B: NodeID(j)})
-	}
-	ring := func(ids []int) {
-		if len(ids) < 2 {
-			return
-		}
-		for i := range ids {
-			addLink(ids[i], ids[(i+1)%len(ids)])
-		}
-	}
-	hypercube := func(ids []int) {
-		for i := range ids {
-			for j := i + 1; j < len(ids); j++ {
-				if popcount(i^j) == 1 {
-					addLink(ids[i], ids[j])
-				}
-			}
-		}
-	}
-	all := make([]int, nodes)
-	for i := range all {
-		all[i] = i
-	}
+	m := &Machine{}
+	all := addNodes(m, nodes, coresPerNode, memPerNode, l3PerNode)
+	lk := newLinker(m)
 	switch {
-	case popcount(nodes) == 1:
-		hypercube(all)
+	case popcount(nodes) == 1 && nodes <= 64:
+		lk.hypercube(all)
 	case nodes <= 8:
-		ring(all)
+		lk.ring(all)
 	default:
-		// Hierarchy: rings of up to 8 nodes, leaders interconnected.
-		var leaders []int
-		for base := 0; base < nodes; base += 8 {
-			end := base + 8
-			if end > nodes {
-				end = nodes
-			}
-			ring(all[base:end])
-			leaders = append(leaders, base)
+		lk.cluster(all)
+	}
+	m.finish()
+	if err := m.Validate(); err != nil {
+		panic("topology: generated invalid machine: " + err.Error())
+	}
+	return m
+}
+
+// HierarchyConfig describes a generated datacenter-shaped machine:
+// compute nodes grouped into dies and sockets, with optional memory-only
+// CXL expander nodes hanging off a per-socket switch.
+type HierarchyConfig struct {
+	// Sockets, DiesPerSocket, NodesPerDie shape the compute hierarchy;
+	// all must be >= 1. Total node count (including expanders) must stay
+	// within MaxNodes.
+	Sockets       int
+	DiesPerSocket int
+	NodesPerDie   int
+	// CXLPerSocket appends that many memory-only expander nodes per
+	// socket, attached round-robin across the socket's die leaders (the
+	// switch ports), so no single leader absorbs every expander link.
+	CXLPerSocket int
+	// CoresPerNode is the core count of each compute node (expanders
+	// carry no cores).
+	CoresPerNode int
+	// MemPerNode / L3PerNode size each compute node; CXLMemPerNode sizes
+	// each expander (0 means MemPerNode).
+	MemPerNode    int64
+	L3PerNode     int64
+	CXLMemPerNode int64
+}
+
+// Hierarchy generates a sockets x dies x nodes machine: the nodes of a
+// die are interconnected directly (hypercube or ring by count), die
+// leaders form a ring per socket, socket leaders interconnect at the
+// top, and CXL expander nodes — memory-only, no cores — attach to their
+// socket's leader like devices behind a CXL switch. Node ids number the
+// compute nodes first (socket-major, then die, then node), expanders
+// last; distances fall out of the link graph via the same BFS oracle
+// Grid uses.
+func Hierarchy(cfg HierarchyConfig) *Machine {
+	if cfg.Sockets < 1 || cfg.DiesPerSocket < 1 || cfg.NodesPerDie < 1 {
+		panic("topology: hierarchy needs at least one socket, die and node")
+	}
+	if cfg.CXLPerSocket < 0 {
+		panic("topology: negative CXL expander count")
+	}
+	total := cfg.Sockets*cfg.DiesPerSocket*cfg.NodesPerDie + cfg.Sockets*cfg.CXLPerSocket
+	if total > MaxNodes {
+		panic(fmt.Sprintf("topology: hierarchy of %d nodes exceeds MaxNodes %d", total, MaxNodes))
+	}
+	cxlMem := cfg.CXLMemPerNode
+	if cxlMem == 0 {
+		cxlMem = cfg.MemPerNode
+	}
+	m := &Machine{}
+	lk := newLinker(m)
+	var socketLeaders []int
+	dieLeaders := make([][]int, cfg.Sockets)
+	for s := 0; s < cfg.Sockets; s++ {
+		for d := 0; d < cfg.DiesPerSocket; d++ {
+			die := addNodes(m, cfg.NodesPerDie, cfg.CoresPerNode, cfg.MemPerNode, cfg.L3PerNode)
+			lk.cluster(die)
+			dieLeaders[s] = append(dieLeaders[s], die[0])
 		}
-		if popcount(len(leaders)) == 1 {
-			hypercube(leaders)
-		} else {
-			ring(leaders)
+		lk.ring(dieLeaders[s])
+		socketLeaders = append(socketLeaders, dieLeaders[s][0])
+	}
+	lk.cluster(socketLeaders)
+	for s := 0; s < cfg.Sockets; s++ {
+		for x := 0; x < cfg.CXLPerSocket; x++ {
+			exp := addNodes(m, 1, 0, cxlMem, 0)
+			lk.add(dieLeaders[s][x%len(dieLeaders[s])], exp[0])
 		}
 	}
-	// BFS hop counts and routes.
-	m.Dist = make([][]int, nodes)
-	m.routes = make([][][]int, nodes)
-	for i := 0; i < nodes; i++ {
-		m.Dist[i] = make([]int, nodes)
-		m.routes[i] = make([][]int, nodes)
-		hops, parents := bfs(adj, i)
-		for j := 0; j < nodes; j++ {
-			m.Dist[i][j] = 10 + 2*hops[j]
-			if i == j {
-				continue
-			}
-			// Reconstruct path j -> i, collect links.
-			var links []int
-			for v := j; v != i; v = parents[v] {
-				u := parents[v]
-				a, b := u, v
-				if a > b {
-					a, b = b, a
-				}
-				links = append(links, linkIdx[[2]int{a, b}])
-			}
-			m.routes[i][j] = links
+	m.finish()
+	for i := range m.adj {
+		if len(m.adj[i]) > DegreeBound {
+			panic(fmt.Sprintf("topology: hierarchy config gives node %d degree %d > bound %d (too many CXL expanders per die?)",
+				i, len(m.adj[i]), DegreeBound))
 		}
 	}
 	if err := m.Validate(); err != nil {
@@ -257,28 +522,4 @@ func popcount(x int) int {
 		n++
 	}
 	return n
-}
-
-func bfs(adj [][]bool, src int) (hops, parents []int) {
-	n := len(adj)
-	hops = make([]int, n)
-	parents = make([]int, n)
-	for i := range hops {
-		hops[i] = -1
-		parents[i] = -1
-	}
-	hops[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for v := 0; v < n; v++ {
-			if adj[u][v] && hops[v] < 0 {
-				hops[v] = hops[u] + 1
-				parents[v] = u
-				queue = append(queue, v)
-			}
-		}
-	}
-	return hops, parents
 }

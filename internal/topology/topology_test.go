@@ -37,8 +37,8 @@ func TestOpteron4x4Distances(t *testing.T) {
 		{0, 0, 10}, {0, 1, 12}, {0, 2, 12}, {0, 3, 14}, {1, 2, 14}, {1, 3, 12}, {2, 3, 12},
 	}
 	for _, c := range cases {
-		if m.Dist[c.a][c.b] != c.d {
-			t.Errorf("dist[%d][%d] = %d, want %d", c.a, c.b, m.Dist[c.a][c.b], c.d)
+		if m.Distance(c.a, c.b) != c.d {
+			t.Errorf("dist[%d][%d] = %d, want %d", c.a, c.b, m.Distance(c.a, c.b), c.d)
 		}
 	}
 	if f := m.NUMAFactor(0, 3); f != 1.4 {
@@ -111,12 +111,16 @@ func TestGridShapes(t *testing.T) {
 }
 
 func TestGridUnsupportedPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Grid(65) should panic")
-		}
-	}()
-	Grid(65, 2, 1<<30, 1<<20)
+	for _, n := range []int{0, -1, MaxNodes + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Grid(%d) should panic", n)
+				}
+			}()
+			Grid(n, 2, 1<<30, 1<<20)
+		}()
+	}
 }
 
 // The 1..8 shapes predate the 9..64 extension and must stay exactly as
@@ -131,8 +135,8 @@ func TestGridSmallShapesUnchanged(t *testing.T) {
 	}
 	// Spot-check the 8-node cube's farthest pair: 3 bit flips = 3 hops.
 	m := Grid(8, 1, 1<<30, 1<<20)
-	if m.Dist[0][7] != 16 {
-		t.Errorf("Grid(8) dist 0->7 = %d, want 16", m.Dist[0][7])
+	if m.Distance(0, 7) != 16 {
+		t.Errorf("Grid(8) dist 0->7 = %d, want 16", m.Distance(0, 7))
 	}
 }
 
@@ -169,8 +173,8 @@ func TestGridLargeShapes(t *testing.T) {
 		if want := n * dim / 2; len(m.Links) != want {
 			t.Errorf("Grid(%d): %d links, want %d", n, len(m.Links), want)
 		}
-		if m.Dist[0][n-1] != 10+2*dim {
-			t.Errorf("Grid(%d): dist 0->%d = %d, want %d", n, n-1, m.Dist[0][n-1], 10+2*dim)
+		if m.Distance(0, NodeID(n-1)) != 10+2*dim {
+			t.Errorf("Grid(%d): dist 0->%d = %d, want %d", n, n-1, m.Distance(0, NodeID(n-1)), 10+2*dim)
 		}
 	}
 }
@@ -184,10 +188,10 @@ func TestGridRouteProperties(t *testing.T) {
 		m := Grid(n, 1, 1<<30, 1<<20)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
-				if m.Dist[i][j] != m.Dist[j][i] {
+				if m.Distance(NodeID(i), NodeID(j)) != m.Distance(NodeID(j), NodeID(i)) {
 					return false
 				}
-				wantHops := (m.Dist[i][j] - 10) / 2
+				wantHops := (m.Distance(NodeID(i), NodeID(j)) - 10) / 2
 				if i != j && len(m.Route(NodeID(i), NodeID(j))) != wantHops {
 					return false
 				}

@@ -1,0 +1,557 @@
+package vm
+
+import (
+	"sort"
+
+	"numamig/internal/mem"
+	"numamig/internal/model"
+	"numamig/internal/topology"
+)
+
+// This file is the extent-run (maple-tree-style) storage layer of the
+// page table. A chunk in compact mode stores its mapping as a sorted
+// set of maximal runs of pages with identical (flags, age, promogen,
+// node) — a multi-TB sparse mapping costs a few runs per touched chunk
+// instead of 512 materialized PTEs. Runs split when a single page
+// diverges (fault, migrate, protect) and re-merge when neighbours
+// become identical again (the merge sweep after every range mutation,
+// plus the explicit Coalesce for chunks that were materialized).
+//
+// The legacy per-page pointer API (Lookup, Entry, Chunk.PTE, ForEach,
+// ForEachRun) hands out aliases into a dense [512]PTE array, so a chunk
+// touched through it converts to dense mode first (materialize) and
+// stays dense — an outstanding *PTE must remain valid indefinitely.
+// Paths rewritten against the native extent API (Get, Touch, Install,
+// Extents, the *Range operations, UnmapRange) never force that
+// conversion, which is what keeps datacenter-scale scenarios compact.
+
+// extRun is one maximal same-state extent inside a chunk: n pages
+// starting at page offset off, all sharing flags/age/promoGen and
+// backed by frames on one node (node == -1 and frames == nil for
+// frameless present runs). frames[i] belongs to page off+i.
+type extRun struct {
+	off      uint16
+	n        uint16
+	flags    uint8
+	age      uint8
+	promoGen uint32
+	node     int32
+	frames   []*mem.Frame
+}
+
+func (r *extRun) end() uint16 { return r.off + r.n }
+
+// pte materializes the value of page i (0 <= i < n) of the run.
+func (r *extRun) pte(i int) PTE {
+	e := PTE{Flags: r.flags, Age: r.age, PromoGen: r.promoGen}
+	if r.frames != nil {
+		e.Frame = r.frames[i]
+	}
+	return e
+}
+
+// attrEqual reports whether two runs could belong to one extent.
+func (r *extRun) attrEqual(s *extRun) bool {
+	return r.flags == s.flags && r.age == s.age && r.promoGen == s.promoGen &&
+		r.node == s.node && (r.frames == nil) == (s.frames == nil)
+}
+
+// pteAttrEqual reports whether value e matches the run's shared state.
+func (r *extRun) pteAttrEqual(e PTE) bool {
+	if r.flags != e.Flags || r.age != e.Age || r.promoGen != e.PromoGen {
+		return false
+	}
+	if e.Frame == nil {
+		return r.frames == nil
+	}
+	return r.frames != nil && r.node == int32(e.Frame.Node)
+}
+
+// runForPTE builds a single-page run holding value e at offset off.
+func runForPTE(off uint16, e PTE) extRun {
+	r := extRun{off: off, n: 1, flags: e.Flags, age: e.Age, promoGen: e.PromoGen, node: -1}
+	if e.Frame != nil {
+		r.node = int32(e.Frame.Node)
+		r.frames = []*mem.Frame{e.Frame}
+	}
+	return r
+}
+
+// FlagsAllow reports whether flag bits permit an access — PTE.Allows
+// over a flags value instead of a pointer, usable against extent runs.
+func FlagsAllow(flags uint8, write bool) bool {
+	if flags&PTEPresent == 0 || flags&(PTENextTouch|PTENumaHint) != 0 {
+		return false
+	}
+	if write {
+		return flags&PTEWrite != 0
+	}
+	return flags&PTERead != 0
+}
+
+// findRun returns the index of the first run whose end is past off —
+// the run containing off if one does, else the insertion point.
+func (c *Chunk) findRun(off uint16) int {
+	return sort.Search(len(c.runs), func(i int) bool { return c.runs[i].end() > off })
+}
+
+// splitAt ensures no run straddles the boundary off and returns the
+// index of the first run whose start is >= off. Frame slices of the
+// left half are capacity-clamped so later appends cannot clobber the
+// right half's shared backing array.
+func (c *Chunk) splitAt(off uint16) int {
+	i := c.findRun(off)
+	if i == len(c.runs) || c.runs[i].off >= off {
+		return i
+	}
+	r := c.runs[i]
+	k := off - r.off
+	left, right := r, r
+	left.n = k
+	right.off, right.n = off, r.n-k
+	if r.frames != nil {
+		left.frames = r.frames[:k:k]
+		right.frames = r.frames[k:]
+	}
+	c.runs = append(c.runs, extRun{})
+	copy(c.runs[i+2:], c.runs[i+1:])
+	c.runs[i] = left
+	c.runs[i+1] = right
+	return i + 1
+}
+
+// mergeWindow re-merges adjacent attr-equal runs around the index
+// window [i, j) that a mutation just touched.
+func (c *Chunk) mergeWindow(i, j int) {
+	k := i - 1
+	if k < 0 {
+		k = 0
+	}
+	for k < len(c.runs)-1 && k <= j {
+		a, b := &c.runs[k], &c.runs[k+1]
+		if a.end() == b.off && a.attrEqual(b) {
+			if a.frames != nil {
+				a.frames = append(a.frames, b.frames...)
+			}
+			a.n += b.n
+			c.runs = append(c.runs[:k+1], c.runs[k+2:]...)
+			j--
+			continue
+		}
+		k++
+	}
+}
+
+// mutateRuns applies fn to every run overlapping [lo, hi), splitting
+// boundary runs first and re-merging afterwards. fn must not change a
+// run's off/n/frames length.
+func (c *Chunk) mutateRuns(lo, hi uint16, fn func(r *extRun)) {
+	i := c.splitAt(lo)
+	j := c.splitAt(hi)
+	for k := i; k < j; k++ {
+		fn(&c.runs[k])
+	}
+	c.mergeWindow(i, j)
+}
+
+// removeRange deletes all run pages in [lo, hi), invoking free on each
+// non-nil frame removed, and returns the number of present pages
+// dropped.
+func (c *Chunk) removeRange(lo, hi uint16, free func(*mem.Frame)) int {
+	i := c.splitAt(lo)
+	j := c.splitAt(hi)
+	dropped := 0
+	for k := i; k < j; k++ {
+		r := &c.runs[k]
+		if r.flags&PTEPresent != 0 {
+			dropped += int(r.n)
+		}
+		if free != nil {
+			for _, f := range r.frames {
+				if f != nil {
+					free(f)
+				}
+			}
+		}
+	}
+	if i < j {
+		c.runs = append(c.runs[:i], c.runs[j:]...)
+	}
+	return dropped
+}
+
+// install stores value e at page offset off in a compact chunk,
+// splitting whatever run covered the page and merging with identical
+// neighbours. A zero value clears the page (leaves a gap).
+func (c *Chunk) install(off uint16, e PTE) {
+	if e == (PTE{}) {
+		c.removeRange(off, off+1, nil)
+		return
+	}
+	// Fast path: the page extends an existing run with identical state —
+	// the shape of a sequential demand-fault stream.
+	i := c.findRun(off)
+	if i < len(c.runs) && c.runs[i].off <= off {
+		r := &c.runs[i]
+		if r.pteAttrEqual(e) && (e.Frame == nil || r.frames[off-r.off] == e.Frame) {
+			return // already stored
+		}
+	} else if i > 0 {
+		r := &c.runs[i-1]
+		if r.end() == off && r.pteAttrEqual(e) &&
+			(i == len(c.runs) || c.runs[i].off > off) {
+			if r.frames != nil {
+				r.frames = append(r.frames, e.Frame)
+			}
+			r.n++
+			c.mergeWindow(i-1, i)
+			return
+		}
+	}
+	lo := c.splitAt(off)
+	hi := c.splitAt(off + 1)
+	nr := runForPTE(off, e)
+	if lo < hi {
+		c.runs[lo] = nr
+	} else {
+		c.runs = append(c.runs, extRun{})
+		copy(c.runs[lo+1:], c.runs[lo:])
+		c.runs[lo] = nr
+	}
+	c.mergeWindow(lo, lo+1)
+}
+
+// get returns the value at page offset off (zero PTE when unmapped).
+func (c *Chunk) get(off uint16) PTE {
+	i := c.findRun(off)
+	if i == len(c.runs) || c.runs[i].off > off {
+		return PTE{}
+	}
+	return c.runs[i].pte(int(off - c.runs[i].off))
+}
+
+// compactFrom re-encodes a dense array as runs, or returns nil if the
+// chunk does not compress (over maxRuns extents, or a non-present entry
+// carrying leftover state that gaps cannot represent).
+func compactFrom(d *[model.PTEChunkPages]PTE) []extRun {
+	const maxRuns = 128
+	var runs []extRun
+	for i := 0; i < model.PTEChunkPages; i++ {
+		e := d[i]
+		if e == (PTE{}) {
+			continue
+		}
+		if e.Flags == 0 {
+			return nil // stateful non-present entry; stay dense
+		}
+		if len(runs) > 0 {
+			r := &runs[len(runs)-1]
+			if r.end() == uint16(i) && r.pteAttrEqual(e) {
+				if r.frames != nil {
+					r.frames = append(r.frames, e.Frame)
+				}
+				r.n++
+				continue
+			}
+		}
+		if len(runs) == maxRuns {
+			return nil
+		}
+		runs = append(runs, runForPTE(uint16(i), e))
+	}
+	return runs
+}
+
+// Ext is one maximal same-state extent reported by PageTable.Extents:
+// N pages from Start sharing Flags/Age/PromoGen, backed on Node (-1
+// when frameless or when the extent is a gap). Gap extents (requested
+// via withGaps) have Flags == 0 and cover unmapped pages, including
+// whole missing chunks and huge-mapped chunks (which the 4 KiB walk
+// treats as unmapped, like ForEach does).
+type Ext struct {
+	Start    VPN
+	N        int
+	Flags    uint8
+	Age      uint8
+	PromoGen uint32
+	Node     topology.NodeID
+}
+
+// Extents walks [start, end) as maximal same-state extents in ascending
+// order without materializing or creating chunks — the native read path
+// of the compact representation. With withGaps set, unmapped spans are
+// reported too (Flags == 0); gaps are maximal within a chunk but not
+// coalesced across chunk boundaries. Returning false from fn stops the
+// walk.
+func (t *PageTable) Extents(start, end VPN, withGaps bool, fn func(e Ext) bool) {
+	emitGap := func(s VPN, n int) bool {
+		if !withGaps || n <= 0 {
+			return true
+		}
+		return fn(Ext{Start: s, N: n, Node: -1})
+	}
+	for v := start; v < end; {
+		ci := ChunkIndex(v)
+		chunkEnd := VPN((ci + 1) * model.PTEChunkPages)
+		stop := end
+		if chunkEnd < stop {
+			stop = chunkEnd
+		}
+		c := t.chunks[ci]
+		if c == nil || c.Huge {
+			if !emitGap(v, int(stop-v)) {
+				return
+			}
+			v = stop
+			continue
+		}
+		base := VPN(ci * model.PTEChunkPages)
+		if c.dense == nil {
+			lo, hi := uint16(v-base), uint16(stop-base)
+			i := c.findRun(lo)
+			at := lo
+			for ; i < len(c.runs) && c.runs[i].off < hi; i++ {
+				r := &c.runs[i]
+				s, e := r.off, r.end()
+				if s < lo {
+					s = lo
+				}
+				if e > hi {
+					e = hi
+				}
+				if s > at && !emitGap(base+VPN(at), int(s-at)) {
+					return
+				}
+				ext := Ext{Start: base + VPN(s), N: int(e - s), Node: topology.NodeID(r.node)}
+				if r.flags&PTEPresent != 0 {
+					ext.Flags, ext.Age, ext.PromoGen = r.flags, r.age, r.promoGen
+					if !fn(ext) {
+						return
+					}
+				} else if !emitGap(ext.Start, ext.N) {
+					return
+				}
+				at = e
+			}
+			if at < hi && !emitGap(base+VPN(at), int(hi-at)) {
+				return
+			}
+			v = stop
+			continue
+		}
+		// Dense chunk: group by full attr tuple like the compact walk.
+		for v < stop {
+			off := int(uint64(v) % model.PTEChunkPages)
+			pte := &c.dense[off]
+			if pte.Flags&PTEPresent == 0 {
+				gs := v
+				for v < stop && c.dense[uint64(v)%model.PTEChunkPages].Flags&PTEPresent == 0 {
+					v++
+				}
+				if !emitGap(gs, int(v-gs)) {
+					return
+				}
+				continue
+			}
+			rs := v
+			flags, age, gen, node := pte.Flags, pte.Age, pte.PromoGen, frameNode(pte)
+			v++
+			for v < stop {
+				q := &c.dense[uint64(v)%model.PTEChunkPages]
+				if q.Flags != flags || q.Age != age || q.PromoGen != gen || frameNode(q) != node {
+					break
+				}
+				v++
+			}
+			if !fn(Ext{Start: rs, N: int(v - rs), Flags: flags, Age: age, PromoGen: gen, Node: node}) {
+				return
+			}
+		}
+	}
+}
+
+// Get returns the value of the PTE covering v (zero PTE when unmapped
+// or inside a huge chunk) without materializing the chunk.
+func (t *PageTable) Get(v VPN) PTE {
+	c := t.chunks[ChunkIndex(v)]
+	if c == nil || c.Huge {
+		return PTE{}
+	}
+	off := uint16(uint64(v) % model.PTEChunkPages)
+	if c.dense != nil {
+		return c.dense[off]
+	}
+	return c.get(off)
+}
+
+// Install stores value e for v, creating the covering chunk, splitting
+// and re-merging extents as needed. A zero e unmaps the page. Panics
+// inside huge chunks like Entry.
+func (t *PageTable) Install(v VPN, e PTE) {
+	c := t.ChunkOrCreate(v)
+	if c.Huge {
+		panic("vm: 4k install inside huge-page chunk")
+	}
+	off := uint16(uint64(v) % model.PTEChunkPages)
+	if c.dense != nil {
+		c.dense[off] = e
+		return
+	}
+	c.install(off, e)
+}
+
+// Touch performs the hardware fast path for an access to v: if the
+// mapping's flag bits allow it, the accessed (and for writes dirty) bit
+// is set and Touch reports true; otherwise the caller must take the
+// fault path. Compact chunks only split when the touched page gains a
+// bit its run does not already carry.
+func (t *PageTable) Touch(v VPN, write bool) bool {
+	c := t.chunks[ChunkIndex(v)]
+	if c == nil || c.Huge {
+		return false
+	}
+	off := uint16(uint64(v) % model.PTEChunkPages)
+	want := PTEAccessed
+	if write {
+		want |= PTEDirty
+	}
+	if c.dense != nil {
+		pte := &c.dense[off]
+		if !FlagsAllow(pte.Flags, write) {
+			return false
+		}
+		pte.Flags |= want
+		return true
+	}
+	i := c.findRun(off)
+	if i == len(c.runs) || c.runs[i].off > off {
+		return false
+	}
+	if !FlagsAllow(c.runs[i].flags, write) {
+		return false
+	}
+	if c.runs[i].flags&want == want {
+		return true
+	}
+	c.mutateRuns(off, off+1, func(r *extRun) { r.flags |= want })
+	return true
+}
+
+// OrFlagsRange ORs mask into the flags of every present page in
+// [start, end) and returns the number of pages covered — the bulk
+// access-marking step of AccessRange. Runs already carrying the mask
+// are counted without being split.
+func (t *PageTable) OrFlagsRange(start, end VPN, mask uint8) int {
+	n := 0
+	t.forRangeChunks(start, end, func(c *Chunk, base VPN, lo, hi uint16) {
+		if c.dense != nil {
+			for off := lo; off < hi; off++ {
+				pte := &c.dense[off]
+				if pte.Flags&PTEPresent != 0 {
+					pte.Flags |= mask
+					n++
+				}
+			}
+			return
+		}
+		needs := false
+		i := c.findRun(lo)
+		for j := i; j < len(c.runs) && c.runs[j].off < hi; j++ {
+			r := &c.runs[j]
+			if r.flags&PTEPresent != 0 {
+				s, e := r.off, r.end()
+				if s < lo {
+					s = lo
+				}
+				if e > hi {
+					e = hi
+				}
+				n += int(e - s)
+				if r.flags&mask != mask {
+					needs = true
+				}
+			}
+		}
+		if needs {
+			c.mutateRuns(lo, hi, func(r *extRun) {
+				if r.flags&PTEPresent != 0 {
+					r.flags |= mask
+				}
+			})
+		}
+	})
+	return n
+}
+
+// UnmapRange clears every mapping in [start, end), invoking free on
+// each backing frame, and returns the number of present pages dropped.
+// Fully-cleared chunks are detached and recycled; huge chunks are left
+// to the caller (they carry their frame on the chunk itself).
+func (t *PageTable) UnmapRange(start, end VPN, free func(*mem.Frame)) int {
+	dropped := 0
+	t.forRangeChunks(start, end, func(c *Chunk, base VPN, lo, hi uint16) {
+		if c.dense != nil {
+			for off := lo; off < hi; off++ {
+				pte := &c.dense[off]
+				if pte.Flags&PTEPresent != 0 {
+					dropped++
+					if free != nil && pte.Frame != nil {
+						free(pte.Frame)
+					}
+				}
+				*pte = PTE{}
+			}
+			return
+		}
+		dropped += c.removeRange(lo, hi, free)
+	})
+	// Recycle chunks whose whole span was cleared.
+	for ci := uint64(start) / model.PTEChunkPages; ci <= uint64(end-1)/model.PTEChunkPages; ci++ {
+		cs, ce := VPN(ci*model.PTEChunkPages), VPN((ci+1)*model.PTEChunkPages)
+		if start <= cs && ce <= end {
+			if c := t.chunks[ci]; c != nil && !c.Huge {
+				t.releaseChunk(ci)
+			}
+		}
+	}
+	return dropped
+}
+
+// Coalesce re-encodes materialized (dense) chunks overlapping
+// [start, end) back into compact extent form where they compress.
+// Callers must guarantee no outstanding *PTE aliases into the covered
+// chunks — a materialized pointer would silently detach from the table.
+// Safe points are scenario boundaries and post-unmap cleanup.
+func (t *PageTable) Coalesce(start, end VPN) {
+	for ci := uint64(start) / model.PTEChunkPages; ci <= uint64(end-1)/model.PTEChunkPages; ci++ {
+		c := t.chunks[ci]
+		if c == nil || c.Huge || c.dense == nil {
+			continue
+		}
+		runs := compactFrom(c.dense)
+		if runs == nil {
+			continue
+		}
+		releaseDense(c.dense)
+		c.dense = nil
+		c.runs = runs
+	}
+}
+
+// forRangeChunks invokes fn once per existing non-huge chunk overlapped
+// by [start, end), passing the chunk-relative offset window [lo, hi).
+func (t *PageTable) forRangeChunks(start, end VPN, fn func(c *Chunk, base VPN, lo, hi uint16)) {
+	for v := start; v < end; {
+		ci := ChunkIndex(v)
+		chunkEnd := VPN((ci + 1) * model.PTEChunkPages)
+		stop := end
+		if chunkEnd < stop {
+			stop = chunkEnd
+		}
+		if c := t.chunks[ci]; c != nil && !c.Huge {
+			base := VPN(ci * model.PTEChunkPages)
+			fn(c, base, uint16(v-base), uint16(stop-base))
+		}
+		v = stop
+	}
+}

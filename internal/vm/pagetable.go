@@ -48,35 +48,44 @@ func (p *PTE) Present() bool { return p != nil && p.Flags&PTEPresent != 0 }
 // next-touch-marked or NUMA-hint-marked PTE never allows access (the
 // kernel cleared its permission bits so the touch faults).
 func (p *PTE) Allows(write bool) bool {
-	if p == nil || p.Flags&PTEPresent == 0 || p.Flags&(PTENextTouch|PTENumaHint) != 0 {
+	if p == nil {
 		return false
 	}
-	if write {
-		return p.Flags&PTEWrite != 0
-	}
-	return p.Flags&PTERead != 0
+	return FlagsAllow(p.Flags, write)
 }
 
 // SetProt installs hardware permission bits from a Prot mask, preserving
 // other flags.
 func (p *PTE) SetProt(prot Prot) {
-	p.Flags &^= PTERead | PTEWrite
-	if prot&ProtRead != 0 {
-		p.Flags |= PTERead
-	}
-	if prot&ProtWrite != 0 {
-		p.Flags |= PTEWrite
-	}
+	p.Flags = protFlags(p.Flags, prot)
 }
 
-// Chunk is one page-table page: 512 PTEs covering 2 MiB of address space.
-// The kernel takes one PTE lock per chunk, which is what limits
+// protFlags returns flags with the hardware permission bits replaced by
+// the Prot mask.
+func protFlags(flags uint8, prot Prot) uint8 {
+	flags &^= PTERead | PTEWrite
+	if prot&ProtRead != 0 {
+		flags |= PTERead
+	}
+	if prot&ProtWrite != 0 {
+		flags |= PTEWrite
+	}
+	return flags
+}
+
+// Chunk is one page-table page: 512 PTEs covering 2 MiB of address
+// space. The kernel takes one PTE lock per chunk, which is what limits
 // parallel-migration scaling for sub-megabyte buffers (Fig. 7).
 //
-// A chunk may instead map one 2 MiB huge page (the paper's future-work
-// extension); then HugeFrame is set and the ptes array is unused.
+// A chunk stores its mapping in one of two forms (see extent.go):
+// compact extent runs (`runs`, the default — one record per maximal
+// same-state range) or a materialized dense array (`dense`), entered
+// the first time a caller takes a *PTE alias into the chunk and kept
+// until Coalesce. Huge-page chunks (the paper's future-work extension)
+// use neither: HugeFrame maps one 2 MiB unit.
 type Chunk struct {
-	ptes      [model.PTEChunkPages]PTE
+	runs      []extRun
+	dense     *[model.PTEChunkPages]PTE
 	Huge      bool
 	HugeFrame *mem.Frame
 	HugeFlags uint8
@@ -89,11 +98,29 @@ type Chunk struct {
 // ChunkIndex returns the page-table-chunk index of a VPN.
 func ChunkIndex(v VPN) uint64 { return uint64(v) / model.PTEChunkPages }
 
+// materialize converts the chunk to dense form (no-op if already dense)
+// and returns the array. The chunk stays dense afterwards: outstanding
+// *PTE aliases must remain valid.
+func (c *Chunk) materialize() *[model.PTEChunkPages]PTE {
+	if c.dense == nil {
+		d := densePool.Get().(*[model.PTEChunkPages]PTE)
+		for _, r := range c.runs {
+			for i := 0; i < int(r.n); i++ {
+				d[int(r.off)+i] = r.pte(i)
+			}
+		}
+		c.dense = d
+		c.runs = nil
+	}
+	return c.dense
+}
+
 // PTE returns the chunk's entry at index i (0..model.PTEChunkPages-1),
-// aliasing chunk storage. Callers that already hold the chunk use it to
-// scan the PTE array directly instead of re-resolving the chunk map for
-// every page (PageTable.Lookup). Meaningless on huge chunks.
-func (c *Chunk) PTE(i int) *PTE { return &c.ptes[i] }
+// aliasing chunk storage — the chunk materializes to dense form if it
+// was compact. Callers that already hold the chunk use it to scan the
+// PTE array directly instead of re-resolving the chunk map for every
+// page (PageTable.Lookup). Meaningless on huge chunks.
+func (c *Chunk) PTE(i int) *PTE { return &c.materialize()[i] }
 
 // PageTable is a sparse two-level table: chunk index -> chunk.
 type PageTable struct {
@@ -108,12 +135,19 @@ func NewPageTable() *PageTable {
 // Chunk returns the chunk covering v, or nil.
 func (t *PageTable) Chunk(v VPN) *Chunk { return t.chunks[ChunkIndex(v)] }
 
-// chunkPool recycles page-table chunks across tables and scenarios.
-// Chunks are zeroed before release (releaseChunk), so Get returns a
-// clean chunk without a 12 KiB clear on the allocation path.
+// chunkPool recycles chunk headers; densePool recycles materialized PTE
+// arrays. Both are zeroed before release, so Get returns clean storage
+// without a clear on the allocation path.
 var chunkPool = sync.Pool{New: func() interface{} { return new(Chunk) }}
+var densePool = sync.Pool{New: func() interface{} { return new([model.PTEChunkPages]PTE) }}
 
-// ChunkOrCreate returns the chunk covering v, creating it if needed.
+func releaseDense(d *[model.PTEChunkPages]PTE) {
+	*d = [model.PTEChunkPages]PTE{}
+	densePool.Put(d)
+}
+
+// ChunkOrCreate returns the chunk covering v, creating it (compact and
+// empty) if needed.
 func (t *PageTable) ChunkOrCreate(v VPN) *Chunk {
 	ci := ChunkIndex(v)
 	c := t.chunks[ci]
@@ -132,18 +166,22 @@ func (t *PageTable) releaseChunk(ci uint64) {
 		return
 	}
 	delete(t.chunks, ci)
+	if c.dense != nil {
+		releaseDense(c.dense)
+	}
 	*c = Chunk{}
 	chunkPool.Put(c)
 }
 
 // Lookup returns the PTE for v, or nil if the covering chunk does not
-// exist. The returned pointer aliases table state.
+// exist. The returned pointer aliases table state (materializing the
+// chunk); prefer Get/Touch/Install on paths that should stay compact.
 func (t *PageTable) Lookup(v VPN) *PTE {
 	c := t.chunks[ChunkIndex(v)]
 	if c == nil || c.Huge {
 		return nil
 	}
-	return &c.ptes[uint64(v)%model.PTEChunkPages]
+	return &c.materialize()[uint64(v)%model.PTEChunkPages]
 }
 
 // Entry returns the PTE for v, creating the covering chunk.
@@ -152,15 +190,16 @@ func (t *PageTable) Entry(v VPN) *PTE {
 	if c.Huge {
 		panic("vm: 4k entry requested inside huge-page chunk")
 	}
-	return &c.ptes[uint64(v)%model.PTEChunkPages]
+	return &c.materialize()[uint64(v)%model.PTEChunkPages]
 }
 
 // NumChunks returns the number of allocated page-table pages.
 func (t *PageTable) NumChunks() int { return len(t.chunks) }
 
 // ForEach visits every present 4 KiB PTE in [start, end) VPNs, in
-// ascending order, without creating chunks. Huge chunks are skipped (the
-// caller handles them via Chunk).
+// ascending order, without creating chunks (existing compact chunks do
+// materialize — the callback may mutate through the pointer). Huge
+// chunks are skipped (the caller handles them via Chunk).
 func (t *PageTable) ForEach(start, end VPN, fn func(v VPN, pte *PTE)) {
 	for v := start; v < end; {
 		c := t.chunks[ChunkIndex(v)]
@@ -169,13 +208,14 @@ func (t *PageTable) ForEach(start, end VPN, fn func(v VPN, pte *PTE)) {
 			v = VPN((ChunkIndex(v) + 1) * model.PTEChunkPages)
 			continue
 		}
+		d := c.materialize()
 		chunkEnd := VPN((ChunkIndex(v) + 1) * model.PTEChunkPages)
 		stop := end
 		if chunkEnd < stop {
 			stop = chunkEnd
 		}
 		for ; v < stop; v++ {
-			pte := &c.ptes[uint64(v)%model.PTEChunkPages]
+			pte := &d[uint64(v)%model.PTEChunkPages]
 			if pte.Flags&PTEPresent != 0 {
 				fn(v, pte)
 			}
@@ -212,12 +252,14 @@ func frameNode(pte *PTE) topology.NodeID {
 // ForEachRun visits every present 4 KiB PTE in [start, end) in ascending
 // order, grouped into maximal same-state runs (equal Flags, equal
 // backing node, contiguous VPNs, one chunk). It never creates chunks;
-// huge chunks are skipped like ForEach. Visiting per run instead of per
-// page keeps per-page work out of the hot loops: a sweep over an
-// untouched, uniformly-placed gigabyte costs ~512 run visits rather
-// than ~260k closure calls. fn may mutate the run's PTEs (the iterator
-// has already advanced past them) but must not unmap pages or mutate
-// chunk structure.
+// huge chunks are skipped like ForEach, and compact chunks materialize
+// (fn may mutate the run's PTEs). Visiting per run instead of per page
+// keeps per-page work out of the hot loops: a sweep over an untouched,
+// uniformly-placed gigabyte costs ~512 run visits rather than ~260k
+// closure calls. fn may mutate the run's PTEs (the iterator has already
+// advanced past them) but must not unmap pages or mutate chunk
+// structure. Read-only walks that should not force materialization use
+// Extents instead.
 func (t *PageTable) ForEachRun(start, end VPN, fn func(r Run)) {
 	for v := start; v < end; {
 		ci := ChunkIndex(v)
@@ -226,6 +268,7 @@ func (t *PageTable) ForEachRun(start, end VPN, fn func(r Run)) {
 			v = VPN((ci + 1) * model.PTEChunkPages)
 			continue
 		}
+		d := c.materialize()
 		chunkEnd := VPN((ci + 1) * model.PTEChunkPages)
 		stop := end
 		if chunkEnd < stop {
@@ -234,7 +277,7 @@ func (t *PageTable) ForEachRun(start, end VPN, fn func(r Run)) {
 		base := VPN(ci * model.PTEChunkPages)
 		for v < stop {
 			off := int(v - base)
-			pte := &c.ptes[off]
+			pte := &d[off]
 			if pte.Flags&PTEPresent == 0 {
 				v++
 				continue
@@ -244,7 +287,7 @@ func (t *PageTable) ForEachRun(start, end VPN, fn func(r Run)) {
 			node := frameNode(pte)
 			v++
 			for v < stop {
-				q := &c.ptes[int(v-base)]
+				q := &d[int(v-base)]
 				if q.Flags != flags || frameNode(q) != node {
 					break
 				}
@@ -252,7 +295,7 @@ func (t *PageTable) ForEachRun(start, end VPN, fn func(r Run)) {
 			}
 			fn(Run{
 				Start: runStart,
-				PTEs:  c.ptes[off : off+int(v-runStart)],
+				PTEs:  d[off : off+int(v-runStart)],
 				Flags: flags,
 				Node:  node,
 			})
@@ -262,14 +305,27 @@ func (t *PageTable) ForEachRun(start, end VPN, fn func(r Run)) {
 
 // SetProtRange installs hardware permission bits on every present PTE
 // in [start, end) and returns the number of entries touched — the bulk
-// equivalent of calling PTE.SetProt under ForEach.
+// equivalent of calling PTE.SetProt under ForEach. Compact chunks are
+// updated run-at-a-time without materializing.
 func (t *PageTable) SetProtRange(start, end VPN, prot Prot) int {
 	n := 0
-	t.ForEachRun(start, end, func(r Run) {
-		for i := range r.PTEs {
-			r.PTEs[i].SetProt(prot)
+	t.forRangeChunks(start, end, func(c *Chunk, base VPN, lo, hi uint16) {
+		if c.dense != nil {
+			for off := lo; off < hi; off++ {
+				pte := &c.dense[off]
+				if pte.Flags&PTEPresent != 0 {
+					pte.SetProt(prot)
+					n++
+				}
+			}
+			return
 		}
-		n += len(r.PTEs)
+		c.mutateRuns(lo, hi, func(r *extRun) {
+			if r.flags&PTEPresent != 0 {
+				r.flags = protFlags(r.flags, prot)
+				n += int(r.n)
+			}
+		})
 	})
 	return n
 }
@@ -279,18 +335,39 @@ func (t *PageTable) SetProtRange(start, end VPN, prot Prot) int {
 // which skip (when non-nil) returns false. It returns the pages armed
 // and the present pages examined — the two counts the AutoNUMA scanner
 // charges its costs by. Runs whose shared flags disqualify them are
-// rejected wholesale without touching their PTEs.
+// rejected wholesale without touching their PTEs. With a nil skip the
+// walk is fully extent-native; a per-page skip (page replication
+// scenarios) materializes the covered chunks.
 func (t *PageTable) ArmRange(start, end VPN, skip func(v VPN) bool) (armed, examined int) {
-	t.ForEachRun(start, end, func(r Run) {
-		examined += len(r.PTEs)
-		if r.Flags&(PTENextTouch|PTENumaHint|PTEPinned) != 0 {
+	t.forRangeChunks(start, end, func(c *Chunk, base VPN, lo, hi uint16) {
+		if c.dense == nil && skip == nil {
+			c.mutateRuns(lo, hi, func(r *extRun) {
+				if r.flags&PTEPresent == 0 {
+					return
+				}
+				examined += int(r.n)
+				if r.flags&(PTENextTouch|PTENumaHint|PTEPinned) != 0 {
+					return
+				}
+				r.flags |= PTENumaHint
+				armed += int(r.n)
+			})
 			return
 		}
-		for i := range r.PTEs {
-			if skip != nil && skip(r.Start+VPN(i)) {
+		d := c.materialize()
+		for off := lo; off < hi; off++ {
+			pte := &d[off]
+			if pte.Flags&PTEPresent == 0 {
 				continue
 			}
-			r.PTEs[i].Flags |= PTENumaHint
+			examined++
+			if pte.Flags&(PTENextTouch|PTENumaHint|PTEPinned) != 0 {
+				continue
+			}
+			if skip != nil && skip(base+VPN(off)) {
+				continue
+			}
+			pte.Flags |= PTENumaHint
 			armed++
 		}
 	})
@@ -303,15 +380,25 @@ func (t *PageTable) ArmRange(start, end VPN, skip func(v VPN) bool) (armed, exam
 // step. Runs without the accessed bit are skipped wholesale.
 func (t *PageTable) ClearAccessedRange(start, end VPN) int {
 	n := 0
-	t.ForEachRun(start, end, func(r Run) {
-		if r.Flags&PTEAccessed == 0 {
+	t.forRangeChunks(start, end, func(c *Chunk, base VPN, lo, hi uint16) {
+		if c.dense != nil {
+			for off := lo; off < hi; off++ {
+				pte := &c.dense[off]
+				if pte.Flags&(PTEPresent|PTEAccessed) == PTEPresent|PTEAccessed {
+					pte.Flags &^= PTEAccessed
+					pte.Age = 0
+					n++
+				}
+			}
 			return
 		}
-		for i := range r.PTEs {
-			r.PTEs[i].Flags &^= PTEAccessed
-			r.PTEs[i].Age = 0
-		}
-		n += len(r.PTEs)
+		c.mutateRuns(lo, hi, func(r *extRun) {
+			if r.flags&(PTEPresent|PTEAccessed) == PTEPresent|PTEAccessed {
+				r.flags &^= PTEAccessed
+				r.age = 0
+				n += int(r.n)
+			}
+		})
 	})
 	return n
 }

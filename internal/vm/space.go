@@ -145,14 +145,11 @@ func (s *Space) Unmap(start Addr, length int64) error {
 // freeRange releases all frames mapped in [start, end).
 func (s *Space) freeRange(start, end Addr) {
 	sv, ev := PageOf(start), PageOf(end-1)+1
-	s.PT.ForEach(sv, ev, func(v VPN, pte *PTE) {
-		s.Phys.Free(pte.Frame)
-		*pte = PTE{}
-	})
-	// Huge chunks fully inside the range, and chunk recycling: a chunk
-	// whose whole VPN span was just freed is detached and returned to
-	// the chunk pool (its PTEs are all zero again — the loop above wiped
-	// the present ones and non-present entries never carry state).
+	// Extent-native clear: frees frames run-at-a-time, recycles
+	// fully-covered 4 KiB chunks, never materializes compact ones.
+	s.PT.UnmapRange(sv, ev, s.Phys.Free)
+	// Huge chunks carry their frame on the chunk itself; surviving
+	// partial chunks of huge mappings also drop their fallback mark.
 	for ci := uint64(sv) / model.PTEChunkPages; ci <= uint64(ev-1)/model.PTEChunkPages; ci++ {
 		c := s.PT.chunks[ci]
 		if c == nil {
@@ -247,6 +244,9 @@ func (s *Space) CheckInvariants() error {
 // ResidentPages counts present pages in [start, end).
 func (s *Space) ResidentPages(start, end Addr) int {
 	n := 0
-	s.PT.ForEach(PageOf(start), PageOf(end-1)+1, func(VPN, *PTE) { n++ })
+	s.PT.Extents(PageOf(start), PageOf(end-1)+1, false, func(e Ext) bool {
+		n += e.N
+		return true
+	})
 	return n
 }

@@ -320,8 +320,8 @@ var (
 
 // Config describes the simulated machine.
 type Config struct {
-	// Nodes is the NUMA node count (1, 2, 4 or 8); 0 means the paper's
-	// host (4).
+	// Nodes is the NUMA node count (1..1024, built by topology.Grid);
+	// 0 means the paper's host (4).
 	Nodes int
 	// CoresPerNode is cores per node; 0 means 4.
 	CoresPerNode int
@@ -342,6 +342,11 @@ type Config struct {
 	// a node sinks to its low watermark, cold pages are demoted to the
 	// least-pressured nearby node through the migration engine.
 	Demotion bool
+	// Machine, when non-nil, is a pre-built topology (e.g.
+	// topology.Hierarchy) used instead of the topology.Grid the
+	// Nodes/CoresPerNode/MemPerNode knobs would generate; those knobs
+	// and NodeMem are ignored then.
+	Machine *Machine
 	// Params overrides the cost model; nil means model.Default().
 	Params *Params
 }
@@ -377,10 +382,13 @@ func New(cfg Config) *System {
 		p = *cfg.Params
 	}
 	eng := sim.NewEngine(cfg.Seed)
-	m := topology.Grid(cfg.Nodes, cfg.CoresPerNode, cfg.MemPerNode, cfg.L3PerNode)
-	for i, b := range cfg.NodeMem {
-		if i < len(m.Nodes) && b > 0 {
-			m.Nodes[i].MemBytes = b
+	m := cfg.Machine
+	if m == nil {
+		m = topology.Grid(cfg.Nodes, cfg.CoresPerNode, cfg.MemPerNode, cfg.L3PerNode)
+		for i, b := range cfg.NodeMem {
+			if i < len(m.Nodes) && b > 0 {
+				m.Nodes[i].MemBytes = b
+			}
 		}
 	}
 	k := kern.New(eng, m, p, cfg.Backed)

@@ -11,7 +11,10 @@
 //     doc must cover);
 //   - ARCHITECTURE.md must likewise name every registered telemetry
 //     topic (telemetry.Topics()), so the "Telemetry & control" topic
-//     table stays complete as emitters are added.
+//     table stays complete as emitters are added;
+//   - ARCHITECTURE.md must carry the required sections (currently
+//     "## Scale", which documents the extent PTE storage, the
+//     hierarchy generator and the daemon batching contract).
 //
 // CI runs it as the docs job; it exits non-zero listing every
 // undocumented package and every family or telemetry topic
@@ -104,6 +107,18 @@ func main() {
 		}
 		failed = true
 	}
+	missingSections, err := architectureMissingSections("ARCHITECTURE.md")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
+	if len(missingSections) > 0 {
+		fmt.Fprintln(os.Stderr, "docscheck: ARCHITECTURE.md is missing these required sections:")
+		for _, s := range missingSections {
+			fmt.Fprintf(os.Stderr, "  %s\n", s)
+		}
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -124,6 +139,28 @@ func architectureMissingFamilies(path string) ([]string, error) {
 	for _, name := range exp.Families() {
 		if !strings.Contains(text, name) {
 			missing = append(missing, name)
+		}
+	}
+	return missing, nil
+}
+
+// requiredSections are ARCHITECTURE.md headings whose presence CI
+// enforces: sections that document cross-package contracts no single
+// package comment can own.
+var requiredSections = []string{"## Scale"}
+
+// architectureMissingSections returns the required headings the
+// architecture document lacks.
+func architectureMissingSections(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	text := string(data)
+	var missing []string
+	for _, s := range requiredSections {
+		if !strings.Contains(text, s) {
+			missing = append(missing, s)
 		}
 	}
 	return missing, nil

@@ -1,0 +1,29 @@
+// Command topogold regenerates internal/topology/testdata/grid64.sha256,
+// the canonical content hashes of every Grid(n, 2, 1GiB, 2MiB) machine
+// for n = 1..64. The topology property tests compare freshly built
+// machines against this file, so any refactor of the generator or of
+// the distance/route representation that changes an existing shape —
+// even by one link id — fails the determinism guard. Regenerate (and
+// commit the diff, with justification) only when a shape change is
+// intentional.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"numamig/internal/topology"
+)
+
+func main() {
+	f, err := os.Create("internal/topology/testdata/grid64.sha256")
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "# sha256 of topology.CanonicalString(Grid(n, 2, 1<<30, 2<<20)) for n = 1..64")
+	for n := 1; n <= 64; n++ {
+		m := topology.Grid(n, 2, 1<<30, 2<<20)
+		fmt.Fprintf(f, "%2d %s\n", n, topology.CanonicalHash(m))
+	}
+}
