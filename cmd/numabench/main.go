@@ -56,6 +56,7 @@ func main() {
 	trace := flag.String("trace", "", "write a chrome-trace (chrome://tracing / Perfetto) JSON of the run to this file; requires -grid narrowed to exactly one scenario")
 	perf := flag.Bool("perf", false, "run the perf harness and write BENCH_core.json / BENCH_exp.json to -perf-out")
 	scale := flag.Bool("scale", false, "with -perf: run only the datacenter-scale points and write BENCH_scale.json")
+	serve := flag.Bool("serve", false, "with -perf: run only the multi-tenant serving points and write BENCH_serve.json")
 	perfOut := flag.String("perf-out", ".", "directory the -perf reports are written to")
 	repeats := flag.Int("repeats", 0, "-perf repeats per point, fastest kept (0 = 3)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -90,7 +91,7 @@ func main() {
 		}()
 	}
 	if err := run(*expID, *all, *quick, *grid, *list, *families, *parallel, *format,
-		*seed, *nodes, *coresPerNode, *scenario, *trace, *perf, *scale, *perfOut, *repeats); err != nil {
+		*seed, *nodes, *coresPerNode, *scenario, *trace, *perf, *scale, *serve, *perfOut, *repeats); err != nil {
 		if code, ok := err.(exitCode); ok {
 			// Profile defers must run before exiting.
 			pprof.StopCPUProfile()
@@ -109,7 +110,7 @@ func (c exitCode) Error() string { return fmt.Sprintf("exit %d", int(c)) }
 
 func run(expID string, all, quick, grid, list bool, families string, parallel int,
 	format string, seed int64, nodes string, coresPerNode int,
-	scenario, trace string, perf, scale bool, perfOut string, repeats int) error {
+	scenario, trace string, perf, scale, serve bool, perfOut string, repeats int) error {
 
 	nodeList, err := parseNodeList(nodes)
 	if err != nil {
@@ -132,13 +133,20 @@ func run(expID string, all, quick, grid, list bool, families string, parallel in
 			Repeats:  repeats,
 			Seed:     seed,
 		}
+		if scale && serve {
+			fmt.Fprintln(os.Stderr, "numabench: -scale and -serve are mutually exclusive")
+			return exitCode(2)
+		}
 		if scale {
 			return bench.RunScalePerf(po, perfOut, os.Stdout)
 		}
+		if serve {
+			return bench.RunServePerf(po, perfOut, os.Stdout)
+		}
 		return bench.RunPerf(po, perfOut, os.Stdout)
 	}
-	if scale {
-		fmt.Fprintln(os.Stderr, "numabench: -scale requires -perf")
+	if scale || serve {
+		fmt.Fprintln(os.Stderr, "numabench: -scale and -serve require -perf")
 		return exitCode(2)
 	}
 	if grid {

@@ -6,7 +6,9 @@ import (
 	"fmt"
 
 	"numamig"
+	"numamig/internal/sim"
 	"numamig/internal/telemetry"
+	"numamig/internal/tenancy"
 )
 
 // ExampleSystem_Run demonstrates kernel next-touch: pages follow the
@@ -335,6 +337,57 @@ func Example_traceExport() {
 	// recorded events: true
 	// faults in trace: true
 	// migration batch in trace: true
+}
+
+// Example_multiTenantServe demonstrates the multi-tenant serving layer
+// (internal/tenancy): a tenant admitted with a cgroup-style fast-tier
+// cap has its over-cap faults redirected down the demotion path onto
+// the CXL tier — never spilled across the DRAM tier, never a cap
+// violation — and its ledger drains to zero once it unmaps and exits.
+// The serve scenario family grids this machinery under an open-system
+// arrival schedule with per-class SLO columns; see workload.Serve.
+func Example_multiTenantServe() {
+	p := numamig.DefaultParams()
+	p.TierClasses = []numamig.TierClass{{Name: "dram"}, numamig.CXLTier()}
+	p.NodeTier = []int{0, 0, 1} // nodes 0,1 = DRAM; node 2 = CXL
+	sys := numamig.New(numamig.Config{
+		Nodes:      3,
+		MemPerNode: 512 * numamig.PageSize,
+		Params:     &p,
+	})
+	ledger := sys.Kernel.Ten
+	err := sys.Run(func(t *numamig.Task) {
+		// Admit one latency-sensitive tenant capped at 64 fast pages,
+		// then fault in a 128-page working set: the first 64 pages land
+		// on DRAM, the rest are redirected down to the expander.
+		ten := ledger.Admit(0, "tenant0", tenancy.ClassLatencySensitive, 64)
+		pr := sys.Kernel.NewProcess("tenant0")
+		pr.SetTenant(ten)
+		wg := sim.NewWaitGroup(sys.Eng, 1)
+		pr.Spawn("tenant0", 0, func(t *numamig.Task) {
+			defer wg.Done()
+			buf := numamig.MustAlloc(t, 128*numamig.PageSize, numamig.FirstTouch())
+			if err := buf.Prefault(t); err != nil {
+				panic(err)
+			}
+			fmt.Println("fast-tier resident at cap:", ten.FastResident())
+			fmt.Println("redirected to CXL:", ten.Resident()-ten.FastResident())
+			if err := buf.Free(t); err != nil {
+				panic(err)
+			}
+		})
+		wg.Wait(t.P)
+		fmt.Println("drained at exit:", ledger.Exit(ten))
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cap violations:", ledger.CapViolations)
+	// Output:
+	// fast-tier resident at cap: 64
+	// redirected to CXL: 64
+	// drained at exit: 0
+	// cap violations: 0
 }
 
 // ExampleSystem_Stats demonstrates reading the kernel and engine

@@ -21,6 +21,7 @@ import (
 	"numamig/internal/sim"
 	"numamig/internal/telemetry"
 	"numamig/internal/topology"
+	"numamig/internal/workload"
 )
 
 // PerfSchema identifies the report layout; bump on incompatible change.
@@ -380,6 +381,91 @@ func RunPerf(o PerfOptions, dir string, log io.Writer) error {
 	}
 	expRep.PeakRSSBytes = peakRSS()
 	return writeReport(dir, "BENCH_exp.json", expRep)
+}
+
+// servePoint is one saturated multi-tenant serve machine measured
+// directly through workload.Serve: the largest topology the serve
+// family supports (7 DRAM nodes + 1 CXL expander, one tenant per fast
+// core) with doubled probe rounds, so the point is dominated by the
+// tenancy fast paths — cap-redirected faults, ledger charges on every
+// residency change, priority queueing through the migration engine and
+// the kswapd cap-reclaim. The run's own SLO invariants stay enforced:
+// a cap violation fails the bench.
+func servePoint(o PerfOptions) PerfPoint {
+	fast, tenants, rounds := 7, 28, 16
+	if o.Quick {
+		fast, tenants, rounds = 3, 12, 8
+	}
+	return measure(fmt.Sprintf("serve/%dfast-%dtenant-%dround", fast, tenants, rounds), o.repeats(), func() (int, uint64) {
+		// SlowRatio 4: the cap-reclaim daemons may demote a batch
+		// tenant's whole working set, so the lone expander must absorb
+		// every batch tenant's full buffer at once.
+		r, err := workload.Serve(workload.ServeConfig{
+			FastNodes: fast,
+			SlowNodes: 1,
+			SlowRatio: 4,
+			Tenants:   tenants,
+			Rounds:    rounds,
+			Seed:      o.seed(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		if r.CapViolations != 0 || r.LeakedPages != 0 {
+			panic(fmt.Sprintf("serve bench: %d cap violations, %d leaked pages", r.CapViolations, r.LeakedPages))
+		}
+		st := r.Stats
+		pages := st.MovePagesPages + st.NTMigrations + st.MigratePages + st.NumaPagesPromoted + st.PagesDemoted
+		return tenants, pages
+	})
+}
+
+// RunServePerf executes the multi-tenant serving points — the serve
+// scenario grid at the configured parallelism and serially, plus the
+// saturated direct-driver point — and writes BENCH_serve.json into
+// dir. cmd/numabench -perf -serve drives it; the CI bench-serve job
+// runs the quick sizes and gates them with tools/benchcmp like the
+// core and scale trajectories.
+func RunServePerf(o PerfOptions, dir string, log io.Writer) error {
+	rep := PerfReport{
+		Schema:     PerfSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Parallel:   o.Parallel,
+		Repeats:    o.repeats(),
+		Seed:       o.seed(),
+		Quick:      o.Quick,
+	}
+	emit := func(pt PerfPoint) {
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(log, "%-40s %4d ops  %12d ns  %10.1f ops/s  %9.0f pages/s  %7d allocs/op\n",
+			pt.Name, pt.Scenarios, pt.WallNs, pt.ScenariosPerSec, pt.PagesMigratedPerSec, pt.AllocsPerOp)
+	}
+	suffix := "full"
+	if o.Quick {
+		suffix = "quick"
+	}
+	pname := func(parallel int) string {
+		if parallel <= 0 {
+			parallel = runtime.GOMAXPROCS(0)
+		}
+		return "p" + strconv.Itoa(parallel)
+	}
+	pt, err := gridPoint("grid/serve/"+suffix+"/"+pname(o.Parallel), o, []string{"serve"}, o.Quick)
+	if err != nil {
+		return err
+	}
+	emit(pt)
+	serial := o
+	serial.Parallel = 1
+	pt, err = gridPoint("grid/serve/"+suffix+"/p1", serial, []string{"serve"}, o.Quick)
+	if err != nil {
+		return err
+	}
+	emit(pt)
+	emit(servePoint(o))
+	rep.PeakRSSBytes = peakRSS()
+	return writeReport(dir, "BENCH_serve.json", rep)
 }
 
 // RunScalePerf executes only the datacenter-scale points — the

@@ -92,7 +92,17 @@ type Result struct {
 	FaultRateHz     float64 `json:"fault_rate_hz,omitempty"`             // peak per-window page-fault rate
 	MigrateBWPeak   float64 `json:"migrate_bw_mbps_peak,omitempty"`      // peak per-window migration bandwidth
 	P99SlowResident float64 `json:"p99_slow_residency_window,omitempty"` // p99 of the windowed slow-tier residency gauge
-	Err             string  `json:"err,omitempty"`
+	// Serve-family SLO columns (tenancy.Monitor): per-class access-probe
+	// latency percentiles in microseconds of virtual time, the median
+	// per-window migration bandwidth, and the ledger's cap-violation
+	// count (must be 0 in every cell).
+	P50AccessLatLS    float64 `json:"p50_access_lat_ls,omitempty"`
+	P99AccessLatLS    float64 `json:"p99_access_lat_ls,omitempty"`
+	P50AccessLatBatch float64 `json:"p50_access_lat_batch,omitempty"`
+	P99AccessLatBatch float64 `json:"p99_access_lat_batch,omitempty"`
+	SteadyMigrateBW   float64 `json:"steady_migrate_bw_mbps,omitempty"`
+	CapViolations     int     `json:"cap_violations,omitempty"`
+	Err               string  `json:"err,omitempty"`
 }
 
 // Options scales scenario generation.

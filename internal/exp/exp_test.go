@@ -9,7 +9,7 @@ import (
 
 func TestFamiliesRegistered(t *testing.T) {
 	fams := Families()
-	want := []string{"autonuma", "migration", "pressure", "replication", "scale", "tiered", "tiering"}
+	want := []string{"autonuma", "migration", "pressure", "replication", "scale", "serve", "tiered", "tiering"}
 	if len(fams) != len(want) {
 		t.Fatalf("families = %v, want %v", fams, want)
 	}

@@ -49,6 +49,12 @@ func Columns() []Column {
 		{"fault_rate_hz", func(r *Result) string { return flt(r.FaultRateHz) }},
 		{"migrate_bw_mbps_peak", func(r *Result) string { return flt(r.MigrateBWPeak) }},
 		{"p99_slow_residency_window", func(r *Result) string { return flt(r.P99SlowResident) }},
+		{"p50_access_lat_ls", func(r *Result) string { return flt(r.P50AccessLatLS) }},
+		{"p99_access_lat_ls", func(r *Result) string { return flt(r.P99AccessLatLS) }},
+		{"p50_access_lat_batch", func(r *Result) string { return flt(r.P50AccessLatBatch) }},
+		{"p99_access_lat_batch", func(r *Result) string { return flt(r.P99AccessLatBatch) }},
+		{"steady_migrate_bw_mbps", func(r *Result) string { return flt(r.SteadyMigrateBW) }},
+		{"cap_violations", func(r *Result) string { return str(r.CapViolations) }},
 		{"err", func(r *Result) string { return r.Err }},
 	}
 }

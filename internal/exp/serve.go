@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+
+	"numamig/internal/tenancy"
+	"numamig/internal/workload"
+)
+
+// The serve family grids the multi-tenant open system
+// (workload.Serve): a seeded Poisson-like arrival schedule admits
+// tenant processes — alternating batch and latency-sensitive classes —
+// onto the DRAM+CXL machine, each under a cgroup-style fast-tier
+// residency cap enforced by the fault path's cap redirect and the
+// kswapd cap-reclaim. Axes: machine size x tenant count. Every cell
+// must satisfy the SLO invariants — zero cap violations, every tenant
+// admitted and exited with a drained ledger, and in every contended
+// cell the latency-sensitive p99 probe latency strictly below the
+// batch p99 (class priority through the migration engine's lock
+// queues is what buys the ordering).
+
+func init() {
+	Register(Family{
+		Name: "serve",
+		Desc: "multi-tenant open system: Poisson arrivals x tenant count x machine size, per-tenant fast-tier caps and per-class SLOs",
+		Generate: func(o Options) []Scenario {
+			var out []Scenario
+			for _, fast := range o.nodes() {
+				if fast < 2 || fast+1 > 8 {
+					continue
+				}
+				// One tenant per fast-tier core saturates the machine
+				// without risking DRAM exhaustion (per node: two
+				// latency-sensitive working sets plus two batch caps fit
+				// under the watermarks); the lighter mix halves it.
+				counts := []int{4 * fast}
+				if !o.Quick {
+					counts = []int{2 * fast, 4 * fast}
+				}
+				for _, tenants := range counts {
+					out = append(out, Scenario{
+						ID:        fmt.Sprintf("serve/t%d/f%d", tenants, fast),
+						Family:    "serve",
+						Patched:   true,
+						Mode:      "serve",
+						Pages:     512, // per-DRAM-node capacity in frames
+						Nodes:     fast + 1,
+						Seed:      o.seed(),
+						Cores:     o.CoresPerNode,
+						Demotion:  true,
+						SlowNodes: 1,
+						SlowRatio: 2,
+						Tasks:     tenants,
+					})
+				}
+			}
+			return out
+		},
+		Run: runServe,
+	})
+}
+
+// runServe executes one scenario through the multi-tenant driver and
+// enforces the SLO invariants. Scenario.Pages is the per-DRAM-node
+// capacity in frames, Scenario.Nodes counts every node including the
+// CXL expander, Scenario.Tasks is the tenant count.
+func runServe(s Scenario) Result {
+	res := Result{Scenario: s}
+	r, err := workload.Serve(workload.ServeConfig{
+		FastNodes: s.Nodes - s.SlowNodes,
+		SlowNodes: s.SlowNodes,
+		Cores:     s.Cores,
+		NodePages: s.Pages,
+		SlowRatio: s.SlowRatio,
+		Tenants:   s.Tasks,
+		Seed:      s.Seed,
+	})
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	ls, batch := tenancy.ClassLatencySensitive, tenancy.ClassBatch
+	switch {
+	case r.CapViolations != 0 || r.SLO.CapViolations != 0:
+		res.Err = fmt.Sprintf("%d cap violations (bus saw %d), want 0", r.CapViolations, r.SLO.CapViolations)
+	case r.Admitted != s.Tasks || r.Exited != s.Tasks:
+		res.Err = fmt.Sprintf("tenant churn incomplete: admitted %d exited %d, want %d each", r.Admitted, r.Exited, s.Tasks)
+	case r.ResidualPages != 0:
+		res.Err = fmt.Sprintf("tenant exits drained %d residual pages, want 0", r.ResidualPages)
+	case r.LeakedPages != 0:
+		res.Err = fmt.Sprintf("%d pages still charged to tenants after the run, want 0", r.LeakedPages)
+	case r.SLO.Samples[ls] == 0 || r.SLO.Samples[batch] == 0:
+		res.Err = fmt.Sprintf("missing probe samples: ls %d batch %d", r.SLO.Samples[ls], r.SLO.Samples[batch])
+	case r.Contended && r.SLO.P99[ls] >= r.SLO.P99[batch]:
+		// The class-priority invariant: under contention the
+		// latency-sensitive percentile must sit strictly below batch.
+		res.Err = fmt.Sprintf("class latency inverted under contention: ls p99 %v >= batch p99 %v", r.SLO.P99[ls], r.SLO.P99[batch])
+	}
+	fillStats(&res, r.Stats, r.MigratedMB, r.Bytes, r.Dur)
+	res.P50AccessLatLS = r.SLO.P50[ls].Seconds() * 1e6
+	res.P99AccessLatLS = r.SLO.P99[ls].Seconds() * 1e6
+	res.P50AccessLatBatch = r.SLO.P50[batch].Seconds() * 1e6
+	res.P99AccessLatBatch = r.SLO.P99[batch].Seconds() * 1e6
+	res.SteadyMigrateBW = r.SLO.SteadyMigrateBWMBps
+	res.CapViolations = r.CapViolations
+	return res
+}

@@ -1,0 +1,33 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestServeEventLogParallelismInvariant pins the serve family's own
+// determinism property: every serve cell's full bus event log — tenant
+// admissions, cap redirects, class-latency probes, residency deltas,
+// the lot — hashes identically whether the runner uses one worker or
+// eight, and the grid counts zero CapViolation pages either way. The
+// open-system arrival schedule and the priority queueing through the
+// migration engine are exactly the machinery most likely to leak host
+// scheduling into virtual time, so the family gets its own log-hash
+// test on top of the all-families one.
+func TestServeEventLogParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the serve quick grid twice")
+	}
+	seq, seqViol := hashGridFamilies(t, 1, []string{"serve"})
+	par, parViol := hashGridFamilies(t, 8, []string{"serve"})
+	if seqViol != 0 || parViol != 0 {
+		t.Fatalf("cap violations in the serve grid: %d sequential, %d parallel, want 0", seqViol, parViol)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("system counts differ: %d sequential vs %d parallel", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("serve event-log hash multiset differs at %d: %#x vs %#x", i, seq[i], par[i])
+		}
+	}
+}

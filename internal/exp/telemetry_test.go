@@ -20,6 +20,9 @@ type logHasher struct {
 	any       bool
 	misorder  bool
 	numEvents int
+	// capViolPages tallies TopicCapViolation pages on the side; the
+	// serve property test requires the whole grid to count zero.
+	capViolPages int
 }
 
 func newLogHasher() *logHasher {
@@ -35,6 +38,9 @@ func (l *logHasher) observe(ev telemetry.Event) {
 	}
 	l.last, l.any = ev, true
 	l.numEvents++
+	if ev.Topic == telemetry.TopicCapViolation {
+		l.capViolPages += ev.Pages
+	}
 	var buf [8 * 8]byte
 	fields := [...]uint64{
 		uint64(ev.Time), uint64(ev.Seq), uint64(ev.Topic),
@@ -54,6 +60,15 @@ func (l *logHasher) observe(ev telemetry.Event) {
 // sorted multiset of per-system (hash, count) pairs.
 func hashGrid(t *testing.T, parallelism int) []uint64 {
 	t.Helper()
+	sums, _ := hashGridFamilies(t, parallelism, nil)
+	return sums
+}
+
+// hashGridFamilies is hashGrid restricted to the named families (nil:
+// all registered). It additionally returns the total CapViolation pages
+// seen across every system in the grid.
+func hashGridFamilies(t *testing.T, parallelism int, names []string) ([]uint64, int) {
+	t.Helper()
 	var mu sync.Mutex
 	var hashers []*logHasher
 	numamig.SetSystemObserver(func(sys *numamig.System) {
@@ -65,7 +80,7 @@ func hashGrid(t *testing.T, parallelism int) []uint64 {
 	})
 	defer numamig.SetSystemObserver(nil)
 
-	scs, err := Scenarios(nil, Options{Quick: true, Seed: 1})
+	scs, err := Scenarios(names, Options{Quick: true, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,19 +96,20 @@ func hashGrid(t *testing.T, parallelism int) []uint64 {
 		t.Fatal("no systems observed")
 	}
 	sums := make([]uint64, 0, len(hashers))
-	events := 0
+	events, capViol := 0, 0
 	for _, l := range hashers {
 		if l.misorder {
 			t.Fatal("a system's event log violated the (Time, Seq) total order")
 		}
 		sums = append(sums, l.h.Sum64())
 		events += l.numEvents
+		capViol += l.capViolPages
 	}
 	if events == 0 {
 		t.Fatal("the grid published no events — the property test exercised nothing")
 	}
 	sort.Slice(sums, func(i, j int) bool { return sums[i] < sums[j] })
-	return sums
+	return sums, capViol
 }
 
 // TestEventLogParallelismInvariant pins the tentpole determinism

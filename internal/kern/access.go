@@ -201,9 +201,11 @@ func (t *Task) serviceChunk(ci uint64, absent, stale []vm.VPN) {
 		t.P.Sleep(sim.Time(len(absent)) * (k.P.FaultBase + k.P.DemandZero))
 		for _, p := range absent {
 			v := vmaOf(p)
-			e := vm.PTE{Frame: t.allocFrame(t.placeTarget(v, p)), Flags: vm.PTEPresent | vm.PTEAccessed}
+			f := t.allocFrame(t.capTarget(t.placeTarget(v, p)))
+			e := vm.PTE{Frame: f, Flags: vm.PTEPresent | vm.PTEAccessed}
 			e.SetProt(v.Prot)
 			sp.PT.Install(p, e)
+			t.chargeTenant(f)
 		}
 	}
 }

@@ -112,13 +112,43 @@ func (t *Task) fault(addr vm.Addr, write bool) error {
 func (t *Task) demandAlloc(v *vm.VMA, vpn vm.VPN) {
 	k := t.Proc.K
 	k.Stats.DemandAllocs++
-	f := t.allocFrame(t.placeTarget(v, vpn))
+	f := t.allocFrame(t.capTarget(t.placeTarget(v, vpn)))
 	t.P.Sleep(k.P.DemandZero)
 	e := vm.PTE{Frame: f, Flags: vm.PTEPresent | vm.PTEAccessed}
 	e.SetProt(v.Prot)
 	t.Proc.Space.PT.Install(vpn, e)
+	t.chargeTenant(f)
 	// Pages populated after a next-touch mark need no mark themselves:
 	// first-touch already places them locally.
+}
+
+// capTarget applies the tenancy fast-tier cap to an allocation target:
+// a tenant at its cap faulting toward a fast node takes the demotion
+// path (the next tier down) instead of spilling across the DRAM tier,
+// mirroring cgroup memory limits. If no slow node can absorb the page
+// the original target stands — the ledger then counts the landing as a
+// cap violation.
+func (t *Task) capTarget(target topology.NodeID) topology.NodeID {
+	ten := t.Proc.Tenant
+	if ten == nil {
+		return target
+	}
+	k := t.Proc.K
+	if k.Phys.TierOf(target) != 0 || !ten.WouldBreach(1) {
+		return target
+	}
+	if dst, ok := k.Placer.DemotionTarget(target, true); ok {
+		return dst
+	}
+	return target
+}
+
+// chargeTenant charges one freshly allocated frame to the process's
+// tenant, at the node the page actually landed on.
+func (t *Task) chargeTenant(f *mem.Frame) {
+	if ten := t.Proc.Tenant; ten != nil {
+		t.Proc.K.Ten.Charge(ten, f.Node, 1)
+	}
 }
 
 // placeTarget resolves a page's effective mempolicy (VMA policy, then
@@ -169,7 +199,7 @@ func (t *Task) ntMigratePages(pages []vm.VPN) {
 	res := k.Migrator(migrate.Patched).Migrate(&migrate.Request{
 		P: t.P, Core: t.Core, Space: t.Proc, Ops: ops,
 		Path: migrate.PathNextTouch, ClearNextTouch: true,
-		CopyCat: CatNTCopy,
+		CopyCat: CatNTCopy, Priority: t.Proc.MigPrio,
 	})
 	k.Stats.NTMigrations += uint64(res.Moved)
 	k.Stats.NTLocalSkips += uint64(res.Local)

@@ -166,7 +166,7 @@ func (t *Task) MoveHugeRangeStatus(addr vm.Addr, length int64, node topology.Nod
 	defer t.P.PushCat(CatMovePagesCtl)()
 	t.P.Sleep(k.P.SyscallBase)
 	eng := k.Migrator(migrate.Patched)
-	eng.Setup(t.P, migrate.PathMovePages)
+	eng.SetupPri(t.P, migrate.PathMovePages, t.Proc.MigPrio)
 
 	ops := make([]migrate.Op, 0, last-first+1)
 	for ci := first; ci <= last; ci++ {
@@ -179,7 +179,7 @@ func (t *Task) MoveHugeRangeStatus(addr vm.Addr, length int64, node topology.Nod
 		P: t.P, Core: t.Core, Space: t.Proc,
 		Ops: ops, Status: status,
 		Path: migrate.PathMovePages, Flush: true,
-		CopyCat: CatMovePagesCopy,
+		CopyCat: CatMovePagesCopy, Priority: t.Proc.MigPrio,
 	})
 	k.Stats.MovePagesPages += uint64(res.Moved) * model.PTEChunkPages
 	return res.Moved, status, nil

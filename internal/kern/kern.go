@@ -17,6 +17,7 @@ import (
 	"numamig/internal/placement"
 	"numamig/internal/sim"
 	"numamig/internal/telemetry"
+	"numamig/internal/tenancy"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
 )
@@ -127,6 +128,11 @@ type Kernel struct {
 	// migrate.Env.
 	bus *telemetry.Bus
 
+	// Ten is the multi-tenant residency ledger (internal/tenancy). It is
+	// always present; processes without a Tenant never touch it, so
+	// single-tenant scenarios pay nothing.
+	Ten *tenancy.Ledger
+
 	Stats Stats
 }
 
@@ -160,6 +166,7 @@ func New(eng *sim.Engine, m *topology.Machine, p model.Params, backed bool) *Ker
 		k.HT = append(k.HT, sim.NewLink(fmt.Sprintf("ht%d-%d", l.A, l.B), p.HTLinkBW))
 	}
 	k.bus = telemetry.NewBus(eng.Now)
+	k.Ten = tenancy.NewLedger(k.bus, k.Phys.TierOf)
 	k.hub = NewDaemonHub(eng)
 	k.Placer = placement.New(m, k.Phys, &k.P)
 	k.Placer.SetBus(k.bus)

@@ -115,14 +115,23 @@ func (d *kswapd) Poll() TickVerdict {
 		return TickRetire
 	}
 	// Idle iff the whole tick body would be a no-op: no boost to decay
-	// (DecayBoost at boost 0 does nothing), not under pressure, and no
-	// trickle due (either fully reclaimed or trickling disabled).
+	// (DecayBoost at boost 0 does nothing), not under pressure, no
+	// trickle due (either fully reclaimed or trickling disabled), and no
+	// tenant sitting at its fast-tier cap with pages here.
 	if d.k.Phys.BoostOf(d.node) == 0 &&
 		!d.k.Phys.UnderPressure(d.node) &&
-		(d.k.Phys.Reclaimed(d.node) || d.k.P.KswapdProactiveBatch <= 0) {
+		(d.k.Phys.Reclaimed(d.node) || d.k.P.KswapdProactiveBatch <= 0) &&
+		!d.capPressure() {
 		return TickIdle
 	}
 	return TickRun
+}
+
+// capPressure reports whether a tenant sits at or past its fast-tier
+// cap with pages resident on this (fast-tier) node — the tenancy
+// analogue of watermark pressure.
+func (d *kswapd) capPressure() bool {
+	return d.k.Phys.TierOf(d.node) == 0 && d.k.Ten.OverCapOn(d.node) != nil
 }
 
 // Run is one busy kswapd tick: decay the node's burst watermark boost,
@@ -152,6 +161,45 @@ func (d *kswapd) Run(p *sim.Proc) {
 		// without waking the full reclaim path.
 		d.trickle(p)
 	}
+	// Tenancy cap reclaim runs independently of node watermarks: a
+	// tenant at its fast-tier cap has its cold fast pages trickled down
+	// a tier in the background, so the foreground fault path's cap
+	// redirect is the backstop rather than the only mechanism —
+	// mirroring cgroup memory.high background reclaim.
+	if d.capPressure() {
+		d.capReclaim(p)
+	}
+}
+
+// capReclaim runs one bounded shrink pass over the process of the
+// first-admitted at-cap tenant with pages on this node, demoting its
+// unreferenced fast pages to the tier below.
+func (d *kswapd) capReclaim(p *sim.Proc) {
+	k := d.k
+	ten := k.Ten.OverCapOn(d.node)
+	if ten == nil {
+		return
+	}
+	var pr *Process
+	for _, q := range k.procs {
+		if q.Tenant == ten {
+			pr = q
+			break
+		}
+	}
+	if pr == nil {
+		return
+	}
+	near, far, ok := d.targets()
+	if !ok {
+		return
+	}
+	defer p.PushCat(CatKswapd)()
+	batch := k.P.KswapdBatch
+	if batch <= 0 {
+		batch = 64
+	}
+	d.shrink(p, pr, near, far, batch, false)
 }
 
 // targets resolves the two demotion tiers: the nearest unpressured

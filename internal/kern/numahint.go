@@ -232,8 +232,9 @@ func (t *Task) numaHintFaults(pages []vm.VPN) {
 	}
 	res := k.Migrator(migrate.Patched).Migrate(&migrate.Request{
 		P: t.P, Core: t.Core, Space: t.Proc, Ops: ops,
-		Path:    migrate.PathNumaHint,
-		CopyCat: CatNumaCopy,
+		Path:     migrate.PathNumaHint,
+		CopyCat:  CatNumaCopy,
+		Priority: t.Proc.MigPrio,
 		// Stamp the promoted pages with the current scan-period
 		// generation: the demotion scan's hysteresis protects them for
 		// Params.PromotionHysteresisPeriods periods, and demoting one

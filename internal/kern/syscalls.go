@@ -283,14 +283,14 @@ func (t *Task) MovePagesStrategy(addrs []vm.Addr, nodes []topology.NodeID, s mig
 	defer t.P.PushCat(CatMovePagesCtl)()
 	t.P.Sleep(k.P.SyscallBase)
 	eng := k.Migrator(s)
-	eng.Setup(t.P, migrate.PathMovePages)
+	eng.SetupPri(t.P, migrate.PathMovePages, t.Proc.MigPrio)
 	t.Proc.MmapSem.RLock(t.P)
 	defer t.Proc.MmapSem.RUnlock()
 	res := eng.Migrate(&migrate.Request{
 		P: t.P, Core: t.Core, Space: t.Proc,
 		Ops: ops, Status: status,
 		Path: migrate.PathMovePages, Flush: true,
-		CopyCat: CatMovePagesCopy,
+		CopyCat: CatMovePagesCopy, Priority: t.Proc.MigPrio,
 	})
 	k.Stats.MovePagesPages += uint64(res.Moved)
 	return status, nil
@@ -334,7 +334,7 @@ func (t *Task) MigratePages(from, to []topology.NodeID) (int, error) {
 	defer t.P.PushCat(CatMovePagesCtl)()
 	t.P.Sleep(k.P.SyscallBase)
 	eng := k.Migrator(migrate.Patched)
-	eng.Setup(t.P, migrate.PathMigratePages)
+	eng.SetupPri(t.P, migrate.PathMigratePages, t.Proc.MigPrio)
 	t.Proc.MmapSem.RLock(t.P)
 	defer t.Proc.MmapSem.RUnlock()
 
@@ -353,7 +353,7 @@ func (t *Task) MigratePages(from, to []topology.NodeID) (int, error) {
 	res := eng.Migrate(&migrate.Request{
 		P: t.P, Core: t.Core, Space: t.Proc, Ops: ops,
 		Path: migrate.PathMigratePages, Flush: true,
-		CopyCat: CatMovePagesCopy,
+		CopyCat: CatMovePagesCopy, Priority: t.Proc.MigPrio,
 		// The gather walk above ran under mmap_sem only; re-check the
 		// source mask under the chunk lock in case a page moved since.
 		Revalidate: func(op migrate.Op, src topology.NodeID) bool {

@@ -3,7 +3,9 @@ package kern
 import (
 	"fmt"
 
+	"numamig/internal/mem"
 	"numamig/internal/sim"
+	"numamig/internal/tenancy"
 	"numamig/internal/topology"
 	"numamig/internal/vm"
 )
@@ -26,6 +28,13 @@ type Process struct {
 	Space   *vm.Space
 	MmapSem *sim.RWLock
 
+	// Tenant, when non-nil, is the tenancy-ledger entry this process is
+	// charged against (SetTenant). MigPrio is the migration-request
+	// priority derived from the tenant's class; 0 for untenanted
+	// processes.
+	Tenant  *tenancy.Tenant
+	MigPrio int
+
 	chunkLocks   map[uint64]*sim.Resource
 	sigHandler   SigHandler
 	numaBalancer NumaBalancer
@@ -39,6 +48,28 @@ type Process struct {
 
 // OnSegv installs the process SIGSEGV handler (nil uninstalls).
 func (pr *Process) OnSegv(h SigHandler) { pr.sigHandler = h }
+
+// SetTenant binds the process to a tenancy-ledger entry: every frame
+// its demand faults allocate is charged to ten, every frame its unmaps
+// free is released, and every page the migration engine moves for it
+// is re-homed in the ledger. The process's migration requests carry
+// the tenant class's priority through the engine's lock queues.
+func (pr *Process) SetTenant(ten *tenancy.Tenant) {
+	pr.Tenant = ten
+	pr.MigPrio = ten.Class.Priority()
+	pr.Space.OnFree = func(f *mem.Frame) {
+		pr.K.Ten.Release(ten, f.Node, 1)
+	}
+}
+
+// NotePageMove implements migrate.PageMover: the engine calls it after
+// each 4 KiB op has allocated its destination and freed its source, so
+// the tenancy ledger tracks mem.Phys exactly.
+func (pr *Process) NotePageMove(src, dst topology.NodeID) {
+	if pr.Tenant != nil {
+		pr.K.Ten.Move(pr.Tenant, src, dst, 1)
+	}
+}
 
 // NumThreads returns the number of live tasks.
 func (pr *Process) NumThreads() int { return len(pr.tasks) }

@@ -157,6 +157,18 @@ type Env interface {
 	Copy(p *sim.Proc, bytes float64, core topology.CoreID, src, dst topology.NodeID, syncChan bool)
 }
 
+// PageMover is optionally implemented by a Space whose owner needs a
+// notification for every 4 KiB op the engine physically moves. The
+// engine calls it inside the rewrite stage, after the destination
+// frame is allocated and the source frame freed — the instant the
+// physical allocator's gauges are consistent again — so the tenancy
+// ledger can account migrations at exactly the granularity mem.Phys
+// sees them. Huge ops do not notify (their footprint accounting runs
+// through AllocHugeFrame/FreeHugeFrame, outside per-frame ledgers).
+type PageMover interface {
+	NotePageMove(src, dst topology.NodeID)
+}
+
 // Space is the per-process address-space surface the engine mutates.
 // Implemented by *kern.Process.
 type Space interface {
@@ -190,6 +202,13 @@ type Request struct {
 	Status []int
 	// Path selects the calibrated cost constants.
 	Path Path
+	// Priority orders the request in the global migration lock queues
+	// (sim.Resource.AcquirePri): a contended request enqueues ahead of
+	// every queued request with a strictly lower priority. 0 is the
+	// batch default; latency-sensitive tenants' requests carry their
+	// class priority so their faults and promotions are never queued
+	// behind a batch tenant's migration batches.
+	Priority int
 	// Flush performs one TLB shootdown after the last pass.
 	Flush bool
 	// ClearNextTouch removes the migrate-on-next-touch PTE mark from
@@ -370,9 +389,14 @@ func (e *Engine) costs(path Path) pathCosts {
 // the dominant fixed cost of move_pages (~160us) that does not
 // parallelize (§4.2, §4.4). Callers invoke it before taking mmap_sem,
 // matching the kernel's ordering.
-func (e *Engine) Setup(p *sim.Proc, path Path) {
+func (e *Engine) Setup(p *sim.Proc, path Path) { e.SetupPri(p, path, 0) }
+
+// SetupPri is Setup with a queue priority: a contended setup enqueues
+// on the global migration lock ahead of every waiter with a strictly
+// lower priority (see Request.Priority).
+func (e *Engine) SetupPri(p *sim.Proc, path Path, pri int) {
 	c := e.costs(path)
-	e.env.MigLock().Acquire(p)
+	e.env.MigLock().AcquirePri(p, pri)
 	p.Sleep(c.baseLocked)
 	e.env.MigLock().Release()
 	p.Sleep(c.base - c.baseLocked)
@@ -650,7 +674,7 @@ func (e *Engine) batch(req *Request, c pathCosts, s *reqScratch, idx []int, ci u
 		n = len(idx)
 	}
 	if n > 0 {
-		e.env.LRULock().Acquire(req.P)
+		e.env.LRULock().AcquirePri(req.P, req.Priority)
 		req.P.Sleep(sim.Time(n) * c.ctlLocked)
 		e.env.LRULock().Release()
 		req.P.Sleep(sim.Time(n) * (c.ctl - c.ctlLocked))
@@ -661,6 +685,7 @@ func (e *Engine) batch(req *Request, c pathCosts, s *reqScratch, idx []int, ci u
 	s.movs = movs
 	groups := &s.groups
 	groups.reset()
+	mover, _ := req.Space.(PageMover)
 	for _, m := range movs {
 		if m.huge != nil {
 			// Whole 2 MiB unit: release the source footprint first so a
@@ -698,6 +723,9 @@ func (e *Engine) batch(req *Request, c pathCosts, s *reqScratch, idx []int, ci u
 		req.setStatus(m.slot, int(newF.Node))
 		groups.add(src, newF.Node, model.PageSize)
 		e.noteTier(src, newF.Node, model.PageSize)
+		if mover != nil && src != newF.Node {
+			mover.NotePageMove(src, newF.Node)
+		}
 		res.Moved++
 		res.Bytes += model.PageSize
 	}

@@ -18,6 +18,7 @@ type Resource struct {
 type resWaiter struct {
 	p   *Proc
 	enq Time
+	pri int
 }
 
 // NewResource creates a resource with the given capacity.
@@ -35,14 +36,30 @@ func (r *Resource) Name() string { return r.name }
 func (r *Resource) InUse() int { return r.inUse }
 
 // Acquire obtains one unit, blocking in FIFO order if none is free.
-func (r *Resource) Acquire(p *Proc) {
+func (r *Resource) Acquire(p *Proc) { r.AcquirePri(p, 0) }
+
+// AcquirePri obtains one unit like Acquire, but a contended waiter
+// enqueues ahead of every waiter with a strictly lower priority (FIFO
+// among equals). Priority 0 is exactly Acquire, so existing callers
+// keep their queue order bit for bit; higher values let
+// latency-sensitive requests overtake batch work already queued on the
+// resource. The holder is never preempted — priority only reorders the
+// wait queue.
+func (r *Resource) AcquirePri(p *Proc, pri int) {
 	r.Acquires++
 	if r.inUse < r.cap && len(r.queue) == 0 {
 		r.inUse++
 		return
 	}
 	r.Contended++
-	r.queue = append(r.queue, resWaiter{p: p, enq: r.eng.now})
+	w := resWaiter{p: p, enq: r.eng.now, pri: pri}
+	at := len(r.queue)
+	for at > 0 && r.queue[at-1].pri < pri {
+		at--
+	}
+	r.queue = append(r.queue, resWaiter{})
+	copy(r.queue[at+1:], r.queue[at:])
+	r.queue[at] = w
 	p.park()
 	// When resumed, the releaser has transferred the unit to us.
 }

@@ -78,6 +78,29 @@ const (
 	// (toward a slower tier) and -1 for promotion (mirrors
 	// migrate.Stats.PagesTierDown / PagesTierUp).
 	TopicTierTraffic
+	// TopicTenantAdmit is one tenant admitted by the tenancy layer:
+	// Task is the tenant id, Pages its fast-tier cap in pages, Value
+	// its priority class (tenancy.Class).
+	TopicTenantAdmit
+	// TopicTenantExit is one tenant departure: Task is the tenant id,
+	// Pages the resident pages released at exit (0 when the tenant
+	// unmapped everything before exiting).
+	TopicTenantExit
+	// TopicCapViolation is one allocation that landed on the fast tier
+	// beyond the owning tenant's cap because no slow-tier node could
+	// absorb the redirect: Task is the tenant id, Node where the page
+	// landed. The serve family requires zero of these per cell.
+	TopicCapViolation
+	// TopicClassLatency is one timed access probe of a tenant: Task is
+	// the tenant id, Dur the probe's virtual duration, Pages the probe
+	// size in pages, Value the priority class (tenancy.Class).
+	TopicClassLatency
+	// TopicTenantResident is one tenant residency change applied by the
+	// tenancy ledger: Task is the tenant id, Node the node whose count
+	// changed, Pages the signed delta, Value the tenant's resulting
+	// total resident pages. Published only at instants where mem.Phys
+	// gauges are consistent, so differential tests can compare exactly.
+	TopicTenantResident
 
 	// NumTopics bounds the topic space.
 	NumTopics
@@ -86,6 +109,8 @@ const (
 var topicNames = [NumTopics]string{
 	"PageFault", "NumaHintFault", "Promote", "Demote", "RateLimitDrop",
 	"WatermarkBoost", "KswapdWake", "MigrateBatch", "TierTraffic",
+	"TenantAdmit", "TenantExit", "CapViolation", "ClassLatency",
+	"TenantResident",
 }
 
 // String returns the topic's registered name.

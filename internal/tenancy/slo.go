@@ -1,0 +1,125 @@
+package tenancy
+
+import (
+	"sort"
+
+	"numamig/internal/sim"
+	"numamig/internal/telemetry"
+)
+
+// SLOStats is the per-class latency and steady-bandwidth summary a
+// Monitor produces after a serve run: the SLO grid columns.
+type SLOStats struct {
+	// Samples counts the latency probes observed per class.
+	Samples [NumClasses]int
+	// P50 / P99 are the per-class access-probe latency percentiles
+	// (nearest-rank over all of a class's ClassLatency durations).
+	P50 [NumClasses]sim.Time
+	P99 [NumClasses]sim.Time
+	// SteadyMigrateBWMBps is the steady-state migration bandwidth: the
+	// median per-window MigrateBatch rate over the windows that saw any
+	// migration traffic, in MB/s of virtual time.
+	SteadyMigrateBWMBps float64
+	// CapViolations counts CapViolation pages seen on the bus.
+	CapViolations int
+}
+
+// Monitor subscribes to the SLO topics of one System's bus and folds
+// them into per-class latency percentiles and the steady migration
+// bandwidth. Like every bus subscriber it runs synchronously under the
+// engine token and must not advance time.
+type Monitor struct {
+	width sim.Time
+
+	samples [NumClasses][]sim.Time
+	capViol int
+
+	started  bool
+	winIdx   int64
+	winBytes float64
+	bws      []float64
+}
+
+// NewMonitor attaches an SLO monitor to b with the given bandwidth
+// window width.
+func NewMonitor(b *telemetry.Bus, width sim.Time) *Monitor {
+	if width <= 0 {
+		width = sim.FromSeconds(0.001)
+	}
+	m := &Monitor{width: width}
+	b.Subscribe(telemetry.TopicClassLatency, m.onLatency)
+	b.Subscribe(telemetry.TopicMigrateBatch, m.onMigrate)
+	b.Subscribe(telemetry.TopicCapViolation, m.onViolation)
+	return m
+}
+
+// advance closes every bandwidth window before ev's time.
+func (m *Monitor) advance(tm sim.Time) {
+	idx := int64(tm / m.width)
+	if !m.started {
+		m.started = true
+		m.winIdx = idx
+		return
+	}
+	for m.winIdx < idx {
+		m.bws = append(m.bws, m.winBytes/m.width.Seconds()/1e6)
+		m.winBytes = 0
+		m.winIdx++
+	}
+}
+
+func (m *Monitor) onLatency(ev telemetry.Event) {
+	m.advance(ev.Time)
+	c := Class(int(ev.Value))
+	if c >= NumClasses {
+		return
+	}
+	m.samples[c] = append(m.samples[c], ev.Dur)
+}
+
+func (m *Monitor) onMigrate(ev telemetry.Event) {
+	m.advance(ev.Time)
+	m.winBytes += ev.Bytes
+}
+
+func (m *Monitor) onViolation(ev telemetry.Event) {
+	m.capViol += ev.Pages
+}
+
+// percentile returns the nearest-rank p-th percentile of s (sorted in
+// place).
+func percentile(s []sim.Time, p int) sim.Time {
+	if len(s) == 0 {
+		return 0
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)*p)/100]
+}
+
+// Finalize closes the in-progress window and returns the run's SLO
+// stats. Call once, after the simulation has drained.
+func (m *Monitor) Finalize() SLOStats {
+	var st SLOStats
+	if m.started {
+		m.bws = append(m.bws, m.winBytes/m.width.Seconds()/1e6)
+		m.winBytes = 0
+		m.started = false
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		st.Samples[c] = len(m.samples[c])
+		st.P50[c] = percentile(m.samples[c], 50)
+		st.P99[c] = percentile(m.samples[c], 99)
+	}
+	var busy []float64
+	for _, bw := range m.bws {
+		if bw > 0 {
+			busy = append(busy, bw)
+		}
+	}
+	if len(busy) > 0 {
+		sort.Float64s(busy)
+		st.SteadyMigrateBWMBps = busy[len(busy)/2]
+	}
+	st.CapViolations = m.capViol
+	return st
+}

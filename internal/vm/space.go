@@ -61,6 +61,13 @@ type Space struct {
 	Phys *mem.Phys
 	// DefaultPol is the process mempolicy (set_mempolicy).
 	DefaultPol Policy
+	// OnFree, when non-nil, observes every 4 KiB frame an unmap
+	// releases, called immediately after the frame returns to Phys —
+	// the instant the allocator's gauges are consistent — so per-owner
+	// ledgers (the tenancy layer) can uncharge at exactly the
+	// granularity mem.Phys sees. Huge-chunk frames do not notify (their
+	// footprint accounting runs through Alloc/ReleaseFootprint).
+	OnFree func(*mem.Frame)
 }
 
 // mmapBase is where anonymous mappings start.
@@ -147,7 +154,15 @@ func (s *Space) freeRange(start, end Addr) {
 	sv, ev := PageOf(start), PageOf(end-1)+1
 	// Extent-native clear: frees frames run-at-a-time, recycles
 	// fully-covered 4 KiB chunks, never materializes compact ones.
-	s.PT.UnmapRange(sv, ev, s.Phys.Free)
+	free := s.Phys.Free
+	if s.OnFree != nil {
+		onFree := s.OnFree
+		free = func(f *mem.Frame) {
+			s.Phys.Free(f)
+			onFree(f)
+		}
+	}
+	s.PT.UnmapRange(sv, ev, free)
 	// Huge chunks carry their frame on the chunk itself; surviving
 	// partial chunks of huge mappings also drop their fallback mark.
 	for ci := uint64(sv) / model.PTEChunkPages; ci <= uint64(ev-1)/model.PTEChunkPages; ci++ {

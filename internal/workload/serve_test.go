@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"testing"
+
+	"numamig/internal/telemetry"
+	"numamig/internal/topology"
+
+	numamig "numamig"
+)
+
+// TestServeResidencyDifferential replays the TenantResident event
+// stream against an independent model and the physical allocator's own
+// gauges. The ledger promises (see tenancy.TopicTenantResident) that it
+// publishes only at instants where mem.Phys is consistent: a Charge
+// lands after the frame is allocated, a Release after it is freed, a
+// Move after the destination is allocated and the source freed — and
+// the serve driver's admission thread allocates nothing itself. So at
+// every single event, the replayed per-node tenant residency must equal
+// Phys.Stats(node).Allocated exactly, on every node, and the event's
+// Value field must equal the replayed per-tenant total. Any migration
+// path that moves a tenant page without telling the ledger, or any
+// ledger path that fires mid-operation, breaks this equality.
+func TestServeResidencyDifferential(t *testing.T) {
+	cfg := ServeConfig{FastNodes: 2, SlowNodes: 1, Seed: 1}
+	nodes := topology.NodeID(cfg.FastNodes + cfg.SlowNodes)
+
+	perNode := make(map[topology.NodeID]int)
+	perTenant := make(map[int]int)
+	compares, fails := 0, 0
+	numamig.SetSystemObserver(func(sys *numamig.System) {
+		sys.Bus().Subscribe(telemetry.TopicTenantResident, func(ev telemetry.Event) {
+			if ev.Dst != telemetry.NoNode {
+				// An atomic move: src -> dst, per-tenant total unchanged.
+				perNode[ev.Node] -= ev.Pages
+				perNode[ev.Dst] += ev.Pages
+			} else {
+				// A signed charge/release delta on one node.
+				perNode[ev.Node] += ev.Pages
+				perTenant[ev.Task] += ev.Pages
+			}
+			if want := perTenant[ev.Task]; int(ev.Value) != want {
+				fails++
+				if fails <= 5 {
+					t.Errorf("tenant %d total drifted at t=%d: event says %d, replay says %d",
+						ev.Task, ev.Time, int(ev.Value), want)
+				}
+			}
+			compares++
+			for n := topology.NodeID(0); n < nodes; n++ {
+				if got, want := sys.Kernel.Phys.Stats(n).Allocated, int64(perNode[n]); got != want {
+					fails++
+					if fails <= 5 {
+						t.Errorf("node %d gauge diverged at t=%d: Phys.Allocated %d, replayed tenant residency %d",
+							n, ev.Time, got, want)
+					}
+				}
+			}
+		})
+	})
+	defer numamig.SetSystemObserver(nil)
+
+	r, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails > 5 {
+		t.Errorf("%d further divergences suppressed", fails-5)
+	}
+	if compares == 0 {
+		t.Fatal("no TenantResident events observed — the differential compared nothing")
+	}
+	t.Logf("replayed %d residency events", compares)
+	for n := topology.NodeID(0); n < nodes; n++ {
+		if perNode[n] != 0 {
+			t.Errorf("node %d ends with %d replayed resident pages, want 0 (all tenants exited)", n, perNode[n])
+		}
+	}
+	for id, total := range perTenant {
+		if total != 0 {
+			t.Errorf("tenant %d ends with %d replayed resident pages, want 0", id, total)
+		}
+	}
+	if r.CapViolations != 0 || r.ResidualPages != 0 || r.LeakedPages != 0 {
+		t.Errorf("run invariants broken: capViolations=%d residual=%d leaked=%d, want 0",
+			r.CapViolations, r.ResidualPages, r.LeakedPages)
+	}
+}

@@ -14,7 +14,9 @@
 //     table stays complete as emitters are added;
 //   - ARCHITECTURE.md must carry the required sections (currently
 //     "## Scale", which documents the extent PTE storage, the
-//     hierarchy generator and the daemon batching contract).
+//     hierarchy generator and the daemon batching contract, and
+//     "## Tenancy & SLOs", which documents the multi-tenant ledger,
+//     cap enforcement and class-priority contracts).
 //
 // CI runs it as the docs job; it exits non-zero listing every
 // undocumented package and every family or telemetry topic
@@ -147,7 +149,7 @@ func architectureMissingFamilies(path string) ([]string, error) {
 // requiredSections are ARCHITECTURE.md headings whose presence CI
 // enforces: sections that document cross-package contracts no single
 // package comment can own.
-var requiredSections = []string{"## Scale"}
+var requiredSections = []string{"## Scale", "## Tenancy & SLOs"}
 
 // architectureMissingSections returns the required headings the
 // architecture document lacks.
