@@ -13,6 +13,7 @@
 //	numabench -grid -nodes 1,2,4,8        # sweep machine sizes explicitly
 //	numabench -grid -cores-per-node 2     # narrower sockets
 //	numabench -list                       # enumerate families + counts
+//	numabench -artifact artifacts/fig7.json  # paper-artifact campaign: repeats + grouped analysis
 //
 // Experiments: fig4 fig5 fig6a fig6b fig7 table1 fig8 blas1.
 // Grid families: see -list (all registered families).
@@ -27,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -34,6 +36,7 @@ import (
 	"time"
 
 	numamig "numamig"
+	"numamig/internal/artifact"
 	"numamig/internal/bench"
 	"numamig/internal/exp"
 	"numamig/internal/telemetry"
@@ -54,6 +57,8 @@ func main() {
 	coresPerNode := flag.Int("cores-per-node", 0, "cores per node for -grid/-list scenarios (0 = the Opteron host's 4)")
 	scenario := flag.String("scenario", "", "run only the -grid scenario with this exact ID")
 	trace := flag.String("trace", "", "write a chrome-trace (chrome://tracing / Perfetto) JSON of the run to this file; requires -grid narrowed to exactly one scenario")
+	artifactCfg := flag.String("artifact", "", "run the paper-artifact campaign described by this JSON config (internal/artifact)")
+	artifactOut := flag.String("artifact-out", "", "artifact output directory (default: <config dir>/<campaign name>)")
 	perf := flag.Bool("perf", false, "run the perf harness and write BENCH_core.json / BENCH_exp.json to -perf-out")
 	scale := flag.Bool("scale", false, "with -perf: run only the datacenter-scale points and write BENCH_scale.json")
 	serve := flag.Bool("serve", false, "with -perf: run only the multi-tenant serving points and write BENCH_serve.json")
@@ -91,7 +96,8 @@ func main() {
 		}()
 	}
 	if err := run(*expID, *all, *quick, *grid, *list, *families, *parallel, *format,
-		*seed, *nodes, *coresPerNode, *scenario, *trace, *perf, *scale, *serve, *perfOut, *repeats); err != nil {
+		*seed, *nodes, *coresPerNode, *scenario, *trace, *artifactCfg, *artifactOut,
+		*perf, *scale, *serve, *perfOut, *repeats); err != nil {
 		if code, ok := err.(exitCode); ok {
 			// Profile defers must run before exiting.
 			pprof.StopCPUProfile()
@@ -110,7 +116,8 @@ func (c exitCode) Error() string { return fmt.Sprintf("exit %d", int(c)) }
 
 func run(expID string, all, quick, grid, list bool, families string, parallel int,
 	format string, seed int64, nodes string, coresPerNode int,
-	scenario, trace string, perf, scale, serve bool, perfOut string, repeats int) error {
+	scenario, trace, artifactCfg, artifactOut string,
+	perf, scale, serve bool, perfOut string, repeats int) error {
 
 	nodeList, err := parseNodeList(nodes)
 	if err != nil {
@@ -125,6 +132,17 @@ func run(expID string, all, quick, grid, list bool, families string, parallel in
 
 	if list {
 		return listFamilies(os.Stdout, opts)
+	}
+	if artifactCfg != "" {
+		if grid || perf || all || expID != "" {
+			fmt.Fprintln(os.Stderr, "numabench: -artifact cannot combine with -grid/-perf/-exp/-all")
+			return exitCode(2)
+		}
+		return runArtifact(artifactCfg, artifactOut, parallel)
+	}
+	if artifactOut != "" {
+		fmt.Fprintln(os.Stderr, "numabench: -artifact-out requires -artifact")
+		return exitCode(2)
 	}
 	if perf {
 		po := bench.PerfOptions{
@@ -175,6 +193,52 @@ func run(expID string, all, quick, grid, list bool, families string, parallel in
 		}
 		fmt.Printf("# (%s regenerated in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// runArtifact executes a paper-artifact campaign (internal/artifact):
+// parse + validate the declarative config, run the grid once per
+// repeat (streaming raw rows to raw.csv as repeats complete), then
+// write the grouped analysis artifacts. Output bytes are independent
+// of -parallel and of wall-clock time.
+func runArtifact(cfgPath, outDir string, parallel int) error {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	cfg, err := artifact.ParseConfig(data)
+	if err != nil {
+		return err
+	}
+	if outDir == "" {
+		outDir = filepath.Join(filepath.Dir(cfgPath), cfg.Name)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	ro := artifact.RunOptions{Parallel: parallel, Log: os.Stderr}
+	// Stream the raw rows as each repeat completes; WriteDir rewrites
+	// the same bytes at the end, so an interrupted campaign still
+	// leaves its completed repeats on disk.
+	raw, err := os.Create(filepath.Join(outDir, artifact.RawCSVName))
+	if err != nil {
+		return err
+	}
+	ro.RawOut = raw
+	start := time.Now()
+	out, runErr := artifact.RunCampaign(cfg, ro)
+	if cerr := raw.Close(); runErr == nil && cerr != nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if err := out.WriteDir(outDir); err != nil {
+		return err
+	}
+	fmt.Printf("artifact: campaign %s: %d scenarios x %d repeats -> %s (max rel std %.4f, %d speedup ratios, %v wall time)\n",
+		cfg.Name, out.Analysis.Scenarios, cfg.Repeats, outDir,
+		out.Analysis.MaxRelStd, len(out.Analysis.Speedups), time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -1,0 +1,63 @@
+package artifact
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzArtifactConfig drives ParseConfig with arbitrary bytes: malformed
+// JSON, unknown families/axes/metrics, zero repeats and overflowing
+// seeds must all come back as errors — never a panic — and any config
+// that parses must survive a marshal/re-parse round trip unchanged.
+func FuzzArtifactConfig(f *testing.F) {
+	// Seed the interesting shapes; the committed corpus under
+	// testdata/fuzz/FuzzArtifactConfig extends these with regression
+	// inputs.
+	f.Add([]byte(`{"schema":"numamig-artifact/v1","name":"ok","families":["migration"],"quick":true,"repeats":2,"base_seed":3,"seed_policy":"per-repeat"}`))
+	f.Add([]byte(`{"schema":"numamig-artifact/v1","name":"bad","families":["warp-drive"],"repeats":1,"base_seed":1,"seed_policy":"fixed"}`))
+	f.Add([]byte(`{"schema":"numamig-artifact/v1","name":"zero","families":["migration"],"repeats":0,"base_seed":1,"seed_policy":"fixed"}`))
+	f.Add([]byte(`{"schema":"numamig-artifact/v1","name":"ovf","families":["migration"],"repeats":1024,"base_seed":9223372036854775807,"seed_policy":"per-repeat"}`))
+	f.Add([]byte(`{"schema":"numamig-artifact/v1","name":"axis","families":["migration"],"repeats":1,"base_seed":1,"seed_policy":"fixed","tables":[{"metric":"mbps","rows":"moons","cols":"pages"}]}`))
+	f.Add([]byte(`{"schema":"numamig-artifact/v1","name":"met","families":["migration"],"repeats":1,"base_seed":1,"seed_policy":"fixed","metrics":["vibes"]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("{\"schema\":\"numamig-artifact/v1\"}\x00trailing"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			return
+		}
+		// Whatever parses must be internally valid...
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ParseConfig accepted a config Validate rejects: %v", err)
+		}
+		// ...derive seeds without overflow for every repeat...
+		prev := int64(0)
+		for r := 0; r < cfg.Repeats; r++ {
+			s := cfg.SeedFor(r)
+			if s < 1 || (r > 0 && cfg.SeedPolicy == SeedPerRepeat && s <= prev) {
+				t.Fatalf("repeat %d derived seed %d after %d", r, s, prev)
+			}
+			prev = s
+		}
+		// ...and round-trip through JSON losslessly.
+		out, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		back, err := ParseConfig(out)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled config: %v", err)
+		}
+		again, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if string(out) != string(again) {
+			t.Fatalf("round trip drifted:\n%s\n%s", out, again)
+		}
+	})
+}

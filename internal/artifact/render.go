@@ -1,0 +1,181 @@
+package artifact
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"numamig/internal/report"
+)
+
+// RenderSummary renders the machine-readable analysis as indented
+// JSON (report.JSON: deterministic field order, byte-stable).
+func RenderSummary(an *Analysis) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := report.JSON(&buf, an); err != nil {
+		return nil, fmt.Errorf("artifact: rendering summary: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// axisValue returns a cell's coordinate on a layout axis.
+func axisValue(c *Cell, axis string) string {
+	switch axis {
+	case AxisPages:
+		return strconv.Itoa(c.Pages)
+	case AxisNodes:
+		return strconv.Itoa(c.Nodes)
+	case AxisVariant:
+		return c.Variant
+	case AxisFamily:
+		return c.Family
+	}
+	return ""
+}
+
+// axisOrder returns the distinct values of an axis over the cells, in
+// presentation order: numeric axes ascending, categorical axes in
+// first-appearance (generation) order.
+func axisOrder(cells []*Cell, axis string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range cells {
+		v := axisValue(c, axis)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	if axis == AxisPages || axis == AxisNodes {
+		sort.Slice(out, func(i, j int) bool {
+			a, _ := strconv.Atoi(out[i])
+			b, _ := strconv.Atoi(out[j])
+			return a < b
+		})
+	}
+	return out
+}
+
+// statCell formats one table cell: the mean, with a ± sample-std
+// suffix once repeats carry real spread.
+func statCell(ms *MetricStats) string {
+	s := report.FormatFloat(ms.Mean)
+	if ms.N > 1 && ms.Std != 0 {
+		s += " ± " + report.FormatFloat(ms.Std)
+	}
+	return s
+}
+
+// RenderTables renders the campaign's Fig. 7-style scaling tables and
+// speedup tables as one Markdown document.
+func RenderTables(cfg *Config, an *Analysis) ([]byte, error) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# campaign: %s\n\n", cfg.Name)
+	if cfg.Description != "" {
+		fmt.Fprintf(&buf, "%s\n\n", cfg.Description)
+	}
+	fmt.Fprintf(&buf, "families: %s · repeats: %d · seed policy: %s (base %d) · scenarios: %d\n",
+		strings.Join(cfg.Families, ", "), cfg.Repeats, cfg.SeedPolicy, cfg.BaseSeed, an.Scenarios)
+
+	cells := make([]*Cell, len(an.Cells))
+	for i := range an.Cells {
+		cells[i] = &an.Cells[i]
+	}
+
+	for _, spec := range cfg.tables() {
+		title := spec.Title
+		if title == "" {
+			title = fmt.Sprintf("%s by %s x %s", spec.Metric, spec.Rows, spec.Cols)
+		}
+		fmt.Fprintf(&buf, "\n## %s\n\n", title)
+		fmt.Fprintf(&buf, "metric: %s (mean over %d repeats%s)\n\n",
+			spec.Metric, cfg.Repeats, map[bool]string{true: ", ± sample std", false: ""}[cfg.Repeats > 1])
+
+		splits := []string{""}
+		if spec.Split != "" {
+			splits = axisOrder(cells, spec.Split)
+		}
+		for _, sv := range splits {
+			var in []*Cell
+			for _, c := range cells {
+				if spec.Split == "" || axisValue(c, spec.Split) == sv {
+					in = append(in, c)
+				}
+			}
+			if len(in) == 0 {
+				continue
+			}
+			rowVals := axisOrder(in, spec.Rows)
+			colVals := axisOrder(in, spec.Cols)
+
+			// One owner per (row, col) coordinate; a clash means the
+			// spec under-specifies the layout (e.g. two families share
+			// a variant and neither axis separates them).
+			grid := map[[2]string]*Cell{}
+			for _, c := range in {
+				key := [2]string{axisValue(c, spec.Rows), axisValue(c, spec.Cols)}
+				if prev, dup := grid[key]; dup {
+					return nil, fmt.Errorf("artifact: table %q: cells %q and %q land on the same (%s=%s, %s=%s) — add a split axis",
+						title, prev.ID, c.ID, spec.Rows, key[0], spec.Cols, key[1])
+				}
+				grid[key] = c
+			}
+
+			tblTitle := ""
+			if spec.Split != "" {
+				tblTitle = fmt.Sprintf("%s = %s", spec.Split, sv)
+			}
+			tbl := report.NewTable(tblTitle, append([]string{spec.Rows}, colVals...)...)
+			for _, rv := range rowVals {
+				row := make([]interface{}, 0, len(colVals)+1)
+				row = append(row, rv)
+				for _, cv := range colVals {
+					c := grid[[2]string{rv, cv}]
+					if c == nil {
+						row = append(row, "")
+						continue
+					}
+					ms := c.Metric(spec.Metric)
+					if ms == nil {
+						row = append(row, "")
+						continue
+					}
+					row = append(row, statCell(ms))
+				}
+				tbl.Add(row...)
+			}
+			tbl.Markdown(&buf)
+			buf.WriteByte('\n')
+		}
+	}
+
+	if len(cfg.Speedups) > 0 {
+		fmt.Fprintf(&buf, "\n## speedups\n")
+		for _, spec := range cfg.Speedups {
+			fmt.Fprintf(&buf, "\n### %s: %s / %s (%s, ratio of means)\n\n",
+				spec.Name, spec.Numer, spec.Denom, spec.Metric)
+			tbl := report.NewTable("", "family", "variant", "pages", "nodes", "ratio")
+			n := 0
+			for i := range an.Speedups {
+				sp := &an.Speedups[i]
+				if sp.Name != spec.Name {
+					continue
+				}
+				c := an.CellByID(sp.ID)
+				if c == nil {
+					return nil, fmt.Errorf("artifact: speedup %q references unknown cell %q", sp.Name, sp.ID)
+				}
+				tbl.Add(c.Family, c.Variant, c.Pages, c.Nodes, report.FormatFloat(sp.Ratio))
+				n++
+			}
+			if n == 0 {
+				fmt.Fprintf(&buf, "(no cell pairs matched %s vs %s)\n", spec.Numer, spec.Denom)
+				continue
+			}
+			tbl.Markdown(&buf)
+		}
+	}
+	return buf.Bytes(), nil
+}

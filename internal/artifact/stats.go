@@ -1,0 +1,332 @@
+package artifact
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"numamig/internal/exp"
+)
+
+// Row is one raw data point: one scenario result from one repeat,
+// carried as the rendered schema cells (aligned with exp.Columns()).
+// The analysis pass deliberately consumes the *rendered strings*, not
+// the in-memory Result: whatever precision the CSV keeps is the
+// precision the analysis sees, so recomputing the summary from a
+// written raw.csv reproduces it byte for byte.
+type Row struct {
+	Repeat int
+	Seed   int64
+	Cells  []string
+}
+
+// colIndex maps schema column names to their cell position.
+func colIndex() map[string]int {
+	idx := map[string]int{}
+	for i, n := range exp.ColumnNames() {
+		idx[n] = i
+	}
+	return idx
+}
+
+// MetricStats is one metric column's grouped statistics over a cell's
+// repeats. Std is the sample standard deviation (n-1 denominator),
+// defined as 0 for n < 2.
+type MetricStats struct {
+	Metric string  `json:"metric"`
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Cell is one grid cell (one scenario ID) with its axis coordinates
+// and grouped per-metric statistics.
+type Cell struct {
+	ID      string        `json:"id"`
+	Family  string        `json:"family"`
+	Variant string        `json:"variant"`
+	Pages   int           `json:"pages"`
+	Nodes   int           `json:"nodes"`
+	Metrics []MetricStats `json:"metrics"`
+}
+
+// Metric returns the cell's stats for a metric name (nil when the
+// metric is outside the campaign's metric set).
+func (c *Cell) Metric(name string) *MetricStats {
+	for i := range c.Metrics {
+		if c.Metrics[i].Metric == name {
+			return &c.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Speedup is one computed relative-speedup ratio: the Metric mean of
+// cell ID over the mean of BaselineID.
+type Speedup struct {
+	Name       string  `json:"name"`
+	Metric     string  `json:"metric"`
+	ID         string  `json:"id"`
+	BaselineID string  `json:"baseline_id"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// Analysis is the grouped result of one campaign: the machine-readable
+// summary.json payload.
+type Analysis struct {
+	Schema    string    `json:"schema"`
+	Config    Config    `json:"config"`
+	Scenarios int       `json:"scenarios"`
+	RowCount  int       `json:"rows"`
+	Metrics   []string  `json:"metrics"`
+	MaxRelStd float64   `json:"max_rel_std"`
+	Cells     []Cell    `json:"cells"`
+	Speedups  []Speedup `json:"speedups,omitempty"`
+}
+
+// CellByID returns the analysis cell with the given scenario ID.
+func (a *Analysis) CellByID(id string) *Cell {
+	for i := range a.Cells {
+		if a.Cells[i].ID == id {
+			return &a.Cells[i]
+		}
+	}
+	return nil
+}
+
+// variantOf strips the family prefix and the pages/nodes tokens from a
+// scenario ID, leaving the variant axis: the tokens that distinguish
+// strategy/mode/workload within one (family, pages, nodes) cell.
+// E.g. "migration/patched/sync/p64/n2" -> "patched/sync".
+func variantOf(id string, pages, nodes int) string {
+	toks := strings.Split(id, "/")
+	if len(toks) <= 1 {
+		return ""
+	}
+	pTok := fmt.Sprintf("p%d", pages)
+	nTok := fmt.Sprintf("n%d", nodes)
+	var keep []string
+	for _, t := range toks[1:] {
+		if t == pTok || t == nTok {
+			continue
+		}
+		keep = append(keep, t)
+	}
+	return strings.Join(keep, "/")
+}
+
+// Analyze groups raw rows into per-cell statistics and computes the
+// configured speedup ratios. It enforces the campaign's completeness
+// contract — every cell must carry exactly one row per repeat, every
+// repeat 0..Repeats-1, seeds must match the seed policy, and no row
+// may carry a scenario error — and the Tolerance bound on the relative
+// std of every table metric.
+func Analyze(cfg *Config, rows []Row) (*Analysis, error) {
+	idx := colIndex()
+	idCol, errCol := idx["id"], idx["err"]
+	pagesCol, nodesCol := idx["pages"], idx["nodes"]
+	metrics := cfg.metrics()
+
+	type acc struct {
+		cell    Cell
+		seen    []bool      // per-repeat presence
+		samples [][]float64 // per-metric, in metrics order
+	}
+	var order []string
+	cells := map[string]*acc{}
+
+	for ri := range rows {
+		row := &rows[ri]
+		if len(row.Cells) != len(exp.ColumnNames()) {
+			return nil, fmt.Errorf("artifact: row %d has %d cells, schema has %d",
+				ri, len(row.Cells), len(exp.ColumnNames()))
+		}
+		if row.Repeat < 0 || row.Repeat >= cfg.Repeats {
+			return nil, fmt.Errorf("artifact: row %d: repeat %d outside 0..%d",
+				ri, row.Repeat, cfg.Repeats-1)
+		}
+		if want := cfg.SeedFor(row.Repeat); row.Seed != want {
+			return nil, fmt.Errorf("artifact: row %d: seed %d, policy %s derives %d for repeat %d",
+				ri, row.Seed, cfg.SeedPolicy, want, row.Repeat)
+		}
+		if e := row.Cells[errCol]; e != "" {
+			return nil, fmt.Errorf("artifact: scenario %q failed: %s", row.Cells[idCol], e)
+		}
+		id := row.Cells[idCol]
+		a := cells[id]
+		if a == nil {
+			pages, err := strconv.Atoi(row.Cells[pagesCol])
+			if err != nil {
+				return nil, fmt.Errorf("artifact: row %d: bad pages cell %q", ri, row.Cells[pagesCol])
+			}
+			nodes, err := strconv.Atoi(row.Cells[nodesCol])
+			if err != nil {
+				return nil, fmt.Errorf("artifact: row %d: bad nodes cell %q", ri, row.Cells[nodesCol])
+			}
+			a = &acc{
+				cell: Cell{
+					ID:      id,
+					Family:  strings.SplitN(id, "/", 2)[0],
+					Variant: variantOf(id, pages, nodes),
+					Pages:   pages,
+					Nodes:   nodes,
+				},
+				seen:    make([]bool, cfg.Repeats),
+				samples: make([][]float64, len(metrics)),
+			}
+			cells[id] = a
+			order = append(order, id)
+		}
+		if a.seen[row.Repeat] {
+			return nil, fmt.Errorf("artifact: scenario %q appears twice in repeat %d", id, row.Repeat)
+		}
+		a.seen[row.Repeat] = true
+		for mi, m := range metrics {
+			v, err := strconv.ParseFloat(row.Cells[idx[m]], 64)
+			if err != nil {
+				return nil, fmt.Errorf("artifact: scenario %q repeat %d: metric %s cell %q is not numeric",
+					id, row.Repeat, m, row.Cells[idx[m]])
+			}
+			a.samples[mi] = append(a.samples[mi], v)
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("artifact: no rows to analyze")
+	}
+
+	an := &Analysis{
+		Schema:    SummarySchema,
+		Config:    *cfg,
+		Scenarios: len(order),
+		RowCount:  len(rows),
+		Metrics:   metrics,
+	}
+	for _, id := range order {
+		a := cells[id]
+		for r, ok := range a.seen {
+			if !ok {
+				return nil, fmt.Errorf("artifact: scenario %q missing repeat %d of %d", id, r, cfg.Repeats)
+			}
+		}
+		for mi, m := range metrics {
+			a.cell.Metrics = append(a.cell.Metrics, summarize(m, a.samples[mi]))
+		}
+		an.Cells = append(an.Cells, a.cell)
+	}
+
+	// The stability bound applies to the headline metrics — the ones
+	// the rendered tables publish.
+	tableMetric := map[string]bool{}
+	for _, t := range cfg.tables() {
+		tableMetric[t.Metric] = true
+	}
+	for ci := range an.Cells {
+		c := &an.Cells[ci]
+		for _, ms := range c.Metrics {
+			if !tableMetric[ms.Metric] || ms.Mean == 0 {
+				continue
+			}
+			rel := ms.Std / math.Abs(ms.Mean)
+			if rel > an.MaxRelStd {
+				an.MaxRelStd = rel
+			}
+			if cfg.Tolerance > 0 && rel > cfg.Tolerance {
+				return nil, fmt.Errorf("artifact: cell %q metric %s: relative std %.4f exceeds tolerance %.4f",
+					c.ID, ms.Metric, rel, cfg.Tolerance)
+			}
+		}
+	}
+
+	for _, spec := range cfg.Speedups {
+		an.Speedups = append(an.Speedups, speedups(spec, an)...)
+	}
+	return an, nil
+}
+
+// summarize computes one metric's grouped statistics.
+func summarize(name string, xs []float64) MetricStats {
+	ms := MetricStats{Metric: name, N: len(xs)}
+	if len(xs) == 0 {
+		return ms
+	}
+	ms.Min, ms.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < ms.Min {
+			ms.Min = x
+		}
+		if x > ms.Max {
+			ms.Max = x
+		}
+	}
+	// Identical samples get exact stats: mean = the sample, std = 0.
+	// Fixed-seed repeats are byte-identical replicas, and their zero
+	// spread must not be blurred by sum/n rounding (0.000714*3/3 is not
+	// 0.000714 in float64).
+	if ms.Min == ms.Max {
+		ms.Mean = ms.Min
+		return ms
+	}
+	ms.Mean = sum / float64(len(xs))
+	if len(xs) >= 2 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - ms.Mean
+			ss += d * d
+		}
+		ms.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return ms
+}
+
+// speedups computes one spec's ratios over the analysis cells, in cell
+// order. Cells whose variant lacks the numerator token, whose baseline
+// cell is missing (e.g. lazy-kernel has no unpatched twin), or whose
+// baseline mean is 0 are skipped.
+func speedups(spec SpeedupSpec, an *Analysis) []Speedup {
+	var out []Speedup
+	for ci := range an.Cells {
+		c := &an.Cells[ci]
+		toks := strings.Split(c.Variant, "/")
+		hit := -1
+		for i, t := range toks {
+			if t == spec.Numer {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			continue
+		}
+		baseToks := append(append([]string{}, toks[:hit]...), spec.Denom)
+		baseToks = append(baseToks, toks[hit+1:]...)
+		baseVariant := strings.Join(baseToks, "/")
+		var base *Cell
+		for bi := range an.Cells {
+			b := &an.Cells[bi]
+			if b.Family == c.Family && b.Pages == c.Pages && b.Nodes == c.Nodes && b.Variant == baseVariant {
+				base = b
+				break
+			}
+		}
+		if base == nil {
+			continue
+		}
+		num, den := c.Metric(spec.Metric), base.Metric(spec.Metric)
+		if num == nil || den == nil || den.Mean == 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Name:       spec.Name,
+			Metric:     spec.Metric,
+			ID:         c.ID,
+			BaselineID: base.ID,
+			Ratio:      num.Mean / den.Mean,
+		})
+	}
+	return out
+}

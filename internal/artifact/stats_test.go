@@ -1,0 +1,252 @@
+package artifact
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"numamig/internal/exp"
+)
+
+// Statistical-analysis unit tests against hand-computed goldens: the
+// grouped mean/std/min/max, the n=1 degenerate case (std exactly 0),
+// speedup ratios, and the missing-baseline skip.
+
+// synthConfig is a minimal analysis config: one metric, explicit
+// tables/speedups, no tolerance. It deliberately skips Validate —
+// Analyze must work from the fields alone.
+func synthConfig(repeats int, speedups ...SpeedupSpec) *Config {
+	return &Config{
+		Schema:     ConfigSchema,
+		Name:       "synth",
+		Repeats:    repeats,
+		BaseSeed:   1,
+		SeedPolicy: SeedFixed,
+		Metrics:    []string{"mbps"},
+		Tables:     []TableSpec{{Metric: "mbps", Rows: AxisPages, Cols: AxisVariant}},
+		Speedups:   speedups,
+	}
+}
+
+// synthRow builds a raw row with the given identity and mbps cell; all
+// other schema cells stay empty (only configured metrics are parsed).
+func synthRow(repeat int, id string, pages, nodes int, mbps string) Row {
+	idx := colIndex()
+	cells := make([]string, len(exp.ColumnNames()))
+	cells[idx["id"]] = id
+	cells[idx["pages"]] = strconv.Itoa(pages)
+	cells[idx["nodes"]] = strconv.Itoa(nodes)
+	cells[idx["mbps"]] = mbps
+	return Row{Repeat: repeat, Seed: 1, Cells: cells}
+}
+
+func TestSummarizeGoldens(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want MetricStats
+	}{
+		// mean = (10+20+30)/3 = 20; sample var = (100+0+100)/2 = 100.
+		{"three", []float64{10, 20, 30}, MetricStats{Metric: "m", N: 3, Mean: 20, Std: 10, Min: 10, Max: 30}},
+		// n = 1: std is defined as 0, min = max = mean.
+		{"single", []float64{42.5}, MetricStats{Metric: "m", N: 1, Mean: 42.5, Std: 0, Min: 42.5, Max: 42.5}},
+		// Identical repeats: zero spread.
+		{"flat", []float64{7, 7, 7, 7}, MetricStats{Metric: "m", N: 4, Mean: 7, Std: 0, Min: 7, Max: 7}},
+		// Two samples: std = |a-b| / sqrt(2).
+		{"pair", []float64{1, 3}, MetricStats{Metric: "m", N: 2, Mean: 2, Std: math.Sqrt2, Min: 1, Max: 3}},
+		{"empty", nil, MetricStats{Metric: "m", N: 0}},
+	}
+	for _, c := range cases {
+		if got := summarize("m", c.xs); got != c.want {
+			t.Errorf("%s: summarize(%v) = %+v, want %+v", c.name, c.xs, got, c.want)
+		}
+	}
+}
+
+func TestVariantOf(t *testing.T) {
+	cases := []struct {
+		id           string
+		pages, nodes int
+		want         string
+	}{
+		{"migration/patched/sync/p64/n2", 64, 2, "patched/sync"},
+		{"autonuma/rotate1/off/p1024/n8", 1024, 8, "rotate1/off"},
+		// Only the exact p<pages>/n<nodes> tokens are stripped.
+		{"fam/p64/n2/p640", 64, 2, "p640"},
+		{"solo", 0, 0, ""},
+	}
+	for _, c := range cases {
+		if got := variantOf(c.id, c.pages, c.nodes); got != c.want {
+			t.Errorf("variantOf(%q, %d, %d) = %q, want %q", c.id, c.pages, c.nodes, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeGroupedGoldens(t *testing.T) {
+	cfg := synthConfig(3)
+	rows := []Row{
+		synthRow(0, "m/patched/p64/n2", 64, 2, "10"),
+		synthRow(0, "m/unpatched/p64/n2", 64, 2, "5"),
+		synthRow(1, "m/patched/p64/n2", 64, 2, "20"),
+		synthRow(1, "m/unpatched/p64/n2", 64, 2, "5"),
+		synthRow(2, "m/patched/p64/n2", 64, 2, "30"),
+		synthRow(2, "m/unpatched/p64/n2", 64, 2, "5"),
+	}
+	an, err := Analyze(cfg, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Scenarios != 2 || an.RowCount != 6 {
+		t.Fatalf("got %d scenarios over %d rows, want 2 over 6", an.Scenarios, an.RowCount)
+	}
+	p := an.CellByID("m/patched/p64/n2")
+	if p == nil {
+		t.Fatal("patched cell missing")
+	}
+	want := MetricStats{Metric: "mbps", N: 3, Mean: 20, Std: 10, Min: 10, Max: 30}
+	if got := *p.Metric("mbps"); got != want {
+		t.Errorf("patched mbps = %+v, want %+v", got, want)
+	}
+	if p.Variant != "patched" || p.Family != "m" || p.Pages != 64 || p.Nodes != 2 {
+		t.Errorf("patched cell coordinates = %+v", p)
+	}
+	u := an.CellByID("m/unpatched/p64/n2")
+	if got := *u.Metric("mbps"); got != (MetricStats{Metric: "mbps", N: 3, Mean: 5, Std: 0, Min: 5, Max: 5}) {
+		t.Errorf("unpatched mbps = %+v", got)
+	}
+	// Relative std of the patched cell: 10/20 = 0.5 — the max.
+	if an.MaxRelStd != 0.5 {
+		t.Errorf("MaxRelStd = %v, want 0.5", an.MaxRelStd)
+	}
+}
+
+func TestAnalyzeSingleRepeatStdZero(t *testing.T) {
+	cfg := synthConfig(1)
+	an, err := Analyze(cfg, []Row{synthRow(0, "m/patched/p64/n2", 64, 2, "123.5")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := *an.Cells[0].Metric("mbps")
+	if got != (MetricStats{Metric: "mbps", N: 1, Mean: 123.5, Std: 0, Min: 123.5, Max: 123.5}) {
+		t.Errorf("n=1 stats = %+v, want std exactly 0", got)
+	}
+	if an.MaxRelStd != 0 {
+		t.Errorf("MaxRelStd = %v, want 0", an.MaxRelStd)
+	}
+}
+
+func TestAnalyzeSpeedupsAndMissingBaseline(t *testing.T) {
+	cfg := synthConfig(1, SpeedupSpec{Name: "pv", Metric: "mbps", Numer: "patched", Denom: "unpatched"})
+	rows := []Row{
+		synthRow(0, "m/patched/sync/p64/n2", 64, 2, "30"),
+		synthRow(0, "m/unpatched/sync/p64/n2", 64, 2, "15"),
+		// lazy has no unpatched twin: the missing-cell case, skipped.
+		synthRow(0, "m/patched/lazy/p64/n2", 64, 2, "60"),
+		// Same variants at another size join on (pages, nodes) too.
+		synthRow(0, "m/patched/sync/p256/n4", 256, 4, "50"),
+		synthRow(0, "m/unpatched/sync/p256/n4", 256, 4, "10"),
+	}
+	an, err := Analyze(cfg, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Speedups) != 2 {
+		t.Fatalf("got %d speedups %+v, want 2", len(an.Speedups), an.Speedups)
+	}
+	s0 := an.Speedups[0]
+	if s0.ID != "m/patched/sync/p64/n2" || s0.BaselineID != "m/unpatched/sync/p64/n2" || s0.Ratio != 2 {
+		t.Errorf("speedup[0] = %+v, want ratio 2 of sync/p64/n2", s0)
+	}
+	s1 := an.Speedups[1]
+	if s1.ID != "m/patched/sync/p256/n4" || s1.Ratio != 5 {
+		t.Errorf("speedup[1] = %+v, want ratio 5 of sync/p256/n4", s1)
+	}
+	for _, s := range an.Speedups {
+		if strings.Contains(s.ID, "lazy") {
+			t.Errorf("lazy cell has no baseline but produced speedup %+v", s)
+		}
+	}
+}
+
+func TestAnalyzeZeroDenominatorSkipped(t *testing.T) {
+	cfg := synthConfig(1, SpeedupSpec{Name: "pv", Metric: "mbps", Numer: "patched", Denom: "unpatched"})
+	rows := []Row{
+		synthRow(0, "m/patched/p64/n2", 64, 2, "30"),
+		synthRow(0, "m/unpatched/p64/n2", 64, 2, "0"),
+	}
+	an, err := Analyze(cfg, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Speedups) != 0 {
+		t.Errorf("zero-mean baseline produced speedups %+v", an.Speedups)
+	}
+}
+
+func TestAnalyzeCompletenessErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  *Config
+		rows []Row
+		frag string
+	}{
+		{"missing repeat", synthConfig(2),
+			[]Row{synthRow(0, "m/a/p1/n1", 1, 1, "1")}, "missing repeat"},
+		{"duplicate row", synthConfig(1),
+			[]Row{synthRow(0, "m/a/p1/n1", 1, 1, "1"), synthRow(0, "m/a/p1/n1", 1, 1, "1")}, "twice"},
+		{"repeat out of range", synthConfig(1),
+			[]Row{synthRow(3, "m/a/p1/n1", 1, 1, "1")}, "outside"},
+		{"no rows", synthConfig(1), nil, "no rows"},
+		{"bad metric cell", synthConfig(1),
+			[]Row{synthRow(0, "m/a/p1/n1", 1, 1, "not-a-number")}, "not numeric"},
+	}
+	for _, c := range cases {
+		if _, err := Analyze(c.cfg, c.rows); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.frag)
+		}
+	}
+	// A wrong seed for the policy must be rejected.
+	cfg := synthConfig(2)
+	cfg.SeedPolicy = SeedPerRepeat
+	rows := []Row{synthRow(0, "m/a/p1/n1", 1, 1, "1"), synthRow(1, "m/a/p1/n1", 1, 1, "1")}
+	if _, err := Analyze(cfg, rows); err == nil || !strings.Contains(err.Error(), "policy") {
+		t.Errorf("per-repeat policy with fixed seeds: err = %v", err)
+	}
+	// A scenario error in any row fails the analysis.
+	bad := synthRow(0, "m/a/p1/n1", 1, 1, "1")
+	bad.Cells[colIndex()["err"]] = "boom"
+	if _, err := Analyze(synthConfig(1), []Row{bad}); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err column set: err = %v", err)
+	}
+}
+
+func TestAnalyzeToleranceBound(t *testing.T) {
+	cfg := synthConfig(2)
+	cfg.Tolerance = 0.1
+	rows := []Row{
+		synthRow(0, "m/a/p1/n1", 1, 1, "10"),
+		synthRow(1, "m/a/p1/n1", 1, 1, "30"),
+	}
+	// mean 20, sample std = sqrt(200) ~ 14.14, rel ~ 0.707 > 0.1.
+	if _, err := Analyze(cfg, rows); err == nil || !strings.Contains(err.Error(), "tolerance") {
+		t.Fatalf("rel std 0.707 against tolerance 0.1: err = %v", err)
+	}
+	cfg.Tolerance = 0.8
+	if _, err := Analyze(cfg, rows); err != nil {
+		t.Fatalf("rel std 0.707 against tolerance 0.8: %v", err)
+	}
+	// The bound only covers table metrics: a wild non-table metric
+	// passes. faults is a metric column but not in any table spec.
+	cfg = synthConfig(2)
+	cfg.Metrics = []string{"mbps", "faults"}
+	cfg.Tolerance = 0.1
+	idx := colIndex()
+	r0 := synthRow(0, "m/a/p1/n1", 1, 1, "10")
+	r0.Cells[idx["faults"]] = "1"
+	r1 := synthRow(1, "m/a/p1/n1", 1, 1, "10")
+	r1.Cells[idx["faults"]] = "1000"
+	if _, err := Analyze(cfg, []Row{r0, r1}); err != nil {
+		t.Fatalf("non-table metric spread must not trip the tolerance: %v", err)
+	}
+}

@@ -224,7 +224,6 @@ func (t *Task) AccessRange(addr vm.Addr, length int64, kind AccessKind, write bo
 	}
 	k := t.Proc.K
 	sp := t.Proc.Space
-	local := t.Node()
 
 	nn := k.M.NumNodes()
 	bytesByNode := t.scratch.nodeBytes
@@ -263,27 +262,38 @@ func (t *Task) AccessRange(addr vm.Addr, length int64, kind AccessKind, write bo
 	})
 	t.scratch.nodeBytes, t.scratch.nodeOrder = bytesByNode, order
 	for _, node := range order {
-		bytes := bytesByNode[node]
-		penalty := 1.0
-		if node != local {
-			switch kind {
-			case Stream:
-				penalty = k.P.StreamPenalty
-			case Blocked:
-				penalty = k.M.NUMAFactor(local, node) * k.P.BlockedBoost
-			}
-			k.Stats.RemoteBytes += bytes
-		} else {
-			k.Stats.LocalBytes += bytes
-		}
-		// Data resident on a slow tier (CXL) pays its tier class's
-		// latency multiplier on top of the NUMA penalty, wherever the
-		// accessing core sits — the device latency does not care which
-		// socket asked.
-		penalty *= k.P.TierClassOf(k.Phys.TierOf(node)).Latency()
-		k.Net.Transfer(t.P, bytes*penalty, k.userPath(t.Core, node, node)...)
+		t.chargeNodeTraffic(node, bytesByNode[node], kind)
 	}
 	return nil
+}
+
+// chargeNodeTraffic charges bytes of application traffic served from
+// node: the access-kind remote penalty, the Remote/LocalBytes
+// accounting, the tier-class latency multiplier, and the fluid
+// transfer along the user path. Every bulk access path (AccessRange,
+// TrafficRectVolume, ReadReplicated) charges one call per node-group
+// of its extent walk, so the cost model cannot drift between them.
+//
+// Data resident on a slow tier (CXL) pays its tier class's latency
+// multiplier on top of the NUMA penalty, wherever the accessing core
+// sits — the device latency does not care which socket asked.
+func (t *Task) chargeNodeTraffic(node topology.NodeID, bytes float64, kind AccessKind) {
+	k := t.Proc.K
+	local := t.Node()
+	penalty := 1.0
+	if node != local {
+		switch kind {
+		case Stream:
+			penalty = k.P.StreamPenalty
+		case Blocked:
+			penalty = k.M.NUMAFactor(local, node) * k.P.BlockedBoost
+		}
+		k.Stats.RemoteBytes += bytes
+	} else {
+		k.Stats.LocalBytes += bytes
+	}
+	penalty *= k.tierLat[node]
+	k.Net.Transfer(t.P, bytes*penalty, k.userPath(t.Core, node, node)...)
 }
 
 // Memcpy models a user-space optimized copy of length bytes from src to

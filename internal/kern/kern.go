@@ -122,6 +122,13 @@ type Kernel struct {
 	// only slow-tier source nodes ever consume from them.
 	promoBuckets []promoBucket
 
+	// tierLat caches each node's tier-class latency multiplier
+	// (TierClassOf(TierOf(n)).Latency()), indexed by node id. Tiers are
+	// fixed at construction, and the access hot paths charge this
+	// multiplier on every node-group of every extent walk — two map
+	// lookups per charge otherwise.
+	tierLat []float64
+
 	// bus is the machine's telemetry event bus (internal/telemetry):
 	// every Stats increment with a time dimension also publishes a
 	// typed event here. Unexported so the Bus accessor can satisfy
@@ -170,6 +177,12 @@ func New(eng *sim.Engine, m *topology.Machine, p model.Params, backed bool) *Ker
 	k.hub = NewDaemonHub(eng)
 	k.Placer = placement.New(m, k.Phys, &k.P)
 	k.Placer.SetBus(k.bus)
+	// placement.New installed the tier ids; freeze the per-node latency
+	// multipliers now (flat machines resolve to 1.0 everywhere).
+	k.tierLat = make([]float64, m.NumNodes())
+	for n := range k.tierLat {
+		k.tierLat[n] = p.TierClassOf(k.Phys.TierOf(topology.NodeID(n))).Latency()
+	}
 	k.migPatched = migrate.New(k, migrate.Patched)
 	k.migUnpatched = migrate.New(k, migrate.Unpatched)
 	return k

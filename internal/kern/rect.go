@@ -144,40 +144,43 @@ func (t *Task) TrafficRectVolume(r Rect, volume float64, kind AccessKind, write 
 	if len(pages) == 0 {
 		return
 	}
-	counts := map[topology.NodeID]int{}
-	var order []topology.NodeID
-	resident := 0
-	for _, p := range pages {
-		pte := sp.PT.Lookup(p)
-		if !pte.Present() {
-			continue
-		}
-		resident++
-		if counts[pte.Frame.Node] == 0 {
-			order = append(order, pte.Frame.Node)
-		}
-		counts[pte.Frame.Node]++
+	// Count resident pages per home node extent-run-at-a-time: the page
+	// list is ascending and deduplicated, so maximal contiguous runs of
+	// it walk through Extents without materializing chunks, and the
+	// first-appearance node order matches the per-page walk's.
+	nn := k.M.NumNodes()
+	counts := t.scratch.nodeCount
+	if cap(counts) < nn {
+		counts = make([]int, nn)
 	}
+	counts = counts[:nn]
+	for i := range counts {
+		counts[i] = 0
+	}
+	order := t.scratch.nodeOrder[:0]
+	resident := 0
+	for i := 0; i < len(pages); {
+		j := i + 1
+		for j < len(pages) && pages[j] == pages[j-1]+1 {
+			j++
+		}
+		sp.PT.Extents(pages[i], pages[j-1]+1, false, func(e vm.Ext) bool {
+			if counts[e.Node] == 0 {
+				order = append(order, e.Node)
+			}
+			counts[e.Node] += e.N
+			resident += e.N
+			return true
+		})
+		i = j
+	}
+	t.scratch.nodeCount, t.scratch.nodeOrder = counts, order
 	if resident == 0 || volume <= 0 {
 		return
 	}
 	perPage := volume / float64(resident)
-	local := t.Node()
 	for _, node := range order {
-		bytes := perPage * float64(counts[node])
-		penalty := 1.0
-		if node != local {
-			switch kind {
-			case Stream:
-				penalty = k.P.StreamPenalty
-			case Blocked:
-				penalty = k.M.NUMAFactor(local, node) * k.P.BlockedBoost
-			}
-			k.Stats.RemoteBytes += bytes
-		} else {
-			k.Stats.LocalBytes += bytes
-		}
-		k.Net.Transfer(t.P, bytes*penalty, k.userPath(t.Core, node, node)...)
+		t.chargeNodeTraffic(node, perPage*float64(counts[node]), kind)
 	}
 }
 
@@ -197,13 +200,24 @@ func (t *Task) NodesOfRect(r Rect) (map[topology.NodeID]int, int) {
 	sp := t.Proc.Space
 	counts := map[topology.NodeID]int{}
 	absent := 0
-	for _, p := range r.pages() {
-		pte := sp.PT.Lookup(p)
-		if !pte.Present() {
-			absent++
-			continue
+	pages := r.pages()
+	for i := 0; i < len(pages); {
+		j := i + 1
+		for j < len(pages) && pages[j] == pages[j-1]+1 {
+			j++
 		}
-		counts[pte.Frame.Node]++
+		// Gaps (withGaps) arrive with Node == -1 and cover both unmapped
+		// spans and installed-but-absent PTEs — the per-page walk's
+		// !Present() bucket.
+		sp.PT.Extents(pages[i], pages[j-1]+1, true, func(e vm.Ext) bool {
+			if e.Flags&vm.PTEPresent == 0 {
+				absent += e.N
+			} else {
+				counts[e.Node] += e.N
+			}
+			return true
+		})
+		i = j
 	}
 	return counts, absent
 }

@@ -183,17 +183,19 @@ func (t *Task) ReadReplicated(addr vm.Addr, length int64, kind AccessKind) error
 		return err
 	}
 	local := t.Node()
-	bytesByNode := map[topology.NodeID]float64{}
-	var order []topology.NodeID
+	nn := k.M.NumNodes()
+	bytesByNode := t.scratch.nodeBytes
+	if cap(bytesByNode) < nn {
+		bytesByNode = make([]float64, nn)
+	}
+	bytesByNode = bytesByNode[:nn]
+	for i := range bytesByNode {
+		bytesByNode[i] = 0
+	}
+	order := t.scratch.nodeOrder[:0]
 	first, last := vm.PageOf(addr), vm.PageOf(addr+vm.Addr(length)-1)+1
 	end := addr + vm.Addr(length)
-	sp.PT.ForEach(first, last, func(p vm.VPN, pte *vm.PTE) {
-		node := pte.Frame.Node
-		if f := pr.replicaFor(p, local); f != nil {
-			node = local
-			pr.replicaStats.LocalReads++
-		}
-		lo, hi := p.Base(), p.Base()+model.PageSize
+	add := func(node topology.NodeID, lo, hi vm.Addr) {
 		if lo < addr {
 			lo = addr
 		}
@@ -204,22 +206,28 @@ func (t *Task) ReadReplicated(addr vm.Addr, length int64, kind AccessKind) error
 			order = append(order, node)
 		}
 		bytesByNode[node] += float64(hi - lo)
-	})
-	for _, node := range order {
-		bytes := bytesByNode[node]
-		penalty := 1.0
-		if node != local {
-			switch kind {
-			case Stream:
-				penalty = k.P.StreamPenalty
-			case Blocked:
-				penalty = k.M.NUMAFactor(local, node) * k.P.BlockedBoost
+	}
+	if len(pr.replicas) == 0 {
+		// No replica sets anywhere in the process: the read is a plain
+		// home-node access, accumulated extent-run-at-a-time like
+		// AccessRange (no chunk materialization, no per-page map probe).
+		sp.PT.Extents(first, last, false, func(e vm.Ext) bool {
+			add(e.Node, e.Start.Base(), (e.Start + vm.VPN(e.N)).Base())
+			return true
+		})
+	} else {
+		sp.PT.ForEach(first, last, func(p vm.VPN, pte *vm.PTE) {
+			node := pte.Frame.Node
+			if f := pr.replicaFor(p, local); f != nil {
+				node = local
+				pr.replicaStats.LocalReads++
 			}
-			k.Stats.RemoteBytes += bytes
-		} else {
-			k.Stats.LocalBytes += bytes
-		}
-		k.Net.Transfer(t.P, bytes*penalty, k.userPath(t.Core, node, node)...)
+			add(node, p.Base(), p.Base()+model.PageSize)
+		})
+	}
+	t.scratch.nodeBytes, t.scratch.nodeOrder = bytesByNode, order
+	for _, node := range order {
+		t.chargeNodeTraffic(node, bytesByNode[node], kind)
 	}
 	return nil
 }

@@ -124,6 +124,36 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
+// Markdown renders the table as a GitHub-flavored Markdown table
+// (pipe-delimited, header separator row), preceded by a "### title"
+// heading when the table has one. Cell pipes are escaped so arbitrary
+// cell strings cannot break the row structure.
+func (t *Table) Markdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "### %s\n\n", t.Title)
+	}
+	mdRow := func(cells []string) {
+		var sb strings.Builder
+		sb.WriteByte('|')
+		for _, c := range cells {
+			sb.WriteByte(' ')
+			sb.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			sb.WriteString(" |")
+		}
+		sb.WriteByte('\n')
+		io.WriteString(w, sb.String())
+	}
+	mdRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	mdRow(sep)
+	for _, r := range t.Rows {
+		mdRow(r)
+	}
+}
+
 // CSV renders the table as CSV.
 func (t *Table) CSV(w io.Writer) {
 	buf := make([]byte, 0, 128)

@@ -149,7 +149,7 @@ func architectureMissingFamilies(path string) ([]string, error) {
 // requiredSections are ARCHITECTURE.md headings whose presence CI
 // enforces: sections that document cross-package contracts no single
 // package comment can own.
-var requiredSections = []string{"## Scale", "## Tenancy & SLOs"}
+var requiredSections = []string{"## Scale", "## Tenancy & SLOs", "## Artifact"}
 
 // architectureMissingSections returns the required headings the
 // architecture document lacks.
